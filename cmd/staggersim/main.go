@@ -1,0 +1,141 @@
+// Command staggersim runs one benchmark under one system configuration
+// and prints detailed statistics: commits, aborts by reason, cycle
+// breakdown, locking-policy activations, and instrumentation accuracy.
+//
+// Usage:
+//
+//	staggersim -bench list-hi -mode staggered -threads 16
+//	staggersim -bench tsp -mode htm -threads 1 -ops 2000 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/htm"
+	"repro/internal/stagger"
+	"repro/internal/workloads"
+)
+
+func parseMode(s string) (stagger.Mode, error) {
+	switch strings.ToLower(s) {
+	case "htm":
+		return stagger.ModeHTM, nil
+	case "addronly":
+		return stagger.ModeAddrOnly, nil
+	case "staggered+sw", "staggeredsw", "sw":
+		return stagger.ModeStaggeredSW, nil
+	case "staggered", "staggeredhw", "hw":
+		return stagger.ModeStaggeredHW, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (htm, addronly, sw, staggered)", s)
+	}
+}
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name (empty: list them)")
+	mode := flag.String("mode", "staggered", "system: htm | addronly | sw | staggered")
+	threads := flag.Int("threads", 16, "worker threads")
+	seed := flag.Int64("seed", 42, "workload seed")
+	ops := flag.Int("ops", 0, "total operations (0 = benchmark default)")
+	naive := flag.Bool("naive", false, "instrument every load/store (overhead study)")
+	lazy := flag.Bool("lazy", false, "lazy (commit-time) conflict detection")
+	trace := flag.Int("trace", 0, "print the first N transaction events")
+	speedup := flag.Bool("speedup", false, "also run 1-thread baseline and report speedup")
+	flag.Parse()
+
+	if *bench == "" {
+		fmt.Println("available benchmarks:")
+		for _, n := range workloads.Names() {
+			w, _ := workloads.Get(n)
+			fmt.Printf("  %-10s %s\n", n, w.Description)
+		}
+		return
+	}
+	m, err := parseMode(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "staggersim:", err)
+		os.Exit(2)
+	}
+	rc := harness.RunConfig{
+		Benchmark: *bench,
+		Mode:      m,
+		Threads:   *threads,
+		Seed:      *seed,
+		TotalOps:  *ops,
+		Naive:     *naive,
+		Lazy:      *lazy,
+		TraceN:    *trace,
+	}
+	res, err := harness.Run(rc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "staggersim:", err)
+		os.Exit(1)
+	}
+	printResult(res)
+	if *speedup {
+		s, _, err := harness.Speedup(rc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "staggersim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nspeedup over 1-thread sequential: %.2fx\n", s)
+	}
+	if len(res.Trace) > 0 {
+		fmt.Printf("\ntrace (first %d events):\n%s", len(res.Trace), htm.FormatTrace(res.Trace))
+	}
+	if res.VerifyErr != nil {
+		fmt.Fprintln(os.Stderr, "VERIFY FAILED:", res.VerifyErr)
+		os.Exit(1)
+	}
+}
+
+func printResult(r *harness.Result) {
+	s := &r.Stats
+	fmt.Printf("benchmark   %s  (%s, %d threads, seed %d)\n",
+		r.Config.Benchmark, r.Config.Mode, r.Config.Threads, r.Config.Seed)
+	fmt.Printf("makespan    %d cycles\n", s.Makespan)
+	fmt.Printf("commits     %d  (irrevocable %d = %.1f%%)\n",
+		s.Commits, s.IrrevocableCommits, 100*s.IrrevocableFraction())
+	fmt.Printf("aborts      %d total (%.2f per commit): conflict %d, overflow %d, explicit %d, lock-held %d\n",
+		s.TotalAborts(), s.AbortsPerCommit(),
+		s.Aborts[htm.AbortConflict], s.Aborts[htm.AbortOverflow],
+		s.Aborts[htm.AbortExplicit], s.Aborts[htm.AbortLockHeld])
+	fmt.Printf("cycles      useful-tx %d, wasted-tx %d (W/U %.2f)\n",
+		s.UsefulTxCycles, s.WastedTxCycles, s.WastedOverUseful())
+	fmt.Printf("waiting     lock %d, backoff %d, global %d\n",
+		s.WaitCycles[htm.WaitLock], s.WaitCycles[htm.WaitBackoff], s.WaitCycles[htm.WaitGlobal])
+	fmt.Printf("tm fraction %.1f%% of cycles, %.0f tx-uops per txn\n",
+		100*r.TMFraction(), r.UopsPerTxn())
+	fmt.Printf("memory      L1 %d, L2 %d, L3/transfer %d, DRAM %d\n",
+		s.L1Hits, s.L2Hits, s.L3Hits, s.MemAccesses)
+	if r.Config.Mode.Instrumented() {
+		mt := &r.Metrics
+		fmt.Printf("compiler    %d/%d loads+stores instrumented as anchors\n",
+			r.StaticAnchors, r.StaticAccesses)
+		fmt.Printf("alps        %d visits (%.1f per txn), %d locks acquired, %d timeouts\n",
+			mt.ALPVisits, r.AnchorsPerTxn(), mt.LocksAcquired, mt.LockTimeouts)
+		fmt.Printf("policy      precise %d, coarse %d, promote %d, training %d\n",
+			mt.ActPrecise, mt.ActCoarse, mt.ActPromote, mt.ActTraining)
+		fmt.Printf("accuracy    %.1f%% (%d/%d), sw-misses %d\n",
+			100*mt.Accuracy(), mt.AccHits, mt.AccTotal, mt.SWMisses)
+	}
+	fmt.Printf("locality    LA=%v LP=%v\n", r.LA, r.LP)
+	ids := make([]int, 0, len(r.PerAB))
+	for id := range r.PerAB {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		m := r.PerAB[id]
+		fmt.Printf("  ab %-18s commits %5d, conf %5d, deep %4d | precise %4d coarse %4d promote %4d training %4d\n",
+			m.Name, m.Commits, m.ConfAborts, m.Deep, m.Precise, m.Coarse, m.Promote, m.Training)
+	}
+	if r.VerifyErr == nil {
+		fmt.Println("verify      OK")
+	}
+}

@@ -1,0 +1,84 @@
+// Compilerpass: using the staggered-transactions compiler as a library.
+//
+// The example reconstructs the genome atomic block of Figure 3 in the
+// paper — a loop that fetches segments from a vector and inserts them
+// into a chained hash table — runs Data Structure Analysis and the
+// anchor-selection pass over it, and prints the resulting unified anchor
+// table, whose parent/pioneer links match the figure exactly:
+//
+//	A 51: Parent 0     (vectorPtr->size)
+//	  53: Pioneer 51   (vectorPtr->elements)
+//	A 42: Parent 0     (hashtablePtr->numBucket)
+//	  46: Pioneer 42   (hashtablePtr->buckets)
+//	A 35: Parent 42    (prevPtr->nextPtr — the list anchor; its parent
+//	                    is the TABLE anchor, the locking-promotion path)
+//	  38: Pioneer 35   (nodePtr->nextPtr)
+//
+//	go run ./examples/compilerpass
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/anchor"
+	"repro/internal/dsa"
+	"repro/internal/prog"
+)
+
+func main() {
+	m := prog.NewModule("genome_fig3")
+
+	// void* vector_at(vector_t *vectorPtr, long i)
+	vectorAt := m.NewFunc("vector_at", "vectorPtr")
+	vectorAt.Entry().Load(vectorAt.Param(0), "size")
+	elem, _ := vectorAt.Entry().LoadPtr("elem", vectorAt.Param(0), "elements")
+	vectorAt.SetReturn(elem)
+
+	// void* TMlist_find(list_t *listPtr, ...)
+	listFind := m.NewFunc("TMlist_find", "listPtr")
+	{
+		entry, loop, exit := listFind.Entry(), listFind.NewBlock("loop"), listFind.NewBlock("exit")
+		entry.To(loop)
+		loop.To(loop, exit)
+		prev0 := entry.Field("prevPtr0", listFind.Param(0), "head")
+		n0, _ := entry.LoadPtr("nodePtr0", prev0, "nextPtr")
+		cur := listFind.Phi("nodePtr")
+		prev := listFind.Phi("prevPtr")
+		listFind.Bind(cur, n0)
+		listFind.Bind(prev, prev0)
+		listFind.Bind(prev, cur) // prevPtr = nodePtr each iteration
+		n1, _ := loop.LoadPtr("nodePtr1", cur, "nextPtr")
+		listFind.Bind(cur, n1)
+	}
+
+	// bool_t TMhashtable_insert(hashtable_t *hashtablePtr, void *data)
+	htInsert := m.NewFunc("TMhashtable_insert", "hashtablePtr", "data")
+	htInsert.Entry().Load(htInsert.Param(0), "numBucket")
+	bucket, _ := htInsert.Entry().LoadPtr("bucket", htInsert.Param(0), "buckets")
+	htInsert.Entry().Call(listFind, bucket)
+
+	// The atomic block of genome/sequencer.c:292.
+	root := m.NewFunc("sequencer_step", "uniqueSegmentsPtr", "segmentsContentsPtr")
+	{
+		entry, loop, exit := root.Entry(), root.NewBlock("loop"), root.NewBlock("exit")
+		entry.To(loop)
+		loop.To(loop, exit)
+		seg, _ := loop.CallPtr("segment", vectorAt, root.Param(1))
+		loop.Call(htInsert, root.Param(0), seg)
+	}
+	ab := m.Atomic("insert_segments", root)
+	m.MustFinalize()
+
+	// Stage 1: Data Structure Analysis of the whole atomic block.
+	g := dsa.AnalyzeAtomic(ab)
+	fmt.Println("DSNodes accessed in the atomic block:")
+	for _, n := range g.Nodes() {
+		fmt.Printf("  %s\n", n.Label())
+	}
+
+	// Stage 2+3: anchor selection, unified table, ALP insertion.
+	comp := anchor.Compile(m, anchor.DefaultOptions())
+	fmt.Printf("\n%d of %d loads/stores instrumented as advisory locking points\n\n",
+		comp.StaticAnchors, comp.StaticAccesses)
+	fmt.Print(comp.Dump(ab))
+}

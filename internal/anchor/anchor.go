@@ -1,0 +1,152 @@
+// Package anchor implements the staggered-transactions compiler pass:
+// selection of advisory-locking-point anchors (Algorithm 1 of the paper),
+// construction of per-function local anchor tables and per-atomic-block
+// unified anchor tables, and the PC-indexed lookup the runtime uses to
+// map a conflicting PC back to an anchor.
+package anchor
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dsa"
+	"repro/internal/prog"
+)
+
+// Entry is one row of a local anchor table (the paper's ATEntry): a
+// load/store instruction, whether it is an anchor (the initial access to
+// its DSNode on some execution path), its parent anchor (the anchor of a
+// node through which this node is reached), and — for non-anchors — the
+// pioneer anchor that covers the same node.
+type Entry struct {
+	Site     *prog.Site
+	IsAnchor bool
+	Parent   *Entry
+	Pioneer  *Entry
+	Node     *dsa.Node
+}
+
+func (e *Entry) String() string {
+	switch {
+	case e.IsAnchor && e.Parent != nil:
+		return fmt.Sprintf("A %d: Parent %d", e.Site.ID, e.Parent.Site.ID)
+	case e.IsAnchor:
+		return fmt.Sprintf("A %d: Parent 0", e.Site.ID)
+	case e.Pioneer != nil:
+		return fmt.Sprintf("  %d: Pioneer %d", e.Site.ID, e.Pioneer.Site.ID)
+	default:
+		return fmt.Sprintf("  %d:", e.Site.ID)
+	}
+}
+
+// LocalTable holds the anchor classification of one function.
+type LocalTable struct {
+	Fn      *prog.Func
+	Entries []*Entry // program order
+	bySite  map[*prog.Site]*Entry
+}
+
+// EntryFor returns the table entry of a site, or nil.
+func (t *LocalTable) EntryFor(s *prog.Site) *Entry { return t.bySite[s] }
+
+// Anchors returns the anchor entries in program order.
+func (t *LocalTable) Anchors() []*Entry {
+	var out []*Entry
+	for _, e := range t.Entries {
+		if e.IsAnchor {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// BuildLocal runs Algorithm 1 on one function using its bottom-up DSA
+// graph: a depth-first walk of the dominator tree classifies each
+// load/store as anchor or non-anchor, then DS-graph edges fill in parent
+// links between anchors of connected nodes.
+func BuildLocal(f *prog.Func, g *dsa.Graph) *LocalTable {
+	t := &LocalTable{Fn: f, bySite: make(map[*prog.Site]*Entry)}
+	perNode := make(map[*dsa.Node][]*Entry)
+
+	// Stage 1: anchor classification over the dominator tree. Visiting in
+	// dominator-tree DFS order guarantees that when we test "some earlier
+	// entry on this node dominates me", all candidate dominators have
+	// already been visited.
+	kids := prog.DomTreeChildren(f)
+	var visit func(b *prog.Block)
+	visit = func(b *prog.Block) {
+		for _, in := range b.Instrs {
+			if in.Kind != prog.InstrAccess {
+				continue
+			}
+			s := in.Site
+			node := g.NodeOf(s)
+			e := &Entry{Site: s, Node: node}
+			for _, m := range perNode[node] {
+				if prog.InstrDominates(m.Site.Instr, in) {
+					e.IsAnchor = false
+					if m.IsAnchor {
+						e.Pioneer = m
+					} else {
+						e.Pioneer = m.Pioneer
+					}
+					break
+				}
+			}
+			if e.Pioneer == nil {
+				e.IsAnchor = true
+			}
+			perNode[node] = append(perNode[node], e)
+			t.Entries = append(t.Entries, e)
+			t.bySite[s] = e
+		}
+		for _, k := range kids[b] {
+			visit(k)
+		}
+	}
+	visit(f.Entry())
+
+	// Keep entries in program order regardless of dominator-tree visit
+	// order (determinism for printing and tests).
+	sort.SliceStable(t.Entries, func(i, j int) bool {
+		return t.Entries[i].Site.PC < t.Entries[j].Site.PC
+	})
+
+	// Stage 2: parent links. For each node n with an edge to node m, the
+	// anchors of m get the (first) anchor of n as parent. Self edges are
+	// skipped: a recursive structure's node is not its own parent — its
+	// parent is whatever points to the structure from outside, which may
+	// only be known in the unified table.
+	nodes := make([]*dsa.Node, 0, len(perNode))
+	for n := range perNode {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID() < nodes[j].ID() })
+	for _, n := range nodes {
+		src := firstAnchor(perNode[n])
+		if src == nil {
+			continue
+		}
+		for _, m := range n.Edges() {
+			if m.Same(n) {
+				continue
+			}
+			for _, e := range perNode[m] {
+				if e.IsAnchor && e.Parent == nil && e != src {
+					e.Parent = src
+				}
+			}
+		}
+	}
+	return t
+}
+
+func firstAnchor(entries []*Entry) *Entry {
+	best := (*Entry)(nil)
+	for _, e := range entries {
+		if e.IsAnchor && (best == nil || e.Site.PC < best.Site.PC) {
+			best = e
+		}
+	}
+	return best
+}

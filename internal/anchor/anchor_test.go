@@ -1,0 +1,327 @@
+package anchor
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dsa"
+	"repro/internal/prog"
+)
+
+// buildGenome reproduces the atomic block of Figure 3 in the paper: a
+// loop fetching segments from a vector and inserting them into a hash
+// table whose buckets are linked lists.
+type genomeFixture struct {
+	mod *prog.Module
+	ab  *prog.AtomicBlock
+	// Sites named after the paper's entry IDs.
+	sVecSize, sVecElems *prog.Site // 51, 53
+	sHTNumBucket        *prog.Site // 42
+	sHTBuckets          *prog.Site // 46
+	sListFirst          *prog.Site // 35
+	sListNext           *prog.Site // 38
+}
+
+func buildGenome(t testing.TB) *genomeFixture {
+	t.Helper()
+	fx := &genomeFixture{}
+	m := prog.NewModule("genome")
+	fx.mod = m
+
+	vectorAt := m.NewFunc("vector_at", "vectorPtr")
+	fx.sVecSize = vectorAt.Entry().Load(vectorAt.Param(0), "size")
+	elem, sElems := vectorAt.Entry().LoadPtr("elem", vectorAt.Param(0), "elements")
+	fx.sVecElems = sElems
+	vectorAt.SetReturn(elem)
+
+	listFind := m.NewFunc("TMlist_find", "listPtr")
+	{
+		entry := listFind.Entry()
+		loop := listFind.NewBlock("loop")
+		exit := listFind.NewBlock("exit")
+		entry.To(loop)
+		loop.To(loop, exit)
+		prevInit := entry.Field("prevPtr0", listFind.Param(0), "head")
+		n0, s35 := entry.LoadPtr("nodePtr0", prevInit, "nextPtr")
+		fx.sListFirst = s35
+		cur := listFind.Phi("nodePtr")
+		prev := listFind.Phi("prevPtr")
+		listFind.Bind(cur, n0)
+		listFind.Bind(prev, prevInit)
+		listFind.Bind(prev, cur)
+		n1, s38 := loop.LoadPtr("nodePtr1", cur, "nextPtr")
+		fx.sListNext = s38
+		listFind.Bind(cur, n1)
+	}
+
+	htInsert := m.NewFunc("TMhashtable_insert", "hashtablePtr", "data")
+	fx.sHTNumBucket = htInsert.Entry().Load(htInsert.Param(0), "numBucket")
+	bucket, s46 := htInsert.Entry().LoadPtr("bucket", htInsert.Param(0), "buckets")
+	fx.sHTBuckets = s46
+	htInsert.Entry().Call(listFind, bucket)
+
+	root := m.NewFunc("atomic_insert_segments", "uniqueSegmentsPtr", "segmentsContentsPtr")
+	{
+		entry := root.Entry()
+		loop := root.NewBlock("loop")
+		exit := root.NewBlock("exit")
+		entry.To(loop)
+		loop.To(loop, exit)
+		seg, _ := loop.CallPtr("segment", vectorAt, root.Param(1))
+		loop.Call(htInsert, root.Param(0), seg)
+	}
+	fx.ab = m.Atomic("insert_segments", root)
+	m.MustFinalize()
+	return fx
+}
+
+func TestLocalTableVectorAt(t *testing.T) {
+	fx := buildGenome(t)
+	f := fx.mod.FuncByName("vector_at")
+	lt := BuildLocal(f, dsa.AnalyzeFunc(f))
+	eSize := lt.EntryFor(fx.sVecSize)
+	eElems := lt.EntryFor(fx.sVecElems)
+	if !eSize.IsAnchor {
+		t.Fatal("vectorPtr->size load must be an anchor (paper entry A 51)")
+	}
+	if eElems.IsAnchor {
+		t.Fatal("vectorPtr->elements load must be a non-anchor (paper entry 53)")
+	}
+	if eElems.Pioneer != eSize {
+		t.Fatal("elements load's pioneer must be the size load")
+	}
+}
+
+func TestLocalTableListFind(t *testing.T) {
+	fx := buildGenome(t)
+	f := fx.mod.FuncByName("TMlist_find")
+	lt := BuildLocal(f, dsa.AnalyzeFunc(f))
+	e35 := lt.EntryFor(fx.sListFirst)
+	e38 := lt.EntryFor(fx.sListNext)
+	if !e35.IsAnchor {
+		t.Fatal("first list load must be an anchor (paper entry A 35)")
+	}
+	if e38.IsAnchor || e38.Pioneer != e35 {
+		t.Fatal("loop reload must be a non-anchor with pioneer A 35")
+	}
+	if e35.Parent != nil {
+		t.Fatal("A 35's parent must be unfilled in the LOCAL table (filled at unified stage)")
+	}
+}
+
+func TestUnifiedTableFigure3(t *testing.T) {
+	fx := buildGenome(t)
+	c := Compile(fx.mod, DefaultOptions())
+	u := c.Unified[fx.ab]
+	if u == nil {
+		t.Fatal("no unified table for atomic block")
+	}
+	a35 := u.EntryForSite(fx.sListFirst.ID)
+	a42 := u.EntryForSite(fx.sHTNumBucket.ID)
+	a51 := u.EntryForSite(fx.sVecSize.ID)
+	e46 := u.EntryForSite(fx.sHTBuckets.ID)
+	e38 := u.EntryForSite(fx.sListNext.ID)
+	e53 := u.EntryForSite(fx.sVecElems.ID)
+
+	// Figure 3's exact relationships.
+	if !a51.IsAnchor || a51.ParentID != 0 {
+		t.Errorf("A51: anchor=%v parent=%d, want anchor with parent 0", a51.IsAnchor, a51.ParentID)
+	}
+	if e53.IsAnchor || e53.PioneerID != fx.sVecSize.ID {
+		t.Errorf("53: pioneer=%d, want %d", e53.PioneerID, fx.sVecSize.ID)
+	}
+	if !a42.IsAnchor || a42.ParentID != 0 {
+		t.Errorf("A42: anchor=%v parent=%d, want anchor with parent 0", a42.IsAnchor, a42.ParentID)
+	}
+	if e46.IsAnchor || e46.PioneerID != fx.sHTNumBucket.ID {
+		t.Errorf("46: pioneer=%d, want %d", e46.PioneerID, fx.sHTNumBucket.ID)
+	}
+	if !a35.IsAnchor {
+		t.Error("A35 must be an anchor")
+	}
+	if a35.ParentID != fx.sHTNumBucket.ID {
+		t.Errorf("A35 parent=%d, want the hashtable anchor %d (locking promotion path)",
+			a35.ParentID, fx.sHTNumBucket.ID)
+	}
+	if e38.IsAnchor || e38.PioneerID != fx.sListFirst.ID {
+		t.Errorf("38: pioneer=%d, want %d", e38.PioneerID, fx.sListFirst.ID)
+	}
+}
+
+func TestCompileInstrumentsOnlyAnchors(t *testing.T) {
+	fx := buildGenome(t)
+	c := Compile(fx.mod, DefaultOptions())
+	wantALP := map[uint32]bool{
+		fx.sVecSize.ID:     true,
+		fx.sHTNumBucket.ID: true,
+		fx.sListFirst.ID:   true,
+	}
+	for id := 1; id <= fx.mod.NumSites(); id++ {
+		if c.IsALP[id] != wantALP[uint32(id)] {
+			t.Errorf("site %d: ALP=%v, want %v", id, c.IsALP[id], wantALP[uint32(id)])
+		}
+	}
+	if c.StaticAccesses != 6 || c.StaticAnchors != 3 {
+		t.Errorf("static stats %d/%d, want 6 accesses / 3 anchors",
+			c.StaticAccesses, c.StaticAnchors)
+	}
+	if got := c.InstrumentedFraction(); got != 0.5 {
+		t.Errorf("instrumented fraction = %v, want 0.5", got)
+	}
+}
+
+func TestNaiveInstrumentsEverything(t *testing.T) {
+	fx := buildGenome(t)
+	opts := DefaultOptions()
+	opts.Naive = true
+	c := Compile(fx.mod, opts)
+	for id := 1; id <= fx.mod.NumSites(); id++ {
+		if !c.IsALP[id] {
+			t.Errorf("naive mode: site %d not instrumented", id)
+		}
+	}
+	if c.InstrumentedFraction() != 1.0 {
+		t.Error("naive fraction must be 1.0")
+	}
+}
+
+func TestSearchByPC(t *testing.T) {
+	fx := buildGenome(t)
+	c := Compile(fx.mod, DefaultOptions())
+	u := c.Unified[fx.ab]
+	e := u.SearchByPC(fx.sListNext.PC & 0xFFF)
+	if e == nil || e.Site != fx.sListNext {
+		t.Fatalf("SearchByPC missed site (got %v)", e)
+	}
+	// Resolution through AnchorFor lands on the pioneer anchor.
+	a := u.AnchorFor(e)
+	if a == nil || a.Site != fx.sListFirst {
+		t.Fatal("AnchorFor(non-anchor) must return the pioneer anchor")
+	}
+	if u.SearchByPC(0xABC) != nil && fx.mod.NumSites() < 100 {
+		// With only 6 sites nothing maps to an arbitrary far PC.
+		t.Fatal("SearchByPC hallucinated an entry")
+	}
+}
+
+func TestParentChainViaUnified(t *testing.T) {
+	fx := buildGenome(t)
+	c := Compile(fx.mod, DefaultOptions())
+	u := c.Unified[fx.ab]
+	a35 := u.EntryForSite(fx.sListFirst.ID)
+	parent := u.Parent(a35)
+	if parent == nil || parent.Site != fx.sHTNumBucket {
+		t.Fatal("Parent(A35) must be the hashtable anchor")
+	}
+	if u.Parent(parent) != nil {
+		t.Fatal("hashtable anchor must have no parent")
+	}
+}
+
+// TestBranchAnchors: accesses on both arms of a branch are each initial
+// accesses on their execution path, so both are anchors; an access after
+// the merge dominated by a pre-branch access is not.
+func TestBranchAnchors(t *testing.T) {
+	m := prog.NewModule("branch")
+	f := m.NewFunc("f", "p")
+	entry := f.Entry()
+	left := f.NewBlock("left")
+	right := f.NewBlock("right")
+	merge := f.NewBlock("merge")
+	entry.To(left, right)
+	left.To(merge)
+	right.To(merge)
+	sL := left.Load(f.Param(0), "a")
+	sR := right.Load(f.Param(0), "b")
+	sM := merge.Load(f.Param(0), "c")
+	m.MustFinalize()
+	lt := BuildLocal(f, dsa.AnalyzeFunc(f))
+	if !lt.EntryFor(sL).IsAnchor || !lt.EntryFor(sR).IsAnchor {
+		t.Fatal("branch-arm accesses must both be anchors")
+	}
+	// Neither arm dominates the merge, so the merge access is ALSO an
+	// anchor (it may be the initial access on neither path... it is
+	// dominated by no prior access to the node).
+	if !lt.EntryFor(sM).IsAnchor {
+		t.Fatal("merge access dominated by no access must be an anchor")
+	}
+}
+
+func TestPreBranchAccessMakesSuccessorsNonAnchors(t *testing.T) {
+	m := prog.NewModule("dom")
+	f := m.NewFunc("f", "p")
+	entry := f.Entry()
+	next := f.NewBlock("next")
+	entry.To(next)
+	s1 := entry.Load(f.Param(0), "a")
+	s2 := next.Load(f.Param(0), "b")
+	m.MustFinalize()
+	lt := BuildLocal(f, dsa.AnalyzeFunc(f))
+	if !lt.EntryFor(s1).IsAnchor {
+		t.Fatal("first access must be an anchor")
+	}
+	e2 := lt.EntryFor(s2)
+	if e2.IsAnchor || e2.Pioneer != lt.EntryFor(s1) {
+		t.Fatal("dominated access must be a non-anchor with the first as pioneer")
+	}
+}
+
+func TestPCIndexAliasing(t *testing.T) {
+	// With a tiny PC mask, distinct sites alias; SearchByPC must return
+	// the lowest-PC candidate deterministically.
+	m := prog.NewModule("alias")
+	f := m.NewFunc("f", "p", "q")
+	s1 := f.Entry().Load(f.Param(0), "a")
+	s2 := f.Entry().Load(f.Param(1), "b")
+	ab := m.Atomic("ab", f)
+	m.MustFinalize()
+	opts := Options{PCBits: 2} // instruction stride is 4: all sites alias
+	c := Compile(m, opts)
+	u := c.Unified[ab]
+	if s1.PC&3 != s2.PC&3 {
+		t.Fatal("test setup: PCs should alias under a 2-bit mask")
+	}
+	got := u.SearchByPC(s2.PC)
+	if got == nil || got.Site != s1 {
+		t.Fatalf("aliased SearchByPC must return the lowest-PC site, got %v", got)
+	}
+}
+
+func TestDumpMentionsAnchors(t *testing.T) {
+	fx := buildGenome(t)
+	c := Compile(fx.mod, DefaultOptions())
+	out := c.Dump(fx.ab)
+	if !strings.Contains(out, "[ALP]") || !strings.Contains(out, "insert_segments") {
+		t.Fatalf("dump missing content:\n%s", out)
+	}
+}
+
+func TestUnifiedEntriesSortedByPC(t *testing.T) {
+	fx := buildGenome(t)
+	c := Compile(fx.mod, DefaultOptions())
+	u := c.Unified[fx.ab]
+	for i := 1; i < len(u.Entries); i++ {
+		if u.Entries[i-1].Site.PC > u.Entries[i].Site.PC {
+			t.Fatal("unified entries not in PC order")
+		}
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	parents := func() []uint32 {
+		fx := buildGenome(t)
+		c := Compile(fx.mod, DefaultOptions())
+		u := c.Unified[fx.ab]
+		out := make([]uint32, 0, len(u.Entries))
+		for _, e := range u.Entries {
+			out = append(out, e.ParentID, e.PioneerID)
+		}
+		return out
+	}
+	p1, p2 := parents(), parents()
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("nondeterministic compile at %d: %v vs %v", i, p1, p2)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package anchor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dsa"
+	"repro/internal/prog"
+)
+
+// randomModule generates a random but well-formed IR module: a handful of
+// functions with random CFGs, random load/store sites over parameters and
+// loaded pointers, random non-recursive calls, and 1-3 atomic blocks.
+func randomModule(rng *rand.Rand) *prog.Module {
+	m := prog.NewModule("fuzz")
+	nFuncs := 2 + rng.Intn(4)
+	funcs := make([]*prog.Func, nFuncs)
+	fields := []string{"a", "b", "next", "child", "val"}
+
+	for i := 0; i < nFuncs; i++ {
+		nParams := 1 + rng.Intn(3)
+		params := make([]string, nParams)
+		for p := range params {
+			params[p] = fmt.Sprintf("p%d", p)
+		}
+		f := m.NewFunc(fmt.Sprintf("f%d", i), params...)
+		funcs[i] = f
+
+		// Random CFG: a chain with optional diamonds and back edges.
+		blocks := []*prog.Block{f.Entry()}
+		nBlocks := 1 + rng.Intn(4)
+		for b := 1; b < nBlocks; b++ {
+			blocks = append(blocks, f.NewBlock(fmt.Sprintf("b%d", b)))
+		}
+		for b := 1; b < nBlocks; b++ {
+			blocks[rng.Intn(b)].To(blocks[b])
+			if rng.Intn(3) == 0 {
+				blocks[b].To(blocks[rng.Intn(nBlocks)])
+			}
+		}
+
+		// Random accesses: pool of pointer values grows as loads define
+		// new pointers.
+		vals := make([]*prog.Value, nParams)
+		copy(vals, f.Params)
+		nAcc := 1 + rng.Intn(8)
+		for a := 0; a < nAcc; a++ {
+			blk := blocks[rng.Intn(len(blocks))]
+			ptr := vals[rng.Intn(len(vals))]
+			field := fields[rng.Intn(len(fields))]
+			switch rng.Intn(3) {
+			case 0:
+				blk.Load(ptr, field)
+			case 1:
+				blk.Store(ptr, field)
+			default:
+				v, _ := blk.LoadPtr(fmt.Sprintf("v%d_%d", i, a), ptr, field)
+				vals = append(vals, v)
+			}
+		}
+		// Random calls to earlier functions only (acyclic by construction).
+		if i > 0 && rng.Intn(2) == 0 {
+			callee := funcs[rng.Intn(i)]
+			args := make([]*prog.Value, len(callee.Params))
+			for ai := range args {
+				args[ai] = vals[rng.Intn(len(vals))]
+			}
+			blocks[rng.Intn(len(blocks))].Call(callee, args...)
+		}
+	}
+	nABs := 1 + rng.Intn(3)
+	for i := 0; i < nABs && i < nFuncs; i++ {
+		m.Atomic(fmt.Sprintf("ab%d", i), funcs[nFuncs-1-i])
+	}
+	m.MustFinalize()
+	return m
+}
+
+// TestCompileRandomPrograms pushes hundreds of random programs through
+// DSA + Algorithm 1 + unified-table construction and checks structural
+// invariants that must hold for ANY program:
+//
+//  1. every reachable site is classified, exactly once;
+//  2. every non-anchor has an anchor pioneer on the same DSNode that
+//     dominates it;
+//  3. anchors never have pioneers; parents are anchors, never self;
+//  4. the PC index finds every site of the atomic block;
+//  5. naive mode instruments a superset of DSA mode.
+func TestCompileRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 300; trial++ {
+		m := randomModule(rng)
+		c := Compile(m, DefaultOptions())
+		naive := Compile(m, Options{PCBits: 12, Naive: true})
+
+		for f, lt := range c.Locals {
+			g := dsa.AnalyzeFunc(f)
+			seen := map[*prog.Site]bool{}
+			for _, e := range lt.Entries {
+				if seen[e.Site] {
+					t.Fatalf("trial %d: site %d classified twice", trial, e.Site.ID)
+				}
+				seen[e.Site] = true
+				if e.IsAnchor {
+					if e.Pioneer != nil {
+						t.Fatalf("trial %d: anchor %d has a pioneer", trial, e.Site.ID)
+					}
+					if e.Parent == e {
+						t.Fatalf("trial %d: anchor %d is its own parent", trial, e.Site.ID)
+					}
+					if e.Parent != nil && !e.Parent.IsAnchor {
+						t.Fatalf("trial %d: parent of %d is not an anchor", trial, e.Site.ID)
+					}
+				} else {
+					p := e.Pioneer
+					if p == nil || !p.IsAnchor {
+						t.Fatalf("trial %d: non-anchor %d lacks an anchor pioneer", trial, e.Site.ID)
+					}
+					if !g.NodeOf(p.Site).Same(g.NodeOf(e.Site)) {
+						t.Fatalf("trial %d: pioneer of %d on a different DSNode", trial, e.Site.ID)
+					}
+					if !prog.InstrDominates(p.Site.Instr, e.Site.Instr) {
+						t.Fatalf("trial %d: pioneer %d does not dominate %d",
+							trial, p.Site.ID, e.Site.ID)
+					}
+				}
+			}
+			// Reachable sites of the function all classified.
+			for _, s := range f.Sites() {
+				if reachableBlock(f, s.Instr.Block) && !seen[s] {
+					t.Fatalf("trial %d: reachable site %d unclassified", trial, s.ID)
+				}
+			}
+		}
+
+		for ab, u := range c.Unified {
+			for _, e := range u.Entries {
+				if got := u.SearchByPC(e.Site.PC); got == nil {
+					t.Fatalf("trial %d: ab %d: SearchByPC missed site %d", trial, ab.ID, e.Site.ID)
+				}
+				if a := u.AnchorFor(e); a == nil || !a.IsAnchor {
+					t.Fatalf("trial %d: AnchorFor(%d) not an anchor", trial, e.Site.ID)
+				}
+				if e.ParentID == e.Site.ID {
+					t.Fatalf("trial %d: unified self-parent at %d", trial, e.Site.ID)
+				}
+			}
+		}
+
+		for id := 1; id <= m.NumSites(); id++ {
+			if c.IsALP[id] && !naive.IsALP[id] {
+				t.Fatalf("trial %d: DSA instrumented site %d but naive did not", trial, id)
+			}
+		}
+	}
+}
+
+func reachableBlock(f *prog.Func, b *prog.Block) bool {
+	seen := map[*prog.Block]bool{f.Entry(): true}
+	stack := []*prog.Block{f.Entry()}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == b {
+			return true
+		}
+		for _, s := range n.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// TestCompileRandomDeterministic: compiling the same random program twice
+// yields identical classifications and parents.
+func TestCompileRandomDeterministic(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		build := func() *prog.Module {
+			return randomModule(rand.New(rand.NewSource(int64(5000 + trial))))
+		}
+		c1 := Compile(build(), DefaultOptions())
+		c2 := Compile(build(), DefaultOptions())
+		if len(c1.IsALP) != len(c2.IsALP) {
+			t.Fatal("site counts differ")
+		}
+		for i := range c1.IsALP {
+			if c1.IsALP[i] != c2.IsALP[i] {
+				t.Fatalf("trial %d: ALP set differs at site %d", trial, i)
+			}
+		}
+		if c1.StaticAnchors != c2.StaticAnchors {
+			t.Fatalf("trial %d: anchor counts differ", trial)
+		}
+	}
+}

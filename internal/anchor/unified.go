@@ -1,0 +1,138 @@
+package anchor
+
+import (
+	"sort"
+
+	"repro/internal/dsa"
+	"repro/internal/prog"
+)
+
+// UEntry is one row of a unified (per-atomic-block) anchor table. It
+// mirrors the local entry but parents and pioneers are expressed as site
+// IDs resolved in the atomic block's context, so the same instruction can
+// carry different parents in different atomic blocks (Section 3.3).
+type UEntry struct {
+	Site     *prog.Site
+	IsAnchor bool
+	// ParentID is the site ID of the parent anchor, 0 if none.
+	ParentID uint32
+	// PioneerID is, for non-anchors, the site ID of the covering anchor.
+	PioneerID uint32
+	// Node is the site's DSNode in the atomic block's unified universe.
+	Node *dsa.Node
+}
+
+// Unified is the unified anchor table of one atomic block, indexable by
+// site and by (truncated) PC as the runtime requires.
+type Unified struct {
+	AB      *prog.AtomicBlock
+	Graph   *dsa.Graph
+	Entries []*UEntry // program order across the call tree
+
+	bySite map[uint32]*UEntry
+	byPC   map[uint64][]*UEntry // truncated PC -> candidates, PC order
+	pcMask uint64
+}
+
+// EntryForSite returns the entry for a site ID, or nil.
+func (u *Unified) EntryForSite(id uint32) *UEntry { return u.bySite[id] }
+
+// SearchByPC maps a truncated conflicting PC to the unique table entry it
+// identifies, following the paper's runtime: the table is indexed by PC
+// address. When truncation aliases several sites, the lowest-PC candidate
+// is returned — a deliberate imprecision whose cost shows up as accuracy
+// < 100% in Table 3. Returns nil for PCs outside the atomic block.
+func (u *Unified) SearchByPC(pc uint64) *UEntry {
+	cands := u.byPC[pc&u.pcMask]
+	if len(cands) == 0 {
+		return nil
+	}
+	return cands[0]
+}
+
+// AnchorFor resolves an entry to the anchor the runtime should consider:
+// the entry itself when it is an anchor, otherwise its pioneer ("always
+// begin with an anchor", Figure 6 line 3).
+func (u *Unified) AnchorFor(e *UEntry) *UEntry {
+	if e == nil {
+		return nil
+	}
+	if e.IsAnchor {
+		return e
+	}
+	return u.bySite[e.PioneerID]
+}
+
+// Parent returns the parent anchor entry of e, or nil.
+func (u *Unified) Parent(e *UEntry) *UEntry {
+	if e == nil || e.ParentID == 0 {
+		return nil
+	}
+	return u.bySite[e.ParentID]
+}
+
+// BuildUnified merges the local tables of every function reachable from
+// the atomic block into one table, resolving DSNodes in the atomic
+// block's own universe (gAB) and filling parents that the local stage
+// could not determine because the structure arrived via a function
+// argument.
+func BuildUnified(ab *prog.AtomicBlock, gAB *dsa.Graph,
+	locals map[*prog.Func]*LocalTable, pcBits int) *Unified {
+
+	u := &Unified{
+		AB:     ab,
+		Graph:  gAB,
+		bySite: make(map[uint32]*UEntry),
+		byPC:   make(map[uint64][]*UEntry),
+		pcMask: (1 << pcBits) - 1,
+	}
+	for _, f := range prog.ReachableFuncs(ab.Root) {
+		lt := locals[f]
+		if lt == nil {
+			continue
+		}
+		for _, e := range lt.Entries {
+			ue := &UEntry{
+				Site:     e.Site,
+				IsAnchor: e.IsAnchor,
+				Node:     gAB.NodeOf(e.Site),
+			}
+			if e.Parent != nil {
+				ue.ParentID = e.Parent.Site.ID
+			}
+			if e.Pioneer != nil {
+				ue.PioneerID = e.Pioneer.Site.ID
+			}
+			u.Entries = append(u.Entries, ue)
+			u.bySite[e.Site.ID] = ue
+		}
+	}
+	sort.SliceStable(u.Entries, func(i, j int) bool {
+		return u.Entries[i].Site.PC < u.Entries[j].Site.PC
+	})
+
+	// Fill missing parents using the atomic block's unified DS graph: an
+	// anchor on node n without a local parent gets, as parent, the first
+	// anchor in the table whose node points to n.
+	for _, e := range u.Entries {
+		if !e.IsAnchor || e.ParentID != 0 {
+			continue
+		}
+		for _, cand := range u.Entries {
+			if !cand.IsAnchor || cand == e {
+				continue
+			}
+			if !cand.Node.Same(e.Node) && cand.Node.PointsTo(e.Node) {
+				e.ParentID = cand.Site.ID
+				break
+			}
+		}
+	}
+
+	// PC index, candidates in ascending PC order.
+	for _, e := range u.Entries {
+		key := e.Site.PC & u.pcMask
+		u.byPC[key] = append(u.byPC[key], e)
+	}
+	return u
+}

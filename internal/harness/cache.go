@@ -1,0 +1,55 @@
+package harness
+
+import "sync"
+
+// Table and figure generators share experiment cells (Table 4's baseline
+// runs are Figure 7's denominators, for example). Because every run is
+// deterministic in its RunConfig, results can be memoized safely.
+
+type cacheKey struct {
+	bench    string
+	mode     int
+	threads  int
+	seed     int64
+	totalOps int
+	naive    bool
+	lazy     bool
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[cacheKey]*Result{}
+)
+
+// RunCached is Run with memoization over the default machine and runtime
+// configurations. Configs with overrides bypass the cache.
+func RunCached(rc RunConfig) (*Result, error) {
+	if rc.Machine != nil || rc.Stagger != nil || rc.TraceN > 0 {
+		return Run(rc)
+	}
+	if rc.Seed == 0 {
+		rc.Seed = 42 // match Run's default so keys are canonical
+	}
+	key := cacheKey{rc.Benchmark, int(rc.Mode), rc.Threads, rc.Seed, rc.TotalOps, rc.Naive, rc.Lazy}
+	cacheMu.Lock()
+	r, ok := cache[key]
+	cacheMu.Unlock()
+	if ok {
+		return r, nil
+	}
+	r, err := Run(rc)
+	if err != nil {
+		return nil, err
+	}
+	cacheMu.Lock()
+	cache[key] = r
+	cacheMu.Unlock()
+	return r, nil
+}
+
+// ClearCache drops all memoized results (tests use it for isolation).
+func ClearCache() {
+	cacheMu.Lock()
+	cache = map[cacheKey]*Result{}
+	cacheMu.Unlock()
+}

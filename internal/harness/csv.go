@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// WriteCSV regenerates every table and figure at the given seed and
+// writes one CSV file per experiment into dir (creating it), for
+// downstream plotting. File names: table1.csv, table3.csv, table4.csv,
+// figure7.csv, figure8.csv, lazy.csv.
+func WriteCSV(dir string, seed int64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f1 := func(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+	t1, err := Table1(seed)
+	if err != nil {
+		return err
+	}
+	rows := [][]string{{"benchmark", "speedup", "irrevocable_frac", "wasted_over_useful", "la", "lp"}}
+	for _, r := range t1 {
+		rows = append(rows, []string{r.Bench, f1(r.S), f1(r.PctI), f1(r.WU), yn(r.LA), yn(r.LP)})
+	}
+	if err := writeCSVFile(filepath.Join(dir, "table1.csv"), rows); err != nil {
+		return err
+	}
+
+	t3, err := Table3(seed)
+	if err != nil {
+		return err
+	}
+	rows = [][]string{{"benchmark", "ld_st", "anchors", "uops_per_txn", "anchors_per_txn", "exec_time_inc", "accuracy"}}
+	for _, r := range t3 {
+		rows = append(rows, []string{r.Bench, strconv.Itoa(r.LdSt), strconv.Itoa(r.Anchors),
+			f1(r.UopsPerTxn), f1(r.AnchorsPerTxn), f1(r.ExecTimeInc), f1(r.Accuracy)})
+	}
+	if err := writeCSVFile(filepath.Join(dir, "table3.csv"), rows); err != nil {
+		return err
+	}
+
+	t4, err := Table4(seed)
+	if err != nil {
+		return err
+	}
+	rows = [][]string{{"benchmark", "atomic_blocks", "tm_frac", "speedup", "aborts_per_commit", "contention"}}
+	for _, r := range t4 {
+		rows = append(rows, []string{r.Bench, strconv.Itoa(r.ABs), f1(r.PctTM), f1(r.S), f1(r.AbtsPerC), r.Contention})
+	}
+	if err := writeCSVFile(filepath.Join(dir, "table4.csv"), rows); err != nil {
+		return err
+	}
+
+	f7, err := Figure7(seed)
+	if err != nil {
+		return err
+	}
+	rows = [][]string{{"benchmark", "htm", "addronly", "staggered_sw", "staggered"}}
+	for _, r := range f7 {
+		rows = append(rows, []string{r.Bench, f1(r.HTM), f1(r.AddrOnly), f1(r.StagSW), f1(r.StagHW)})
+	}
+	if err := writeCSVFile(filepath.Join(dir, "figure7.csv"), rows); err != nil {
+		return err
+	}
+
+	f8, err := Figure8(seed)
+	if err != nil {
+		return err
+	}
+	rows = [][]string{{"benchmark", "htm_aborts_per_commit", "stag_aborts_per_commit", "htm_wasted_over_useful", "stag_wasted_over_useful"}}
+	for _, r := range f8 {
+		rows = append(rows, []string{r.Bench, f1(r.HTMAbortsPerCommit), f1(r.StagAbortsPerCommit),
+			f1(r.HTMWastedOverUseful), f1(r.StagWastedOverUseful)})
+	}
+	if err := writeCSVFile(filepath.Join(dir, "figure8.csv"), rows); err != nil {
+		return err
+	}
+
+	fl, err := FigureLazy(seed)
+	if err != nil {
+		return err
+	}
+	rows = [][]string{{"benchmark", "eager_base", "lazy_base", "stag_over_eager", "stag_over_lazy"}}
+	for _, r := range fl {
+		rows = append(rows, []string{r.Bench, f1(r.EagerBase), f1(r.LazyBase), f1(r.EagerStagg), f1(r.LazyStagg)})
+	}
+	return writeCSVFile(filepath.Join(dir, "lazy.csv"), rows)
+}
+
+func writeCSVFile(path string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}

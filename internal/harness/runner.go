@@ -1,0 +1,204 @@
+// Package harness runs the paper's experiments: one workload under one
+// system configuration per Run call, and table/figure generators that
+// sweep benchmarks and systems to regenerate every result in Section 6
+// of the paper.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/anchor"
+	"repro/internal/htm"
+	"repro/internal/stagger"
+	"repro/internal/workloads"
+)
+
+// RunConfig selects a single experiment cell.
+type RunConfig struct {
+	// Benchmark is the workload name (see workloads.Names).
+	Benchmark string
+	// Mode is the system under test (HTM / AddrOnly / Staggered+SW /
+	// Staggered).
+	Mode stagger.Mode
+	// Threads is the worker count (1..cores).
+	Threads int
+	// Seed drives all workload randomness.
+	Seed int64
+	// TotalOps overrides the workload's default operation count (0 =
+	// default).
+	TotalOps int
+	// Naive instruments every load/store instead of anchors only
+	// (Section 6.1's overhead comparison).
+	Naive bool
+	// Lazy switches the machine to lazy (commit-time, committer-wins)
+	// conflict detection — the lazy-TM extension the paper's conclusion
+	// proposes.
+	Lazy bool
+	// TraceN records the first N transaction events (begin/commit/abort)
+	// for diagnostics; 0 disables tracing.
+	TraceN int
+	// Machine optionally overrides the simulated machine configuration;
+	// nil uses the paper's Table 2 machine.
+	Machine *htm.Config
+	// Stagger optionally overrides the runtime configuration; nil uses
+	// the paper's parameters for the selected mode.
+	Stagger *stagger.Config
+}
+
+// Result is everything one run produces.
+type Result struct {
+	Config   RunConfig
+	Stats    htm.Stats
+	Metrics  stagger.Metrics
+	NumABs   int
+	TotalOps int
+
+	// Static instrumentation statistics from the compiler pass.
+	StaticAccesses, StaticAnchors int
+
+	// PerAB carries per-atomic-block policy aggregates (diagnostics).
+	PerAB map[int]*stagger.ABMetrics
+
+	// LA and LP report conflict locality: whether a single conflicting
+	// address (resp. anchor PC) dominates the run's conflicts (Table 1).
+	LA, LP bool
+
+	// Trace holds recorded transaction events when TraceN > 0.
+	Trace []htm.TraceEvent
+
+	// VerifyErr is non-nil if the workload's invariants failed.
+	VerifyErr error
+}
+
+// Makespan returns the simulated duration in cycles.
+func (r *Result) Makespan() uint64 { return r.Stats.Makespan }
+
+// AbortsPerCommit forwards the Table 4 metric.
+func (r *Result) AbortsPerCommit() float64 { return r.Stats.AbortsPerCommit() }
+
+// WastedOverUseful forwards the Table 1 metric.
+func (r *Result) WastedOverUseful() float64 { return r.Stats.WastedOverUseful() }
+
+// TMFraction returns the share of total cycles spent in transactional
+// mode (%TM of Table 4).
+func (r *Result) TMFraction() float64 {
+	var total uint64
+	for _, cs := range r.Stats.PerCore {
+		total += cs.FinalClock
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Stats.TxCycles()) / float64(total)
+}
+
+// UopsPerTxn returns mean transactional µ-ops per committed transaction.
+func (r *Result) UopsPerTxn() float64 {
+	if r.Stats.Commits == 0 {
+		return 0
+	}
+	return float64(r.Stats.TxUops) / float64(r.Stats.Commits)
+}
+
+// AnchorsPerTxn returns mean executed ALPs per committed transaction.
+func (r *Result) AnchorsPerTxn() float64 {
+	if r.Stats.Commits == 0 {
+		return 0
+	}
+	return float64(r.Metrics.ALPVisits) / float64(r.Stats.Commits)
+}
+
+// Run executes one experiment cell.
+func Run(rc RunConfig) (*Result, error) {
+	w, err := workloads.Get(rc.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	if rc.Threads <= 0 {
+		return nil, fmt.Errorf("harness: Threads must be positive")
+	}
+	if rc.TotalOps == 0 {
+		rc.TotalOps = w.TotalOps
+	}
+	if rc.Seed == 0 {
+		rc.Seed = 42
+	}
+
+	mcfg := htm.DefaultConfig()
+	if rc.Machine != nil {
+		mcfg = *rc.Machine
+	}
+	if rc.Threads > mcfg.Cores {
+		return nil, fmt.Errorf("harness: %d threads exceed %d cores", rc.Threads, mcfg.Cores)
+	}
+	mcfg.HardwareCPC = rc.Mode == stagger.ModeStaggeredHW
+	mcfg.Lazy = rc.Lazy
+	mcfg.Seed = rc.Seed
+
+	aopts := anchor.DefaultOptions()
+	aopts.PCBits = mcfg.PCTagBits
+	aopts.Naive = rc.Naive
+	comp := anchor.Compile(w.Mod, aopts)
+
+	mach := htm.New(mcfg)
+	if rc.TraceN > 0 {
+		mach.EnableTrace(rc.TraceN)
+	}
+	scfg := stagger.DefaultConfig(rc.Mode)
+	if rc.Stagger != nil {
+		scfg = *rc.Stagger
+		scfg.Mode = rc.Mode
+	}
+	rt := stagger.New(mach, comp, scfg)
+
+	w.Setup(mach, rc.Seed)
+	bodies := make([]func(*htm.Core), rc.Threads)
+	for tid := 0; tid < rc.Threads; tid++ {
+		n := splitOps(rc.TotalOps, rc.Threads, tid)
+		bodies[tid] = w.Body(rt, tid, rc.Threads, n, rc.Seed)
+	}
+	mach.Run(bodies)
+
+	res := &Result{
+		Config:         rc,
+		Stats:          mach.Stats(),
+		Metrics:        rt.Metrics,
+		NumABs:         len(w.Mod.Atomics),
+		TotalOps:       rc.TotalOps,
+		StaticAccesses: comp.StaticAccesses,
+		StaticAnchors:  comp.StaticAnchors,
+		VerifyErr:      w.Verify(mach, rc.Threads, rc.TotalOps),
+	}
+	res.LA, res.LP = rt.Locality()
+	res.PerAB = rt.PerAB()
+	res.Trace = mach.Trace()
+	return res, nil
+}
+
+func splitOps(total, threads, tid int) int {
+	n := total / threads
+	if tid < total%threads {
+		n++
+	}
+	return n
+}
+
+// Speedup runs the benchmark sequentially (1 thread, baseline HTM) and
+// in parallel under rc, returning parallel speedup over sequential.
+func Speedup(rc RunConfig) (float64, *Result, error) {
+	seq := rc
+	seq.Mode = stagger.ModeHTM
+	seq.Threads = 1
+	seqRes, err := Run(seq)
+	if err != nil {
+		return 0, nil, err
+	}
+	parRes, err := Run(rc)
+	if err != nil {
+		return 0, nil, err
+	}
+	if parRes.Makespan() == 0 {
+		return 0, parRes, fmt.Errorf("harness: zero makespan")
+	}
+	return float64(seqRes.Makespan()) / float64(parRes.Makespan()), parRes, nil
+}

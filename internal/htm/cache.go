@@ -1,0 +1,87 @@
+package htm
+
+import "repro/internal/mem"
+
+// l1cache models a set-associative L1 data cache with LRU replacement.
+// Each set is a small slice kept in MRU-first order. Lines that belong to
+// the owning core's speculative read/write set are pinned: evicting one
+// would lose transactional tracking, so the insert fails and the core
+// must take an overflow abort.
+type l1cache struct {
+	sets    [][]mem.Addr
+	setMask mem.Addr
+	ways    int
+}
+
+func newL1(lines, ways int) *l1cache {
+	nsets := lines / ways
+	if nsets&(nsets-1) != 0 {
+		panic("htm: L1 set count must be a power of two")
+	}
+	c := &l1cache{
+		sets:    make([][]mem.Addr, nsets),
+		setMask: mem.Addr(nsets - 1),
+		ways:    ways,
+	}
+	return c
+}
+
+func (c *l1cache) set(line mem.Addr) int {
+	return int((line / mem.LineSize) & c.setMask)
+}
+
+// hit looks the line up and refreshes its LRU position.
+func (c *l1cache) hit(line mem.Addr) bool {
+	s := c.sets[c.set(line)]
+	for i, l := range s {
+		if l == line {
+			copy(s[1:i+1], s[:i])
+			s[0] = line
+			return true
+		}
+	}
+	return false
+}
+
+// insert places the line at MRU, evicting the least recently used
+// non-pinned line if the set is full. It returns false when every way
+// holds a pinned line and the insertion is impossible.
+func (c *l1cache) insert(line mem.Addr, pinned func(mem.Addr) bool) bool {
+	idx := c.set(line)
+	s := c.sets[idx]
+	if len(s) < c.ways {
+		s = append(s, 0)
+		copy(s[1:], s)
+		s[0] = line
+		c.sets[idx] = s
+		return true
+	}
+	// Find the least recently used line that is not pinned.
+	for i := len(s) - 1; i >= 0; i-- {
+		if !pinned(s[i]) {
+			copy(s[1:i+1], s[:i])
+			s[0] = line
+			return true
+		}
+	}
+	return false
+}
+
+// invalidate drops the line if present (remote store took ownership).
+func (c *l1cache) invalidate(line mem.Addr) {
+	idx := c.set(line)
+	s := c.sets[idx]
+	for i, l := range s {
+		if l == line {
+			c.sets[idx] = append(s[:i], s[i+1:]...)
+			return
+		}
+	}
+}
+
+// reset discards all cached lines (used between simulation phases).
+func (c *l1cache) reset() {
+	for i := range c.sets {
+		c.sets[i] = c.sets[i][:0]
+	}
+}

@@ -1,0 +1,199 @@
+package htm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func line(i int) mem.Addr { return mem.Addr(0x100000 + i*64) }
+
+func TestL1HitAfterInsert(t *testing.T) {
+	c := newL1(16, 4)
+	if c.hit(line(1)) {
+		t.Fatal("phantom hit")
+	}
+	if !c.insert(line(1), func(mem.Addr) bool { return false }) {
+		t.Fatal("insert failed")
+	}
+	if !c.hit(line(1)) {
+		t.Fatal("miss after insert")
+	}
+}
+
+func TestL1LRUEviction(t *testing.T) {
+	c := newL1(16, 4) // 4 sets x 4 ways
+	nopin := func(mem.Addr) bool { return false }
+	// Four lines mapping to the same set (stride = nsets*64).
+	for i := 0; i < 4; i++ {
+		c.insert(line(i*4), nopin)
+	}
+	// Touch line 0 to make it MRU, then insert a fifth: line(4) (the LRU)
+	// must be the victim, line 0 must survive.
+	if !c.hit(line(0)) {
+		t.Fatal("expected hit")
+	}
+	c.insert(line(16), nopin)
+	if !c.hit(line(0)) {
+		t.Fatal("MRU line evicted")
+	}
+	if c.hit(line(4)) {
+		t.Fatal("LRU line survived")
+	}
+}
+
+func TestL1PinnedLinesSurvive(t *testing.T) {
+	c := newL1(16, 4)
+	pinned := map[mem.Addr]bool{line(0): true, line(4): true}
+	pin := func(l mem.Addr) bool { return pinned[l] }
+	for i := 0; i < 4; i++ {
+		c.insert(line(i*4), pin)
+	}
+	// Insert two more: evictions must skip the pinned lines.
+	c.insert(line(16), pin)
+	c.insert(line(20), pin)
+	if !c.hit(line(0)) || !c.hit(line(4)) {
+		t.Fatal("pinned line evicted")
+	}
+}
+
+func TestL1InsertFailsWhenAllPinned(t *testing.T) {
+	c := newL1(16, 4)
+	pin := func(mem.Addr) bool { return true }
+	for i := 0; i < 4; i++ {
+		if !c.insert(line(i*4), pin) {
+			t.Fatal("insert into non-full set failed")
+		}
+	}
+	if c.insert(line(16), pin) {
+		t.Fatal("insert succeeded with all ways pinned")
+	}
+}
+
+func TestL1Invalidate(t *testing.T) {
+	c := newL1(16, 4)
+	nopin := func(mem.Addr) bool { return false }
+	c.insert(line(3), nopin)
+	c.invalidate(line(3))
+	if c.hit(line(3)) {
+		t.Fatal("hit after invalidate")
+	}
+	c.invalidate(line(99)) // absent: must be a no-op
+}
+
+func TestL1Reset(t *testing.T) {
+	c := newL1(16, 4)
+	nopin := func(mem.Addr) bool { return false }
+	for i := 0; i < 8; i++ {
+		c.insert(line(i), nopin)
+	}
+	c.reset()
+	for i := 0; i < 8; i++ {
+		if c.hit(line(i)) {
+			t.Fatal("hit after reset")
+		}
+	}
+}
+
+// TestL1CapacityProperty: a set never exceeds its way count, whatever the
+// insertion sequence.
+func TestL1CapacityProperty(t *testing.T) {
+	f := func(seq []uint16) bool {
+		c := newL1(64, 8)
+		nopin := func(mem.Addr) bool { return false }
+		for _, v := range seq {
+			// Mirror the access path's contract: probe before insert.
+			if l := mem.LineOf(mem.Addr(v) * 64); !c.hit(l) {
+				c.insert(l, nopin)
+			}
+		}
+		for _, s := range c.sets {
+			if len(s) > 8 {
+				return false
+			}
+			seen := map[mem.Addr]bool{}
+			for _, l := range s {
+				if seen[l] {
+					return false // duplicate entries
+				}
+				seen[l] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewL1RejectsNonPowerOfTwoSets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	newL1(24, 4) // 6 sets
+}
+
+// TestDRAMChannelQueueing: back-to-back cold misses on the same channel
+// must queue, making the second slower than an uncontended miss.
+func TestDRAMChannelQueueing(t *testing.T) {
+	cfg := smallConfig(2)
+	m := New(cfg)
+	// Two lines on the same channel: channel = (line/64) % 2, so lines
+	// with even line-index share channel 0.
+	a := mem.Addr(0x200000) // line index even
+	b := mem.Addr(0x200080) // +2 lines: same channel
+	var lat1, lat0 uint64
+	m.Run([]func(*Core){
+		func(c *Core) {
+			t0 := c.Now()
+			c.NTLoad(a)
+			lat0 = c.Now() - t0
+		},
+		func(c *Core) {
+			// Arrive just after core 0's miss begins.
+			c.SpinWait(1, WaitBackoff)
+			t0 := c.Now()
+			c.NTLoad(b)
+			lat1 = c.Now() - t0
+		},
+	})
+	if lat0 != m.Config().MemLat {
+		t.Fatalf("first miss latency = %d, want %d", lat0, m.Config().MemLat)
+	}
+	if lat1 <= lat0 {
+		t.Fatalf("queued miss latency %d not above uncontended %d", lat1, lat0)
+	}
+}
+
+// TestStoreInvalidatesRemoteCaches: after a remote store, re-reading the
+// line costs more than an L1 hit.
+func TestStoreInvalidatesRemoteCaches(t *testing.T) {
+	m := New(smallConfig(2))
+	a := m.Alloc.AllocLines(1)
+	var warm, afterInval uint64
+	m.Run([]func(*Core){
+		func(c *Core) {
+			c.NTLoad(a) // warm the line
+			t0 := c.Now()
+			c.NTLoad(a)
+			warm = c.Now() - t0
+			c.SpinWait(1000, WaitBackoff) // let core 1 store
+			t0 = c.Now()
+			c.NTLoad(a)
+			afterInval = c.Now() - t0
+		},
+		func(c *Core) {
+			c.SpinWait(500, WaitBackoff)
+			c.Store(0x10, 1, a, 42)
+		},
+	})
+	if warm != m.Config().L1Lat {
+		t.Fatalf("warm hit latency = %d, want %d", warm, m.Config().L1Lat)
+	}
+	if afterInval <= warm {
+		t.Fatalf("post-invalidation latency %d not above L1 hit %d", afterInval, warm)
+	}
+}

@@ -1,0 +1,396 @@
+package htm
+
+import (
+	"math/rand"
+
+	"repro/internal/mem"
+)
+
+// txLine records, for a line in the core's speculative set, the first
+// transactional access: its full PC and static site, plus whether the
+// line has been written. This models the per-line tx bits and the 12-bit
+// PC tag the paper adds to the L1 (Section 4).
+type txLine struct {
+	pc    uint64
+	site  uint32
+	wrote bool
+}
+
+// Core is one simulated hardware thread. A Core must only be used by the
+// thread body it was handed to by Machine.Run; the engine guarantees that
+// only one core executes between synchronization points, so no locking is
+// needed anywhere in the access paths.
+type Core struct {
+	m     *Machine
+	id    int
+	clock uint64
+	stats CoreStats
+	l1    *l1cache
+	l2    map[mem.Addr]struct{}
+	rng   *rand.Rand
+
+	inTx         bool
+	inAttempt    bool
+	pendingAbort *AbortInfo
+	writeBuf     map[mem.Addr]uint64
+	txLines      map[mem.Addr]*txLine
+	attemptStart uint64
+	attemptWait  uint64
+}
+
+func newCore(m *Machine, id int) *Core {
+	return &Core{
+		m:        m,
+		id:       id,
+		l1:       newL1(m.cfg.L1Lines, m.cfg.L1Ways),
+		l2:       make(map[mem.Addr]struct{}),
+		rng:      rand.New(rand.NewSource(m.cfg.Seed*2654435761 + int64(id)*40503 + 7)),
+		writeBuf: make(map[mem.Addr]uint64),
+		txLines:  make(map[mem.Addr]*txLine),
+	}
+}
+
+// ID returns the core's index.
+func (c *Core) ID() int { return c.id }
+
+// Now returns the core's virtual clock in cycles.
+func (c *Core) Now() uint64 { return c.clock }
+
+// Machine returns the owning machine.
+func (c *Core) Machine() *Machine { return c.m }
+
+// InTx reports whether a hardware transaction is active.
+func (c *Core) InTx() bool { return c.inTx }
+
+// Stats exposes the core's counters (read-only use expected).
+func (c *Core) Stats() *CoreStats { return &c.stats }
+
+func (c *Core) l2Has(line mem.Addr) bool {
+	_, ok := c.l2[line]
+	return ok
+}
+
+func (c *Core) l2Add(line mem.Addr) { c.l2[line] = struct{}{} }
+
+// event serializes a globally visible action at the core's current clock
+// and delivers any pending remote abort before the action executes.
+func (c *Core) event() {
+	c.m.eng.sync(c.id, c.clock)
+	if c.pendingAbort != nil {
+		info := *c.pendingAbort
+		c.pendingAbort = nil
+		if c.inTx {
+			c.finishAbort(info)
+			panic(txAbort{info})
+		}
+	}
+}
+
+func (c *Core) countUop() {
+	c.stats.Uops++
+	if c.inTx {
+		c.stats.TxUops++
+	}
+}
+
+// Compute models n µ-ops of non-memory work. It advances the local clock
+// only; it never synchronizes, so a conflicting abort is delivered at the
+// next memory event.
+func (c *Core) Compute(uops int) {
+	if uops <= 0 {
+		return
+	}
+	c.stats.Uops += uint64(uops)
+	if c.inTx {
+		c.stats.TxUops += uint64(uops)
+	}
+	w := uint64(c.m.cfg.IssueWidth)
+	c.clock += (uint64(uops) + w - 1) / w
+}
+
+// SpinWait models stalled cycles of the given kind, then yields to the
+// engine so lower-timestamp cores can make progress.
+func (c *Core) SpinWait(cycles uint64, kind WaitKind) {
+	c.stats.WaitCycles[kind] += cycles
+	if c.inAttempt {
+		c.attemptWait += cycles
+	}
+	c.clock += cycles
+	c.event()
+}
+
+// TxBegin starts a hardware transaction (speculate). Transactions do not
+// nest.
+func (c *Core) TxBegin() {
+	if c.inTx {
+		panic("htm: nested TxBegin")
+	}
+	c.pendingAbort = nil
+	c.inTx = true
+	c.inAttempt = true
+	c.attemptStart = c.clock
+	c.attemptWait = 0
+	c.recordBegin()
+	c.clock += c.m.cfg.TxBeginCost
+}
+
+// TxCommit commits the active transaction, making its speculative writes
+// visible atomically. The caller (runtime) is responsible for subscribing
+// to the global lock beforehand if it uses a lock-based fallback.
+func (c *Core) TxCommit() {
+	if !c.inTx {
+		panic("htm: TxCommit outside transaction")
+	}
+	c.event()
+	if c.m.cfg.Lazy {
+		c.lazyResolve()
+	}
+	for a, v := range c.writeBuf {
+		c.m.Mem.Store(a, v)
+	}
+	c.clock += c.m.cfg.TxCommitCost
+	c.stats.Commits++
+	c.stats.UsefulTxCycles += c.clock - c.attemptStart - c.attemptWait
+	c.recordCommit()
+	c.clearTx()
+}
+
+// TxAbortExplicit aborts the active transaction from software (xabort).
+func (c *Core) TxAbortExplicit() {
+	if !c.inTx {
+		panic("htm: TxAbortExplicit outside transaction")
+	}
+	c.abortSelf(AbortInfo{Reason: AbortExplicit, ByCore: c.id})
+}
+
+// abortSelf finalizes an abort initiated by this core's own execution
+// (overflow, explicit, lock-held) and unwinds to the retry loop.
+func (c *Core) abortSelf(info AbortInfo) {
+	c.finishAbort(info)
+	panic(txAbort{info})
+}
+
+// finishAbort accounts an aborted attempt and discards speculative state.
+func (c *Core) finishAbort(info AbortInfo) {
+	c.stats.Aborts[info.Reason]++
+	c.stats.WastedTxCycles += c.clock - c.attemptStart - c.attemptWait
+	c.recordAbort(info)
+	c.clearTx()
+}
+
+// clearTx discards speculative state and releases directory presence.
+func (c *Core) clearTx() {
+	for line := range c.txLines {
+		if e, ok := c.m.dir[line]; ok {
+			e.readers &^= 1 << uint(c.id)
+			e.writers &^= 1 << uint(c.id)
+		}
+	}
+	clear(c.txLines)
+	clear(c.writeBuf)
+	c.inTx = false
+	c.inAttempt = false
+}
+
+// abortRemote kills the transaction of core v because of a conflicting
+// access to line by core c. Requester wins: v's directory presence is
+// removed immediately; v observes the abort at its next event.
+func (c *Core) abortRemote(v *Core, line mem.Addr) {
+	if !v.inTx || v.pendingAbort != nil {
+		// Already doomed; just make sure its presence is gone.
+		c.stripDir(v)
+		return
+	}
+	info := AbortInfo{
+		Reason:   AbortConflict,
+		ConfAddr: line,
+		ByCore:   c.id,
+	}
+	if tl, ok := v.txLines[line]; ok {
+		info.TrueSite = tl.site
+		if c.m.cfg.HardwareCPC {
+			info.ConfPC = tl.pc & c.m.cfg.pcMask()
+			info.HasPC = true
+		}
+	}
+	v.pendingAbort = &info
+	c.stripDir(v)
+}
+
+// stripDir removes core v's speculative presence from the directory.
+func (c *Core) stripDir(v *Core) {
+	for line := range v.txLines {
+		if e, ok := c.m.dir[line]; ok {
+			e.readers &^= 1 << uint(v.id)
+			e.writers &^= 1 << uint(v.id)
+		}
+	}
+}
+
+// abortMask aborts every core named in mask other than c itself.
+func (c *Core) abortMask(mask uint32, line mem.Addr) {
+	mask &^= 1 << uint(c.id)
+	for id := 0; mask != 0; id++ {
+		if mask&(1<<uint(id)) != 0 {
+			mask &^= 1 << uint(id)
+			c.abortRemote(c.m.cores[id], line)
+		}
+	}
+}
+
+// record notes the first transactional access to a line.
+func (c *Core) record(line mem.Addr, pc uint64, site uint32, wrote bool) *txLine {
+	tl, ok := c.txLines[line]
+	if !ok {
+		tl = &txLine{pc: pc, site: site}
+		c.txLines[line] = tl
+	}
+	if wrote {
+		tl.wrote = true
+	}
+	return tl
+}
+
+// Load performs a load at program counter pc from static site, reading
+// the word at address a. Inside a transaction the access is speculative;
+// outside it is an ordinary coherent load.
+func (c *Core) Load(pc uint64, site uint32, a mem.Addr) uint64 {
+	c.countUop()
+	c.stats.Loads++
+	line := mem.LineOf(a)
+	c.event()
+	e := c.m.entry(line)
+	if !c.m.cfg.Lazy || !c.inTx {
+		// Eager requester-wins (and any non-speculative read): reading a
+		// line another core has speculatively written aborts the writer.
+		c.abortMask(e.writers, line)
+	}
+	if c.inTx {
+		e.readers |= 1 << uint(c.id)
+		c.record(line, pc, site, false)
+	}
+	c.clock += c.m.lookupLatency(c, line)
+	if c.inTx {
+		if v, ok := c.writeBuf[mem.WordOf(a)]; ok {
+			return v
+		}
+	}
+	return c.m.Mem.Load(a)
+}
+
+// Store performs a store at program counter pc from static site, writing
+// v to the word at address a. Inside a transaction the write is buffered
+// until commit; outside it updates memory immediately.
+func (c *Core) Store(pc uint64, site uint32, a mem.Addr, v uint64) {
+	c.countUop()
+	c.stats.Stores++
+	line := mem.LineOf(a)
+	c.event()
+	e := c.m.entry(line)
+	if !c.m.cfg.Lazy || !c.inTx {
+		// Eager mode (and any non-speculative store): a store conflicts
+		// with every other speculative reader or writer, requester wins.
+		c.abortMask(e.writers|e.readers, line)
+	}
+	if !c.inTx || !c.m.cfg.Lazy {
+		// Lazy speculative stores stay private until commit: no RFO yet.
+		c.m.invalidateOthers(line, c.id)
+	}
+	c.clock += c.m.lookupLatency(c, line)
+	if c.inTx {
+		e.readers |= 1 << uint(c.id)
+		e.writers |= 1 << uint(c.id)
+		c.record(line, pc, site, true)
+		c.writeBuf[mem.WordOf(a)] = v
+		return
+	}
+	c.m.Mem.Store(a, v)
+}
+
+// NTLoad performs a nontransactional load: it reads committed memory and
+// joins no speculative set, so remote stores to the location cannot abort
+// this core. Speculative writes by other cores are buffered until their
+// commit and thus invisible; the load is serviced from the committed copy
+// without disturbing the writer (lazy versioning, eager conflict
+// detection — the combination our ASF variant models).
+func (c *Core) NTLoad(a mem.Addr) uint64 {
+	c.countUop()
+	c.stats.NTLoads++
+	line := mem.LineOf(a)
+	c.event()
+	c.clock += c.m.lookupLatency(c, line)
+	return c.m.Mem.Load(a)
+}
+
+// NTStore performs an immediate nontransactional store (ASF-style): the
+// write is globally visible at once, survives an abort of the enclosing
+// transaction, and joins no speculative set. If other cores hold the line
+// transactionally, they abort (their speculation has read or written data
+// this store invalidates).
+func (c *Core) NTStore(a mem.Addr, v uint64) {
+	c.countUop()
+	c.stats.NTStores++
+	c.ntStoreConflicts(a)
+	c.m.invalidateOthers(mem.LineOf(a), c.id)
+	c.clock += c.m.lookupLatency(c, mem.LineOf(a))
+	c.m.Mem.Store(a, v)
+}
+
+// NTCas performs a nontransactional compare-and-swap as a single memory
+// event, returning whether the swap happened. It is the primitive used to
+// build advisory locks and the irrevocable global lock.
+func (c *Core) NTCas(a mem.Addr, old, new uint64) bool {
+	c.countUop()
+	c.stats.NTLoads++
+	c.stats.NTStores++
+	c.ntStoreConflicts(a)
+	c.m.invalidateOthers(mem.LineOf(a), c.id)
+	c.clock += c.m.lookupLatency(c, mem.LineOf(a))
+	if c.m.Mem.Load(a) != old {
+		return false
+	}
+	c.m.Mem.Store(a, new)
+	return true
+}
+
+// ntStoreConflicts synchronizes and aborts every remote transaction that
+// holds the target line speculatively.
+func (c *Core) ntStoreConflicts(a mem.Addr) {
+	line := mem.LineOf(a)
+	c.event()
+	e, ok := c.m.dir[line]
+	if !ok {
+		return
+	}
+	c.abortMask(e.writers|e.readers, line)
+}
+
+// lazyResolve implements commit-time committer-wins conflict resolution:
+// the committing transaction aborts every other transaction whose
+// speculative sets intersect its write set, then publishes. Lines are
+// visited in address order so victim selection — and therefore the whole
+// simulation — stays deterministic.
+func (c *Core) lazyResolve() {
+	var written []mem.Addr
+	for line, tl := range c.txLines {
+		if tl.wrote {
+			written = append(written, line)
+		}
+	}
+	sortAddrs(written)
+	for _, line := range written {
+		if e, ok := c.m.dir[line]; ok {
+			c.abortMask(e.writers|e.readers, line)
+		}
+		// Publishing takes ownership: remote caches lose the line.
+		c.m.invalidateOthers(line, c.id)
+	}
+}
+
+func sortAddrs(a []mem.Addr) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package htm
+
+// The engine serializes all globally visible events of the simulated
+// cores by virtual time. Exactly one core goroutine runs at any moment:
+// a single logical token is handed from core to core, always to the
+// runnable core with the smallest virtual clock (ties broken by core ID).
+// Compute-only work advances a core's local clock without involving the
+// engine, so the handshake cost is paid only on memory events.
+//
+// The token discipline means engine state needs no mutex: every field is
+// only touched by the token holder, and the wake channels provide the
+// happens-before edges between consecutive holders.
+
+type engine struct {
+	time    []uint64
+	done    []bool
+	wake    []chan struct{}
+	pending int
+	allDone chan struct{}
+}
+
+func newEngine(n int) *engine {
+	e := &engine{
+		time:    make([]uint64, n),
+		done:    make([]bool, n),
+		wake:    make([]chan struct{}, n),
+		pending: n,
+		allDone: make(chan struct{}),
+	}
+	for i := range e.wake {
+		e.wake[i] = make(chan struct{}, 1)
+	}
+	return e
+}
+
+// min returns the non-done core with the smallest virtual time, or -1.
+func (e *engine) min() int {
+	best := -1
+	for i := range e.time {
+		if e.done[i] {
+			continue
+		}
+		if best == -1 || e.time[i] < e.time[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// sync is called by core id (the token holder) when its clock has reached
+// t and it is about to perform a globally visible event. It returns when
+// the core is again the minimum-time runnable core, possibly after handing
+// the token around; on return the caller may perform its event atomically.
+func (e *engine) sync(id int, t uint64) {
+	e.time[id] = t
+	next := e.min()
+	if next == id {
+		return
+	}
+	e.wake[next] <- struct{}{}
+	<-e.wake[id]
+}
+
+// finish is called by core id when its thread body has returned. The token
+// passes to the next runnable core, or the simulation completes.
+func (e *engine) finish(id int, t uint64) {
+	e.time[id] = t
+	e.done[id] = true
+	e.pending--
+	if e.pending == 0 {
+		close(e.allDone)
+		return
+	}
+	e.wake[e.min()] <- struct{}{}
+}
+
+// start launches the simulation by granting the token to the minimum-time
+// core. Call after every core goroutine is blocked on its wake channel.
+func (e *engine) start() {
+	e.wake[e.min()] <- struct{}{}
+}
+
+// waitAll blocks until every registered core has finished.
+func (e *engine) waitAll() { <-e.allDone }

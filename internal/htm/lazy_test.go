@@ -1,0 +1,219 @@
+package htm
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func lazyConfig(cores int) Config {
+	cfg := DefaultConfig()
+	cfg.Cores = cores
+	cfg.Lazy = true
+	return cfg
+}
+
+// TestLazyCommitterWins: with lazy detection, two overlapping writers
+// both proceed; the first to COMMIT wins and the other aborts at its
+// next event — the inverse of eager requester-wins victim selection.
+func TestLazyCommitterWins(t *testing.T) {
+	m := New(lazyConfig(2))
+	a := m.Alloc.AllocLines(1)
+	var victim AbortInfo
+	aborted := -1
+	m.Run([]func(*Core){
+		func(c *Core) { // writes first, commits LAST -> loses
+			func() {
+				defer func() {
+					if ta, ok := recover().(txAbort); ok {
+						victim = ta.info
+						aborted = 0
+					}
+				}()
+				c.TxBegin()
+				c.Store(0x111, 5, a, 1)
+				for i := 0; i < 60; i++ {
+					c.SpinWait(100, WaitBackoff)
+				}
+				c.TxCommit()
+			}()
+		},
+		func(c *Core) { // writes second, commits FIRST -> wins
+			c.SpinWait(500, WaitBackoff)
+			c.TxBegin()
+			c.Store(0x222, 6, a, 2)
+			c.TxCommit()
+		},
+	})
+	if aborted != 0 {
+		t.Fatalf("late committer should have aborted core 0 (aborted=%d)", aborted)
+	}
+	if victim.Reason != AbortConflict || victim.ConfAddr != mem.LineOf(a) {
+		t.Fatalf("victim info %+v", victim)
+	}
+	if got := m.Mem.Load(a); got != 2 {
+		t.Fatalf("memory = %d, want committer's 2", got)
+	}
+}
+
+// TestLazyNoAbortBeforeCommit: speculative access overlap alone must not
+// abort anyone under lazy detection.
+func TestLazyNoAbortBeforeCommit(t *testing.T) {
+	m := New(lazyConfig(2))
+	a := m.Alloc.AllocLines(1)
+	sawEarlyAbort := false
+	m.Run([]func(*Core){
+		func(c *Core) {
+			c.TxBegin()
+			c.Store(0x100, 1, a, 1)
+			// Give core 1 time to write the same line speculatively.
+			for i := 0; i < 10; i++ {
+				c.SpinWait(50, WaitBackoff)
+				if c.pendingAbort != nil {
+					sawEarlyAbort = true
+				}
+			}
+			c.TxCommit() // first commit: wins
+		},
+		func(c *Core) {
+			c.SpinWait(120, WaitBackoff)
+			func() {
+				defer func() { recover() }()
+				c.TxBegin()
+				c.Store(0x200, 2, a, 2)
+				for i := 0; i < 30; i++ {
+					c.SpinWait(50, WaitBackoff)
+				}
+				c.TxCommit()
+			}()
+		},
+	})
+	if sawEarlyAbort {
+		t.Fatal("lazy mode aborted a transaction before any commit")
+	}
+	s := m.Stats()
+	if s.Aborts[AbortConflict] != 1 {
+		t.Fatalf("conflict aborts = %d, want exactly 1 (at commit)", s.Aborts[AbortConflict])
+	}
+}
+
+// TestLazyAtomicCounter: atomicity holds under lazy resolution with the
+// full retry loop.
+func TestLazyAtomicCounter(t *testing.T) {
+	const threads, incs = 8, 40
+	m := New(lazyConfig(threads))
+	a := m.Alloc.AllocLines(1)
+	bodies := make([]func(*Core), threads)
+	for i := range bodies {
+		bodies[i] = func(c *Core) {
+			for k := 0; k < incs; k++ {
+				c.Atomic(DefaultAtomicOpts(), TxHooks{}, func(c *Core) {
+					v := c.Load(0x100, 1, a)
+					c.Compute(150)
+					c.Store(0x104, 2, a, v+1)
+				})
+			}
+		}
+	}
+	m.Run(bodies)
+	if got := m.Mem.Load(a); got != threads*incs {
+		t.Fatalf("counter = %d, want %d", got, threads*incs)
+	}
+}
+
+// TestLazyReadersSurviveUncommittedWriter: a speculative writer that
+// eventually ABORTS must never disturb concurrent readers.
+func TestLazyReadersSurviveUncommittedWriter(t *testing.T) {
+	m := New(lazyConfig(2))
+	a := m.Alloc.AllocLines(1)
+	m.Mem.Store(a, 7)
+	readerOK := false
+	m.Run([]func(*Core){
+		func(c *Core) {
+			c.TxBegin()
+			if c.Load(0x100, 1, a) != 7 {
+				t.Error("reader saw speculative value")
+			}
+			for i := 0; i < 20; i++ {
+				c.SpinWait(50, WaitBackoff)
+			}
+			c.TxCommit()
+			readerOK = true
+		},
+		func(c *Core) {
+			c.SpinWait(100, WaitBackoff)
+			func() {
+				defer func() { recover() }()
+				c.TxBegin()
+				c.Store(0x200, 2, a, 99)
+				c.TxAbortExplicit()
+			}()
+		},
+	})
+	if !readerOK {
+		t.Fatal("reader aborted despite writer never committing")
+	}
+	if m.Mem.Load(a) != 7 {
+		t.Fatal("aborted writer leaked")
+	}
+}
+
+// TestLazyDeterminism: lazy-mode simulations repeat bit-identically.
+func TestLazyDeterminism(t *testing.T) {
+	run := func() Stats {
+		m := New(lazyConfig(4))
+		a := m.Alloc.AllocLines(1)
+		bodies := make([]func(*Core), 4)
+		for i := range bodies {
+			bodies[i] = func(c *Core) {
+				for k := 0; k < 25; k++ {
+					c.Atomic(DefaultAtomicOpts(), TxHooks{}, func(c *Core) {
+						v := c.Load(0x100, 1, a)
+						c.Compute(200)
+						c.Store(0x104, 2, a, v+1)
+					})
+				}
+			}
+		}
+		m.Run(bodies)
+		return m.Stats()
+	}
+	s1, s2 := run(), run()
+	if s1.Makespan != s2.Makespan || s1.TotalAborts() != s2.TotalAborts() {
+		t.Fatalf("lazy mode nondeterministic: %d/%d vs %d/%d",
+			s1.Makespan, s1.TotalAborts(), s2.Makespan, s2.TotalAborts())
+	}
+}
+
+// TestLazyMultipleSpeculativeWriters: several cores may hold the same
+// line in their write sets simultaneously; exactly one survives.
+func TestLazyMultipleSpeculativeWriters(t *testing.T) {
+	const threads = 4
+	m := New(lazyConfig(threads))
+	a := m.Alloc.AllocLines(1)
+	committed := 0
+	bodies := make([]func(*Core), threads)
+	for i := range bodies {
+		tid := i
+		bodies[i] = func(c *Core) {
+			func() {
+				defer func() { recover() }()
+				c.TxBegin()
+				c.Store(0x100+uint64(tid), uint32(tid+1), a, uint64(tid+100))
+				for k := 0; k < 10+tid*3; k++ {
+					c.SpinWait(40, WaitBackoff)
+				}
+				c.TxCommit()
+				committed++
+			}()
+		}
+	}
+	m.Run(bodies)
+	if committed == 0 {
+		t.Fatal("nobody committed")
+	}
+	v := m.Mem.Load(a)
+	if v < 100 || v >= 100+threads {
+		t.Fatalf("memory = %d, want one writer's value", v)
+	}
+}

@@ -1,0 +1,217 @@
+package htm
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// dirEntry tracks which cores hold a line in their speculative read/write
+// sets. It is the simulator's stand-in for the transactional bits the
+// MOESI directory would observe.
+type dirEntry struct {
+	readers uint32 // bitmask of cores with the line in their tx read set
+	writers uint32 // bitmask of cores with the line in their tx write set
+	// (eager mode keeps at most one writer by construction; lazy mode
+	// allows several until commit resolves them)
+}
+
+// Machine is a simulated multicore with best-effort HTM.
+//
+// Construct one with New, allocate and initialize simulated data through
+// Mem and Alloc, then call Run with one body per thread. Machines are
+// single-use: after Run returns, read the statistics and discard.
+type Machine struct {
+	cfg   Config
+	Mem   *mem.Memory
+	Alloc *mem.Allocator
+
+	eng   *engine
+	cores []*Core
+
+	dir map[mem.Addr]*dirEntry
+	l3  map[mem.Addr]struct{}
+
+	// memBusy models per-channel DRAM occupancy (cycle when each channel
+	// becomes free again).
+	memBusy []uint64
+
+	// GlobalLock is the address of the irrevocable-mode global lock word.
+	GlobalLock mem.Addr
+
+	trace *traceBuf
+	ran   bool
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) *Machine {
+	cfg.validate()
+	m := &Machine{
+		cfg: cfg,
+		Mem: mem.New(),
+		dir: make(map[mem.Addr]*dirEntry),
+		l3:  make(map[mem.Addr]struct{}),
+	}
+	m.Alloc = mem.NewAllocator(mem.Addr(cfg.HeapBase), cfg.HeapSize)
+	m.memBusy = make([]uint64, cfg.MemChannels)
+	// The global lock lives on its own line so subscribing to it never
+	// falsely conflicts with application data.
+	m.GlobalLock = m.Alloc.AllocLines(1)
+	m.cores = make([]*Core, cfg.Cores)
+	for i := range m.cores {
+		m.cores[i] = newCore(m, i)
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Core returns core i for inspection; during Run, each thread body
+// receives its own core and must not touch others.
+func (m *Machine) Core(i int) *Core { return m.cores[i] }
+
+// entry returns the directory entry for a line, creating it on demand.
+func (m *Machine) entry(line mem.Addr) *dirEntry {
+	e, ok := m.dir[line]
+	if !ok {
+		e = &dirEntry{}
+		m.dir[line] = e
+	}
+	return e
+}
+
+// Run executes one body per simulated thread, thread i on core i, and
+// blocks until all bodies return. It panics if more bodies than cores are
+// supplied or if the machine has already run.
+func (m *Machine) Run(bodies []func(c *Core)) {
+	if m.ran {
+		panic("htm: Machine.Run called twice")
+	}
+	m.ran = true
+	if len(bodies) == 0 {
+		return
+	}
+	if len(bodies) > len(m.cores) {
+		panic(fmt.Sprintf("htm: %d thread bodies for %d cores", len(bodies), len(m.cores)))
+	}
+	m.eng = newEngine(len(bodies))
+	panics := make([]any, len(bodies))
+	for i, body := range bodies {
+		c := m.cores[i]
+		go func(c *Core, body func(*Core)) {
+			// A panicking body must still hand back the token, or the
+			// other cores (and Run's caller) would hang; the panic value
+			// is re-raised in the caller's goroutine below.
+			defer func() {
+				if r := recover(); r != nil {
+					panics[c.id] = r
+					if c.inTx {
+						c.clearTx()
+					}
+				}
+				c.stats.FinalClock = c.clock
+				m.eng.finish(c.id, c.clock)
+			}()
+			<-m.eng.wake[c.id] // wait for the engine to grant the first turn
+			body(c)
+			if c.inTx {
+				panic("htm: thread body returned inside a transaction")
+			}
+		}(c, body)
+	}
+	m.eng.start()
+	m.eng.waitAll()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
+
+// Stats aggregates per-core statistics after Run.
+func (m *Machine) Stats() Stats {
+	var s Stats
+	s.PerCore = make([]CoreStats, len(m.cores))
+	for i, c := range m.cores {
+		s.PerCore[i] = c.stats
+		s.add(&c.stats)
+	}
+	return s
+}
+
+// lookupLatency classifies a memory access by core c to the given line and
+// returns its latency, updating the cache models. Speculative lines already
+// in the core's read/write sets are pinned in L1; if an insertion would
+// have to evict one, the core takes a capacity (overflow) abort.
+func (m *Machine) lookupLatency(c *Core, line mem.Addr) uint64 {
+	if c.l1.hit(line) {
+		c.stats.L1Hits++
+		return m.cfg.L1Lat
+	}
+	var lat uint64
+	switch {
+	case m.transferNeeded(c, line):
+		c.stats.L3Hits++ // cache-to-cache transfer, L3-class latency
+		lat = m.cfg.L3Lat
+	case c.l2Has(line):
+		c.stats.L2Hits++
+		lat = m.cfg.L2Lat
+	default:
+		if _, ok := m.l3[line]; ok {
+			c.stats.L3Hits++
+			lat = m.cfg.L3Lat
+		} else {
+			c.stats.MemAccesses++
+			lat = m.dramLatency(c, line)
+			m.l3[line] = struct{}{}
+		}
+	}
+	c.l2Add(line)
+	if !c.l1.insert(line, func(l mem.Addr) bool {
+		_, isTx := c.txLines[l]
+		return isTx
+	}) {
+		// Every way in the set already holds a speculative line: the new
+		// line cannot be cached without losing transactional tracking.
+		c.abortSelf(AbortInfo{Reason: AbortOverflow, ByCore: c.id})
+	}
+	return lat
+}
+
+// transferNeeded reports whether another core holds the line dirty in its
+// speculative write set (modeled as requiring a cache-to-cache transfer).
+func (m *Machine) transferNeeded(c *Core, line mem.Addr) bool {
+	e, ok := m.dir[line]
+	return ok && e.writers&^(1<<uint(c.id)) != 0
+}
+
+// invalidateOthers models the coherence invalidation a store's
+// read-for-ownership broadcasts: every other core loses its cached copy
+// of the line, so its next access pays a transfer/L3-class latency. This
+// is what makes writer-bounced lines (list cells, queue heads, statistics
+// words) genuinely expensive to re-read.
+func (m *Machine) invalidateOthers(line mem.Addr, except int) {
+	for _, o := range m.cores {
+		if o.id == except {
+			continue
+		}
+		o.l1.invalidate(line)
+		delete(o.l2, line)
+	}
+}
+
+// dramLatency queues the access behind the line's memory channel: the
+// access starts when the channel frees up and occupies it for
+// MemOccupancy cycles, so concurrent misses from many cores serialize on
+// the two channels — the bandwidth wall that keeps memory-bound kernels
+// from scaling linearly.
+func (m *Machine) dramLatency(c *Core, line mem.Addr) uint64 {
+	ch := int((uint64(line) / mem.LineSize) % uint64(len(m.memBusy)))
+	start := c.clock
+	if m.memBusy[ch] > start {
+		start = m.memBusy[ch]
+	}
+	m.memBusy[ch] = start + m.cfg.MemOccupancy
+	return (start - c.clock) + m.cfg.MemLat
+}

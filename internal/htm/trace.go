@@ -1,0 +1,122 @@
+package htm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mem"
+)
+
+// TraceEvent is one recorded simulation event. Tracing is optional (off
+// by default); when enabled via Machine.EnableTrace, the machine records
+// transaction begins, commits, and aborts with their virtual times,
+// giving a complete, deterministic timeline for debugging contention
+// pathologies (which transaction killed which, where, and when).
+type TraceEvent struct {
+	Time uint64
+	Core int
+	Kind TraceKind
+
+	// Abort events carry the abort details.
+	Reason   AbortReason
+	ConfAddr mem.Addr
+	ConfPC   uint64
+	ByCore   int
+}
+
+// TraceKind classifies trace events.
+type TraceKind uint8
+
+const (
+	// TraceBegin marks a transaction attempt starting.
+	TraceBegin TraceKind = iota
+	// TraceCommit marks a successful commit.
+	TraceCommit
+	// TraceAbort marks an aborted attempt.
+	TraceAbort
+)
+
+// String implements fmt.Stringer.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceBegin:
+		return "begin"
+	case TraceCommit:
+		return "commit"
+	case TraceAbort:
+		return "abort"
+	default:
+		return fmt.Sprintf("TraceKind(%d)", uint8(k))
+	}
+}
+
+// EnableTrace turns on event recording, bounded to at most limit events
+// (0 = unlimited). Call before Run.
+func (m *Machine) EnableTrace(limit int) {
+	m.trace = &traceBuf{limit: limit}
+}
+
+// Trace returns the recorded events in execution order — the order the
+// engine's token visited them, which is monotone per core but not
+// globally sorted by virtual time (a begin records mid-segment). Empty
+// when tracing was not enabled.
+func (m *Machine) Trace() []TraceEvent {
+	if m.trace == nil {
+		return nil
+	}
+	return m.trace.events
+}
+
+// FormatTrace renders events as one line each, for dumps and tests.
+func FormatTrace(events []TraceEvent) string {
+	var b strings.Builder
+	for _, e := range events {
+		switch e.Kind {
+		case TraceAbort:
+			fmt.Fprintf(&b, "%10d core%-2d %-6s %-9s addr=%#x pc=%#x by=core%d\n",
+				e.Time, e.Core, e.Kind, e.Reason, uint64(e.ConfAddr), e.ConfPC, e.ByCore)
+		default:
+			fmt.Fprintf(&b, "%10d core%-2d %-6s\n", e.Time, e.Core, e.Kind)
+		}
+	}
+	return b.String()
+}
+
+type traceBuf struct {
+	events []TraceEvent
+	limit  int
+}
+
+func (t *traceBuf) add(e TraceEvent) {
+	if t == nil {
+		return
+	}
+	if t.limit > 0 && len(t.events) >= t.limit {
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// recordBegin/recordCommit/recordAbort are called from the transaction
+// paths; they are no-ops unless tracing is enabled.
+func (c *Core) recordBegin() {
+	if c.m.trace != nil {
+		c.m.trace.add(TraceEvent{Time: c.clock, Core: c.id, Kind: TraceBegin})
+	}
+}
+
+func (c *Core) recordCommit() {
+	if c.m.trace != nil {
+		c.m.trace.add(TraceEvent{Time: c.clock, Core: c.id, Kind: TraceCommit})
+	}
+}
+
+func (c *Core) recordAbort(info AbortInfo) {
+	if c.m.trace != nil {
+		c.m.trace.add(TraceEvent{
+			Time: c.clock, Core: c.id, Kind: TraceAbort,
+			Reason: info.Reason, ConfAddr: info.ConfAddr,
+			ConfPC: info.ConfPC, ByCore: info.ByCore,
+		})
+	}
+}

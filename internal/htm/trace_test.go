@@ -1,0 +1,101 @@
+package htm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceRecordsLifecycle(t *testing.T) {
+	m := New(smallConfig(2))
+	m.EnableTrace(0)
+	a := m.Alloc.AllocLines(1)
+	bodies := make([]func(*Core), 2)
+	for i := range bodies {
+		bodies[i] = func(c *Core) {
+			for k := 0; k < 10; k++ {
+				c.Atomic(DefaultAtomicOpts(), TxHooks{}, func(c *Core) {
+					v := c.Load(0x100, 1, a)
+					c.Compute(300)
+					c.Store(0x104, 2, a, v+1)
+				})
+			}
+		}
+	}
+	m.Run(bodies)
+	evs := m.Trace()
+	if len(evs) == 0 {
+		t.Fatal("no events recorded")
+	}
+	s := m.Stats()
+	var begins, commits, aborts int
+	for i, e := range evs {
+		switch e.Kind {
+		case TraceBegin:
+			begins++
+		case TraceCommit:
+			commits++
+		case TraceAbort:
+			aborts++
+			if e.Reason == AbortConflict && e.ByCore == e.Core {
+				t.Errorf("event %d: conflict abort attributed to the victim itself", i)
+			}
+		}
+		// Times are per-core local clocks recorded in token-execution
+		// order, so they need not be globally monotone — but they must
+		// be monotone per core.
+		for j := i - 1; j >= 0; j-- {
+			if evs[j].Core == e.Core {
+				if evs[j].Time > e.Time {
+					t.Fatalf("core %d trace not monotone at %d", e.Core, i)
+				}
+				break
+			}
+		}
+	}
+	if uint64(commits) != s.Commits {
+		t.Errorf("trace commits %d != stats %d", commits, s.Commits)
+	}
+	if uint64(aborts) != s.TotalAborts() {
+		t.Errorf("trace aborts %d != stats %d", aborts, s.TotalAborts())
+	}
+	if begins != commits+aborts {
+		// Irrevocable commits have no begin; allow that slack.
+		if begins > commits+aborts || commits+aborts-begins > int(s.IrrevocableCommits) {
+			t.Errorf("begins=%d commits=%d aborts=%d irr=%d inconsistent",
+				begins, commits, aborts, s.IrrevocableCommits)
+		}
+	}
+	out := FormatTrace(evs[:5])
+	if !strings.Contains(out, "begin") {
+		t.Fatalf("format missing begin:\n%s", out)
+	}
+}
+
+func TestTraceLimit(t *testing.T) {
+	m := New(smallConfig(1))
+	m.EnableTrace(3)
+	a := m.Alloc.AllocLines(1)
+	m.Run([]func(*Core){func(c *Core) {
+		for k := 0; k < 10; k++ {
+			c.Atomic(DefaultAtomicOpts(), TxHooks{}, func(c *Core) {
+				c.Store(0x100, 1, a, uint64(k))
+			})
+		}
+	}})
+	if got := len(m.Trace()); got != 3 {
+		t.Fatalf("events = %d, want limit 3", got)
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	m := New(smallConfig(1))
+	a := m.Alloc.AllocLines(1)
+	m.Run([]func(*Core){func(c *Core) {
+		c.Atomic(DefaultAtomicOpts(), TxHooks{}, func(c *Core) {
+			c.Store(0x100, 1, a, 1)
+		})
+	}})
+	if m.Trace() != nil {
+		t.Fatal("trace recorded without EnableTrace")
+	}
+}

@@ -1,0 +1,127 @@
+// Package mem provides the simulated word-addressable shared memory that
+// the HTM simulator and all workload data structures are built on.
+//
+// Addresses are byte addresses, but all accesses are performed at 8-byte
+// word granularity (the low three bits of an access address are ignored).
+// The cache-line size is fixed at 64 bytes to match the simulated machine,
+// so a line holds eight words.
+package mem
+
+// Addr is a byte address in simulated memory.
+type Addr uint64
+
+// LineSize is the cache-line size of the simulated machine in bytes.
+const LineSize = 64
+
+// WordSize is the access granularity in bytes.
+const WordSize = 8
+
+// LineOf returns the address of the cache line containing a.
+func LineOf(a Addr) Addr { return a &^ (LineSize - 1) }
+
+// WordOf returns the word-aligned address containing a.
+func WordOf(a Addr) Addr { return a &^ (WordSize - 1) }
+
+// pageBits selects the simulated page size (2^pageBits bytes). Pages keep
+// the backing store compact without hashing every access.
+const pageBits = 12
+
+const pageWords = 1 << (pageBits - 3)
+
+// Memory is a sparse simulated physical memory. It is not safe for
+// concurrent use; the simulation engine serializes all accesses.
+type Memory struct {
+	pages map[Addr][]uint64
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[Addr][]uint64)}
+}
+
+func (m *Memory) page(a Addr) []uint64 {
+	key := a >> pageBits
+	p, ok := m.pages[key]
+	if !ok {
+		p = make([]uint64, pageWords)
+		m.pages[key] = p
+	}
+	return p
+}
+
+// Load returns the word stored at a (word-aligned).
+func (m *Memory) Load(a Addr) uint64 {
+	a = WordOf(a)
+	return m.page(a)[(a>>3)&(pageWords-1)]
+}
+
+// Store writes the word v at a (word-aligned).
+func (m *Memory) Store(a Addr, v uint64) {
+	a = WordOf(a)
+	m.page(a)[(a>>3)&(pageWords-1)] = v
+}
+
+// Footprint returns the number of simulated pages that have been touched.
+func (m *Memory) Footprint() int { return len(m.pages) }
+
+// Allocator is a bump-pointer allocator over a region of simulated memory.
+// Allocations never overlap and are never freed; workloads are sized so
+// that this is not a limitation. The zero Addr is reserved as a nil
+// pointer, so the allocator never returns it.
+type Allocator struct {
+	base Addr
+	next Addr
+	end  Addr
+}
+
+// NewAllocator returns an allocator handing out addresses in [base, base+size).
+// base must be nonzero and line-aligned.
+func NewAllocator(base Addr, size uint64) *Allocator {
+	if base == 0 || base%LineSize != 0 {
+		panic("mem: allocator base must be nonzero and line-aligned")
+	}
+	return &Allocator{base: base, next: base, end: base + Addr(size)}
+}
+
+// Alloc returns the address of a fresh region of at least size bytes with
+// the given alignment (which must be a power of two, at least WordSize).
+func (al *Allocator) Alloc(size uint64, align uint64) Addr {
+	if align < WordSize || align&(align-1) != 0 {
+		panic("mem: bad alignment")
+	}
+	a := (al.next + Addr(align) - 1) &^ Addr(align-1)
+	if a+Addr(size) > al.end {
+		panic("mem: allocator out of space")
+	}
+	al.next = a + Addr(size)
+	return a
+}
+
+// AllocWords allocates n consecutive words, word-aligned.
+func (al *Allocator) AllocWords(n int) Addr {
+	return al.Alloc(uint64(n)*WordSize, WordSize)
+}
+
+// AllocLines allocates n consecutive cache lines, line-aligned. Use this
+// for objects that must not falsely share a line with their neighbours.
+func (al *Allocator) AllocLines(n int) Addr {
+	return al.Alloc(uint64(n)*LineSize, LineSize)
+}
+
+// AllocObject allocates an object of n words, line-aligned if it would
+// otherwise straddle a cache line that a sibling allocation shares. It
+// mimics a real allocator's size-class behaviour: small objects pack,
+// larger objects start on a fresh line.
+func (al *Allocator) AllocObject(nWords int) Addr {
+	size := uint64(nWords) * WordSize
+	if size >= LineSize/2 {
+		return al.Alloc(size, LineSize)
+	}
+	return al.Alloc(size, WordSize)
+}
+
+// Used reports the number of bytes handed out so far.
+func (al *Allocator) Used() uint64 { return uint64(al.next - al.base) }
+
+// Remaining reports the number of bytes still available.
+func (al *Allocator) Remaining() uint64 { return uint64(al.end - al.next) }

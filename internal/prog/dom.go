@@ -1,0 +1,114 @@
+package prog
+
+// Dominator computation: the Cooper-Harvey-Kennedy iterative algorithm
+// over the reverse postorder of each function's CFG. Algorithm 1 of the
+// paper classifies a load/store as a non-anchor when an earlier access to
+// the same DSNode *dominates* it, so precise dominance is load-bearing
+// for anchor counts.
+
+// computeDominators fills in idom and rpo for every reachable block of f.
+func computeDominators(f *Func) {
+	// Postorder DFS from entry.
+	var post []*Block
+	seen := make(map[*Block]bool)
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b] = true
+		for _, s := range b.Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(f.entry)
+
+	// Reverse postorder numbering.
+	for i := len(post) - 1; i >= 0; i-- {
+		post[i].rpo = len(post) - 1 - i
+	}
+	rpoBlocks := make([]*Block, len(post))
+	for _, b := range post {
+		rpoBlocks[b.rpo] = b
+	}
+
+	for _, b := range f.Blocks {
+		b.idom = nil
+	}
+	f.entry.idom = f.entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range rpoBlocks[1:] {
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if p.idom == nil || !seen[p] {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && b.idom != newIdom {
+				b.idom = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+func intersect(a, b *Block) *Block {
+	for a != b {
+		for a.rpo > b.rpo {
+			a = a.idom
+		}
+		for b.rpo > a.rpo {
+			b = b.idom
+		}
+	}
+	return a
+}
+
+// Idom returns the immediate dominator of b (entry dominates itself).
+// It is nil for unreachable blocks.
+func (b *Block) Idom() *Block { return b.idom }
+
+// Dominates reports whether block a dominates block b (reflexive).
+func (a *Block) Dominates(b *Block) bool {
+	if a.Fn != b.Fn {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		if b.idom == nil || b.idom == b {
+			return false
+		}
+		b = b.idom
+	}
+}
+
+// InstrDominates reports whether instruction x dominates instruction y:
+// same block and earlier, or x's block strictly dominating y's.
+func InstrDominates(x, y *Instr) bool {
+	if x.Block == y.Block {
+		return x.Index < y.Index
+	}
+	return x.Block.Dominates(y.Block)
+}
+
+// DomTreeChildren returns, for each block of f, its dominator-tree
+// children in deterministic (block index) order.
+func DomTreeChildren(f *Func) map[*Block][]*Block {
+	kids := make(map[*Block][]*Block)
+	for _, b := range f.Blocks {
+		if b == f.entry || b.idom == nil {
+			continue
+		}
+		kids[b.idom] = append(kids[b.idom], b)
+	}
+	return kids
+}

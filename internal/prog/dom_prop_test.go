@@ -1,0 +1,143 @@
+package prog
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteDominates computes dominance by definition: a dominates b iff
+// every path from entry to b passes through a — equivalently, b is
+// unreachable from entry when a is removed (and a != b requires b
+// reachable at all).
+func bruteDominates(f *Func, a, b *Block) bool {
+	if a == b {
+		return true
+	}
+	// Reachability of b avoiding a.
+	seen := map[*Block]bool{a: true}
+	var stack []*Block
+	if f.Entry() != a {
+		stack = append(stack, f.Entry())
+		seen[f.Entry()] = true
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == b {
+			return false // reached b without a
+		}
+		for _, s := range n.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return reachable(f, b)
+}
+
+func reachable(f *Func, b *Block) bool {
+	seen := map[*Block]bool{}
+	stack := []*Block{f.Entry()}
+	seen[f.Entry()] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == b {
+			return true
+		}
+		for _, s := range n.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// TestDominatorsMatchBruteForce builds random CFGs and cross-checks the
+// iterative dominator computation against the path-based definition.
+func TestDominatorsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		m := NewModule("rand")
+		f := m.NewFunc("f", "p")
+		nBlocks := 2 + rng.Intn(9)
+		blocks := []*Block{f.Entry()}
+		for i := 1; i < nBlocks; i++ {
+			blocks = append(blocks, f.NewBlock("b"))
+		}
+		// Random edges; ensure each non-entry block gets at least one
+		// incoming edge from an earlier block (so most are reachable),
+		// plus extra random edges including back edges.
+		for i := 1; i < nBlocks; i++ {
+			blocks[rng.Intn(i)].To(blocks[i])
+		}
+		extra := rng.Intn(nBlocks * 2)
+		for e := 0; e < extra; e++ {
+			from := blocks[rng.Intn(nBlocks)]
+			to := blocks[rng.Intn(nBlocks)]
+			if to != f.Entry() {
+				from.To(to)
+			}
+		}
+		m.MustFinalize()
+
+		for _, a := range blocks {
+			for _, b := range blocks {
+				if !reachable(f, b) || !reachable(f, a) {
+					continue
+				}
+				got := a.Dominates(b)
+				want := bruteDominates(f, a, b)
+				if got != want {
+					t.Fatalf("trial %d: Dominates(%d,%d) = %v, brute force %v",
+						trial, a.Index, b.Index, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestIdomIsStrictDominator: every reachable non-entry block's immediate
+// dominator strictly dominates it and is the CLOSEST strict dominator.
+func TestIdomIsStrictDominator(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		m := NewModule("rand")
+		f := m.NewFunc("f", "p")
+		nBlocks := 3 + rng.Intn(7)
+		blocks := []*Block{f.Entry()}
+		for i := 1; i < nBlocks; i++ {
+			blocks = append(blocks, f.NewBlock("b"))
+		}
+		for i := 1; i < nBlocks; i++ {
+			blocks[rng.Intn(i)].To(blocks[i])
+			if rng.Intn(2) == 0 {
+				blocks[i].To(blocks[rng.Intn(nBlocks-1)+1])
+			}
+		}
+		m.MustFinalize()
+		for _, b := range blocks[1:] {
+			if !reachable(f, b) {
+				continue
+			}
+			id := b.Idom()
+			if id == nil {
+				t.Fatalf("trial %d: reachable block %d has no idom", trial, b.Index)
+			}
+			if id == b || !id.Dominates(b) {
+				t.Fatalf("trial %d: idom(%d)=%d does not strictly dominate",
+					trial, b.Index, id.Index)
+			}
+			// Closest: every other strict dominator of b dominates idom.
+			for _, a := range blocks {
+				if a != b && a != id && reachable(f, a) && a.Dominates(b) && !a.Dominates(id) {
+					t.Fatalf("trial %d: %d strictly dominates %d but not its idom %d",
+						trial, a.Index, b.Index, id.Index)
+				}
+			}
+		}
+	}
+}

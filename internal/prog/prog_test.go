@@ -1,0 +1,230 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildDiamond(t *testing.T) (*Module, *Func, [4]*Block) {
+	t.Helper()
+	m := NewModule("diamond")
+	f := m.NewFunc("f", "p")
+	entry := f.Entry()
+	left := f.NewBlock("left")
+	right := f.NewBlock("right")
+	merge := f.NewBlock("merge")
+	entry.To(left, right)
+	left.To(merge)
+	right.To(merge)
+	return m, f, [4]*Block{entry, left, right, merge}
+}
+
+func TestBuilderBasics(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("g", "a", "b")
+	if len(f.Params) != 2 {
+		t.Fatalf("params = %d, want 2", len(f.Params))
+	}
+	s := f.Entry().Load(f.Param(0), "x")
+	if s.IsStore || s.Ptr != f.Param(0) || s.Field != "x" {
+		t.Fatalf("bad site %+v", s)
+	}
+	if err := m.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if s.ID != 1 || s.PC != PCBase {
+		t.Fatalf("site id=%d pc=%#x", s.ID, s.PC)
+	}
+	if m.NumSites() != 1 {
+		t.Fatalf("NumSites = %d", m.NumSites())
+	}
+}
+
+func TestDuplicateFuncPanics(t *testing.T) {
+	m := NewModule("t")
+	m.NewFunc("f")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.NewFunc("f")
+}
+
+func TestFinalizeAssignsDistinctPCs(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("f", "p")
+	var sites []*Site
+	for i := 0; i < 10; i++ {
+		sites = append(sites, f.Entry().Load(f.Param(0), "x"))
+	}
+	m.MustFinalize()
+	seen := map[uint64]bool{}
+	for _, s := range sites {
+		if seen[s.PC] {
+			t.Fatalf("duplicate PC %#x", s.PC)
+		}
+		seen[s.PC] = true
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	m, f, blocks := buildDiamond(t)
+	entry, left, right, merge := blocks[0], blocks[1], blocks[2], blocks[3]
+	merge.Load(f.Param(0), "x")
+	m.MustFinalize()
+	if !entry.Dominates(merge) {
+		t.Error("entry must dominate merge")
+	}
+	if left.Dominates(merge) || right.Dominates(merge) {
+		t.Error("branch arms must not dominate merge")
+	}
+	if merge.Idom() != entry {
+		t.Errorf("idom(merge) = %v, want entry", merge.Idom().Name)
+	}
+	if !entry.Dominates(entry) {
+		t.Error("dominance must be reflexive")
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	m := NewModule("loop")
+	f := m.NewFunc("f", "p")
+	entry := f.Entry()
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	entry.To(head)
+	head.To(body, exit)
+	body.To(head)
+	m.MustFinalize()
+	if !head.Dominates(body) || !head.Dominates(exit) {
+		t.Error("loop head must dominate body and exit")
+	}
+	if body.Dominates(exit) {
+		t.Error("body must not dominate exit")
+	}
+}
+
+func TestInstrDominates(t *testing.T) {
+	m, f, blocks := buildDiamond(t)
+	entry, left, _, merge := blocks[0], blocks[1], blocks[2], blocks[3]
+	s1 := entry.Load(f.Param(0), "a")
+	s2 := entry.Load(f.Param(0), "b")
+	s3 := left.Load(f.Param(0), "c")
+	s4 := merge.Load(f.Param(0), "d")
+	m.MustFinalize()
+	if !InstrDominates(s1.Instr, s2.Instr) {
+		t.Error("earlier instr in same block must dominate later")
+	}
+	if InstrDominates(s2.Instr, s1.Instr) {
+		t.Error("dominance must not be symmetric within a block")
+	}
+	if !InstrDominates(s1.Instr, s4.Instr) {
+		t.Error("entry instr must dominate merge instr")
+	}
+	if InstrDominates(s3.Instr, s4.Instr) {
+		t.Error("branch-arm instr must not dominate merge instr")
+	}
+}
+
+func TestRecursionRejected(t *testing.T) {
+	m := NewModule("rec")
+	f := m.NewFunc("f", "p")
+	g := m.NewFunc("g", "p")
+	f.Entry().Call(g, f.Param(0))
+	g.Entry().Call(f, g.Param(0))
+	if err := m.Finalize(); err == nil || !strings.Contains(err.Error(), "recursive") {
+		t.Fatalf("err = %v, want recursion error", err)
+	}
+}
+
+func TestFinalizeTwiceFails(t *testing.T) {
+	m := NewModule("t")
+	m.NewFunc("f")
+	m.MustFinalize()
+	if err := m.Finalize(); err == nil {
+		t.Fatal("second Finalize must fail")
+	}
+}
+
+func TestMutateAfterFinalizePanics(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("f", "p")
+	m.MustFinalize()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on post-finalize mutation")
+		}
+	}()
+	f.Entry().Load(f.Param(0), "x")
+}
+
+func TestCallArityChecked(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("f", "p")
+	g := m.NewFunc("g", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected arity panic")
+		}
+	}()
+	f.Entry().Call(g, f.Param(0))
+}
+
+func TestReachableFuncs(t *testing.T) {
+	m := NewModule("t")
+	a := m.NewFunc("a", "p")
+	b := m.NewFunc("b", "p")
+	c := m.NewFunc("c", "p")
+	m.NewFunc("unrelated", "p")
+	a.Entry().Call(b, a.Param(0))
+	b.Entry().Call(c, b.Param(0))
+	a.Entry().Call(c, a.Param(0))
+	m.MustFinalize()
+	got := ReachableFuncs(a)
+	if len(got) != 3 || got[0] != a || got[1] != b || got[2] != c {
+		names := make([]string, len(got))
+		for i, f := range got {
+			names[i] = f.Name
+		}
+		t.Fatalf("reachable = %v, want [a b c]", names)
+	}
+}
+
+func TestAtomicLookup(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("f", "p")
+	ab := m.Atomic("insert", f)
+	m.MustFinalize()
+	if m.AtomicByName("insert") != ab || ab.ID != 1 {
+		t.Fatal("atomic lookup broken")
+	}
+	if m.AtomicByName("nope") != nil {
+		t.Fatal("phantom atomic")
+	}
+	if m.FuncByName("f") != f {
+		t.Fatal("func lookup broken")
+	}
+}
+
+func TestBindRequiresPhi(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("f", "p")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.Bind(f.Param(0), f.Param(0))
+}
+
+func TestDomTreeChildren(t *testing.T) {
+	m, f, blocks := buildDiamond(t)
+	_ = f
+	m.MustFinalize()
+	kids := DomTreeChildren(blocks[0].Fn)
+	if len(kids[blocks[0]]) != 3 {
+		t.Fatalf("entry children = %d, want 3 (left, right, merge)", len(kids[blocks[0]]))
+	}
+}

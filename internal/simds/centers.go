@@ -1,0 +1,85 @@
+package simds
+
+import (
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/prog"
+)
+
+// Centers is kmeans' shared accumulator array: K cluster centers, each
+// exactly one cache line holding a membership count and D coordinate
+// sums packed two 32-bit fixed-point values per word (as STAMP's float
+// arrays pack). One line per cluster means conflicts are per-cluster —
+// the locality that lets precise-mode advisory locks approach fine-grain
+// locking (the paper's kmeans analysis in Section 6.2).
+type Centers struct {
+	FnUpdate *prog.Func
+
+	sCntLoad, sCntStore, sSumLoad, sSumStore *prog.Site
+
+	K, D     int
+	wordsPer int // words per center (one line)
+	linesPer int
+}
+
+// DeclareCenters registers the center-update code in m.
+func DeclareCenters(m *prog.Module, k, d int) *Centers {
+	if d > 14 {
+		panic("simds: Centers supports at most 14 dimensions per line")
+	}
+	c := &Centers{K: k, D: d}
+	c.linesPer = 1
+	c.wordsPer = 8
+	c.FnUpdate = m.NewFunc("centers_update", "centerPtr")
+	f := c.FnUpdate
+	entry, loop, exit := f.Entry(), f.NewBlock("loop"), f.NewBlock("exit")
+	entry.To(loop)
+	loop.To(loop, exit)
+	c.sCntLoad = entry.Load(f.Param(0), "count")
+	c.sCntStore = entry.Store(f.Param(0), "count")
+	c.sSumLoad = loop.Load(f.Param(0), "sum")
+	c.sSumStore = loop.Store(f.Param(0), "sum")
+	return c
+}
+
+// NewCenters allocates the accumulator array.
+func NewCenters(m *htm.Machine, c *Centers) mem.Addr {
+	return m.Alloc.AllocLines(c.K * c.linesPer)
+}
+
+// CenterAddr returns the base address of center k.
+func (c *Centers) CenterAddr(base mem.Addr, k int) mem.Addr {
+	return base + mem.Addr(k*c.wordsPer*mem.WordSize)
+}
+
+// Update folds one point (D fixed-point coordinates, each < 2^31) into
+// center k. Two dimensions pack into each sum word.
+func (c *Centers) Update(tc Ctx, base mem.Addr, k int, point []uint64) {
+	ca := c.CenterAddr(base, k)
+	cnt := tc.Load(c.sCntLoad, ca)
+	tc.Store(c.sCntStore, ca, cnt+1)
+	for d := 0; d < c.D; d += 2 {
+		a := ca + w(1+d/2)
+		v := tc.Load(c.sSumLoad, a)
+		v += point[d]
+		if d+1 < c.D {
+			v += point[d+1] << 32
+		}
+		tc.Store(c.sSumStore, a, v)
+		tc.Compute(4)
+	}
+}
+
+// Count reads center k's membership count directly (untimed).
+func (c *Centers) Count(m *htm.Machine, base mem.Addr, k int) uint64 {
+	return m.Mem.Load(c.CenterAddr(base, k))
+}
+
+// Sum reads center k's dimension-d sum directly (untimed).
+func (c *Centers) Sum(m *htm.Machine, base mem.Addr, k, d int) uint64 {
+	v := m.Mem.Load(c.CenterAddr(base, k) + w(1+d/2))
+	if d%2 == 1 {
+		return v >> 32
+	}
+	return v & 0xFFFFFFFF
+}

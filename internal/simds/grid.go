@@ -1,0 +1,143 @@
+package simds
+
+import (
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/prog"
+)
+
+// Grid is labyrinth's 3-D routing grid: one word per cell, row-major.
+// A routing transaction privatizes the grid with nontransactional reads
+// (standing in for STAMP's early release, which keeps the huge read set
+// out of the speculative state), computes a path on the snapshot, then
+// transactionally re-validates and claims the path's cells. Conflicts
+// arise when concurrently routed paths overlap.
+type Grid struct {
+	FnClaim   *prog.Func
+	FnRelease *prog.Func
+
+	sDims, sPoints, sCheck, sClaim *prog.Site
+	sRelPoints, sRelease           *prog.Site
+
+	X, Y, Z int
+}
+
+// Grid header layout (one line): [xdim, ydim, zdim, points]. The cells
+// array is a separate allocation reached through the points field — the
+// same shape as STAMP's grid_t. That structure matters to the compiler
+// pass: the cell anchor's PARENT is the header anchor, so locking
+// promotion can escalate from individual cells to the whole grid.
+const (
+	gridXOff      = 0
+	gridPointsOff = 3
+)
+
+// DeclareGrid registers the path-claim code in m.
+func DeclareGrid(m *prog.Module, x, y, z int) *Grid {
+	g := &Grid{X: x, Y: y, Z: z}
+	g.FnClaim = m.NewFunc("grid_claim_path", "gridPtr")
+	{
+		f := g.FnClaim
+		entry, loop, exit := f.Entry(), f.NewBlock("loop"), f.NewBlock("exit")
+		entry.To(loop)
+		loop.To(loop, exit)
+		g.sDims = entry.Load(f.Param(0), "xdim")
+		pts, sPts := entry.LoadPtr("points", f.Param(0), "points")
+		g.sPoints = sPts
+		g.sCheck = loop.Load(pts, "cell")
+		g.sClaim = loop.Store(pts, "cell")
+	}
+	g.FnRelease = m.NewFunc("grid_release_path", "gridPtr")
+	{
+		f := g.FnRelease
+		entry, loop, exit := f.Entry(), f.NewBlock("loop"), f.NewBlock("exit")
+		entry.To(loop)
+		loop.To(loop, exit)
+		pts, sPts := entry.LoadPtr("points", f.Param(0), "points")
+		g.sRelPoints = sPts
+		g.sRelease = loop.Store(pts, "cell")
+	}
+	return g
+}
+
+// ReleasePath transactionally frees previously claimed cells (rip-up, so
+// the maze does not fill up over a long run).
+func (g *Grid) ReleasePath(tc Ctx, header mem.Addr, path []mem.Addr) {
+	tc.Load(g.sRelPoints, header+w(gridPointsOff))
+	for _, a := range path {
+		tc.Store(g.sRelease, a, 0)
+		tc.Compute(2)
+	}
+}
+
+// NewGrid allocates the grid header and cells array, all cells free (0).
+// It returns the header; Cells resolves the array base.
+func NewGrid(m *htm.Machine, g *Grid) mem.Addr {
+	h := m.Alloc.AllocLines(1)
+	words := g.X * g.Y * g.Z
+	cells := m.Alloc.AllocLines((words + 7) / 8)
+	m.Mem.Store(h+w(gridXOff), uint64(g.X))
+	m.Mem.Store(h+w(gridXOff+1), uint64(g.Y))
+	m.Mem.Store(h+w(gridXOff+2), uint64(g.Z))
+	m.Mem.Store(h+w(gridPointsOff), uint64(cells))
+	return h
+}
+
+// Cells reads the cell-array base from the header (untimed).
+func Cells(m *htm.Machine, header mem.Addr) mem.Addr {
+	return mem.Addr(m.Mem.Load(header + w(gridPointsOff)))
+}
+
+// CellAddr returns the address of cell (x,y,z) given the cells base.
+func (g *Grid) CellAddr(cells mem.Addr, x, y, z int) mem.Addr {
+	return cells + w((z*g.Y+y)*g.X+x)
+}
+
+// Snapshot reads the whole grid nontransactionally into a Go slice
+// (early-release stand-in: the reads join no speculative set).
+func (g *Grid) Snapshot(tc Ctx, cells mem.Addr, buf []uint64) {
+	n := g.X * g.Y * g.Z
+	// Reading word-by-word would be needlessly slow in simulated time
+	// too; real code streams line-by-line, so sample one word per line
+	// for latency and fill the snapshot from memory directly.
+	m := tc.Core().Machine().Mem
+	for i := 0; i < n; i += 8 {
+		tc.Core().NTLoad(cells + w(i))
+	}
+	for i := 0; i < n; i++ {
+		buf[i] = m.Load(cells + w(i))
+	}
+}
+
+// ClaimPath transactionally claims the path cell by cell (validate, then
+// write — eager HTM marks the route as it goes, exactly like STAMP's
+// labyrinth), then performs the traceback/bookkeeping work (thinkUops)
+// with the freshly written cells still speculative. That window is where
+// overlapping routes conflict. It returns false when some cell is
+// already taken; the router then recomputes from a fresh snapshot.
+func (g *Grid) ClaimPath(tc Ctx, header mem.Addr, path []mem.Addr, owner uint64, thinkUops int) bool {
+	// Touch the grid header first (dimension check + points load), the
+	// accesses whose anchor is every cell anchor's parent.
+	tc.Load(g.sDims, header+w(gridXOff))
+	tc.Load(g.sPoints, header+w(gridPointsOff))
+	for i, a := range path {
+		if tc.Load(g.sCheck, a) != 0 {
+			// Occupied: undo our own (still speculative) markings so the
+			// transaction can commit cleanly with no effect — this also
+			// keeps the claim correct when running irrevocably.
+			for j := 0; j < i; j++ {
+				tc.Store(g.sClaim, path[j], 0)
+			}
+			return false
+		}
+		tc.Store(g.sClaim, a, owner)
+		tc.Compute(4)
+	}
+	tc.Compute(thinkUops)
+	return true
+}
+
+// CellOwner reads a cell directly from memory (untimed verification).
+func (g *Grid) CellOwner(m *htm.Machine, header mem.Addr, x, y, z int) uint64 {
+	return m.Mem.Load(g.CellAddr(Cells(m, header), x, y, z))
+}

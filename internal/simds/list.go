@@ -1,0 +1,193 @@
+package simds
+
+import (
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/prog"
+)
+
+// SortedList is an IntSet-style sorted singly linked list (the list-lo /
+// list-hi microbenchmark of the paper, drawn from the RSTM test suite).
+//
+// Layout: the header is one line holding the head pointer at word 0.
+// Each node is two words {key, next}; nodes pack four to a cache line.
+// The traversal code loads node->key then node->next, so the key load is
+// the initial access to the cell DSNode — an anchor *inside* the loop,
+// matching the paper's observation that list anchors sit in tight loops
+// (Table 3: ~33 anchors per transaction on a 64-node list).
+type SortedList struct {
+	FnLookup *prog.Func
+	FnInsert *prog.Func
+	FnDelete *prog.Func
+
+	// Lookup sites.
+	sLkHead, sLkKey, sLkNext *prog.Site
+	// Insert sites.
+	sInHead, sInKey, sInNext, sInNewKey, sInNewNext, sInLink *prog.Site
+	// Delete sites.
+	sDlHead, sDlKey, sDlNext, sDlUnlink *prog.Site
+}
+
+const (
+	listHeadOff = 0 // header word: head pointer
+	nodeKeyOff  = 0
+	nodeNextOff = 1
+)
+
+// DeclareSortedList registers the list's static code in m.
+func DeclareSortedList(m *prog.Module) *SortedList {
+	l := &SortedList{}
+
+	// lookup(listPtr, key): cur = listPtr->head; while cur and
+	// cur->key < key: cur = cur->next.
+	l.FnLookup = m.NewFunc("list_lookup", "listPtr")
+	{
+		f := l.FnLookup
+		entry, loop, exit := f.Entry(), f.NewBlock("loop"), f.NewBlock("exit")
+		entry.To(loop)
+		loop.To(loop, exit)
+		head, sHead := entry.LoadPtr("cur0", f.Param(0), "head")
+		cur := f.Phi("cur")
+		f.Bind(cur, head)
+		sKey := loop.Load(cur, "key")
+		next, sNext := loop.LoadPtr("next", cur, "next")
+		f.Bind(cur, next)
+		l.sLkHead, l.sLkKey, l.sLkNext = sHead, sKey, sNext
+	}
+
+	// insert(listPtr, node): find position, init node, link prev->next.
+	l.FnInsert = m.NewFunc("list_insert", "listPtr", "node")
+	{
+		f := l.FnInsert
+		entry, loop, exit := f.Entry(), f.NewBlock("loop"), f.NewBlock("exit")
+		entry.To(loop)
+		loop.To(loop, exit)
+		head, sHead := entry.LoadPtr("cur0", f.Param(0), "head")
+		cur := f.Phi("cur")
+		f.Bind(cur, head)
+		sKey := loop.Load(cur, "key")
+		next, sNext := loop.LoadPtr("next", cur, "next")
+		f.Bind(cur, next)
+		sNewKey := exit.Store(f.Param(1), "key")
+		sNewNext := exit.StorePtr(f.Param(1), "next", cur)
+		// Linking writes the predecessor cell (or the header).
+		sLink := exit.StorePtr(cur, "next", f.Param(1))
+		l.sInHead, l.sInKey, l.sInNext = sHead, sKey, sNext
+		l.sInNewKey, l.sInNewNext, l.sInLink = sNewKey, sNewNext, sLink
+	}
+
+	// delete(listPtr, key): find node, unlink prev->next = cur->next.
+	l.FnDelete = m.NewFunc("list_delete", "listPtr")
+	{
+		f := l.FnDelete
+		entry, loop, exit := f.Entry(), f.NewBlock("loop"), f.NewBlock("exit")
+		entry.To(loop)
+		loop.To(loop, exit)
+		head, sHead := entry.LoadPtr("cur0", f.Param(0), "head")
+		cur := f.Phi("cur")
+		f.Bind(cur, head)
+		sKey := loop.Load(cur, "key")
+		next, sNext := loop.LoadPtr("next", cur, "next")
+		f.Bind(cur, next)
+		sUnlink := exit.StorePtr(cur, "next", next)
+		l.sDlHead, l.sDlKey, l.sDlNext, l.sDlUnlink = sHead, sKey, sNext, sUnlink
+	}
+	return l
+}
+
+// NewList allocates an empty list header.
+func NewList(al *mem.Allocator) mem.Addr { return al.AllocLines(1) }
+
+// SeedList populates the list directly in memory (setup, untimed): keys
+// must be strictly ascending. Nodes get one line each. Returns the node
+// addresses.
+func SeedList(m *htm.Machine, list mem.Addr, keys []uint64) []mem.Addr {
+	nodes := make([]mem.Addr, len(keys))
+	prev := list // header: head pointer at word 0
+	prevOff := w(listHeadOff)
+	for i, k := range keys {
+		// 16-byte nodes pack four to a cache line, as a real allocator
+		// would place them; the false sharing this induces is part of
+		// the benchmark's contention profile.
+		n := m.Alloc.AllocObject(2)
+		m.Mem.Store(n+w(nodeKeyOff), k)
+		m.Mem.Store(n+w(nodeNextOff), nilPtr)
+		m.Mem.Store(prev+prevOff, uint64(n))
+		prev, prevOff = n, w(nodeNextOff)
+		nodes[i] = n
+	}
+	return nodes
+}
+
+// Lookup returns whether key is present.
+func (l *SortedList) Lookup(tc Ctx, list mem.Addr, key uint64) bool {
+	cur := mem.Addr(tc.Load(l.sLkHead, list+w(listHeadOff)))
+	for cur != nilPtr {
+		k := tc.Load(l.sLkKey, cur+w(nodeKeyOff))
+		if k >= key {
+			return k == key
+		}
+		cur = mem.Addr(tc.Load(l.sLkNext, cur+w(nodeNextOff)))
+		tc.Compute(20)
+	}
+	return false
+}
+
+// Insert links node (a fresh, thread-private line) carrying key into
+// sorted position. Duplicate keys are allowed (multiset semantics keep
+// the workload driver simple). Returns false if key was already present
+// and nothing was inserted.
+func (l *SortedList) Insert(tc Ctx, list mem.Addr, key uint64, node mem.Addr) bool {
+	prev, prevOff := list, w(listHeadOff)
+	prevSite := l.sInLink // linking store targets prev's next field
+	cur := mem.Addr(tc.Load(l.sInHead, list+w(listHeadOff)))
+	for cur != nilPtr {
+		k := tc.Load(l.sInKey, cur+w(nodeKeyOff))
+		if k == key {
+			return false
+		}
+		if k > key {
+			break
+		}
+		prev, prevOff = cur, w(nodeNextOff)
+		cur = mem.Addr(tc.Load(l.sInNext, cur+w(nodeNextOff)))
+		tc.Compute(20)
+	}
+	tc.Store(l.sInNewKey, node+w(nodeKeyOff), key)
+	tc.Store(l.sInNewNext, node+w(nodeNextOff), uint64(cur))
+	tc.Store(prevSite, prev+prevOff, uint64(node))
+	return true
+}
+
+// Delete unlinks the node with the given key; returns whether it existed.
+func (l *SortedList) Delete(tc Ctx, list mem.Addr, key uint64) bool {
+	prev, prevOff := list, w(listHeadOff)
+	cur := mem.Addr(tc.Load(l.sDlHead, list+w(listHeadOff)))
+	for cur != nilPtr {
+		k := tc.Load(l.sDlKey, cur+w(nodeKeyOff))
+		if k == key {
+			next := tc.Load(l.sDlNext, cur+w(nodeNextOff))
+			tc.Store(l.sDlUnlink, prev+prevOff, next)
+			return true
+		}
+		if k > key {
+			return false
+		}
+		prev, prevOff = cur, w(nodeNextOff)
+		cur = mem.Addr(tc.Load(l.sDlNext, cur+w(nodeNextOff)))
+		tc.Compute(20)
+	}
+	return false
+}
+
+// Keys reads the list contents directly from memory (untimed, for
+// verification).
+func Keys(m *htm.Machine, list mem.Addr) []uint64 {
+	var out []uint64
+	cur := mem.Addr(m.Mem.Load(list + w(listHeadOff)))
+	for cur != nilPtr {
+		out = append(out, m.Mem.Load(cur+w(nodeKeyOff)))
+		cur = mem.Addr(m.Mem.Load(cur + w(nodeNextOff)))
+	}
+	return out
+}

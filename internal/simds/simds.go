@@ -1,0 +1,28 @@
+// Package simds provides the shared data structures the benchmarks run
+// on: sorted linked lists, chained hash tables, a B+ tree priority queue,
+// a red-black tree, a FIFO task queue, accumulator arrays, and a routing
+// grid — all laid out in the simulator's memory so that cache-line-level
+// conflicts are real, and all declared in the prog IR so that the
+// compiler pass can select anchors in their code.
+//
+// Each structure follows the same pattern: a Declare* function registers
+// the structure's static functions (once per module — they model a shared
+// library like STAMP's lib/list.c), and the returned ops value carries
+// both the IR handles and the execution methods, which take a
+// *stagger.TxCtx so instrumentation fires at the compiler-chosen anchors.
+package simds
+
+import (
+	"repro/internal/mem"
+	"repro/internal/stagger"
+)
+
+// Ctx is the access context data structure operations run against.
+// *stagger.TxCtx implements it; tests may substitute their own.
+type Ctx = *stagger.TxCtx
+
+// nilPtr is the simulated null pointer.
+const nilPtr = 0
+
+// w converts a word offset to a byte offset.
+func w(i int) mem.Addr { return mem.Addr(i * mem.WordSize) }

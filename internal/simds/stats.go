@@ -1,0 +1,47 @@
+package simds
+
+import (
+	"repro/internal/mem"
+	"repro/internal/prog"
+)
+
+// StatsBlock is a block of global shared counters (memcached's statistics
+// information — the paper's Table 1 names it as memcached's contention
+// source). All counters live on one cache line, so any two updates
+// conflict; updates happen in the middle of longer transactions, which is
+// exactly the pattern precise-mode advisory locks serialize.
+type StatsBlock struct {
+	FnBump *prog.Func
+
+	sLoad, sStore *prog.Site
+}
+
+// DeclareStats registers the counter-update code in m.
+func DeclareStats(m *prog.Module) *StatsBlock {
+	s := &StatsBlock{}
+	s.FnBump = m.NewFunc("stats_bump", "statsPtr")
+	b := s.FnBump.Entry()
+	s.sLoad = b.Load(s.FnBump.Param(0), "counter")
+	s.sStore = b.Store(s.FnBump.Param(0), "counter")
+	return s
+}
+
+// NewStats allocates a stats block of n counters (n <= 8: one line).
+func NewStats(al *mem.Allocator) mem.Addr { return al.AllocLines(1) }
+
+// Bump adds delta to counter idx (0..7).
+func (s *StatsBlock) Bump(tc Ctx, stats mem.Addr, idx int, delta uint64) {
+	a := stats + w(idx)
+	v := tc.Load(s.sLoad, a)
+	tc.Store(s.sStore, a, v+delta)
+}
+
+// Counter reads counter idx directly (untimed verification).
+func Counter(m memReader, stats mem.Addr, idx int) uint64 {
+	return m.Load(stats + w(idx))
+}
+
+// memReader is the subset of *mem.Memory used by untimed readers.
+type memReader interface {
+	Load(mem.Addr) uint64
+}

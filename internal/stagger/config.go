@@ -1,0 +1,125 @@
+// Package stagger implements the staggered-transactions runtime of
+// Xiang & Scott (SPAA 2015): per-thread, per-atomic-block contexts,
+// ALPoint instrumentation, advisory locks built from nontransactional
+// loads and stores, and the four-mode locking policy of Figure 6
+// (precise, coarse-grain, locking promotion, training).
+package stagger
+
+// Mode selects which system runs — the four bars of Figure 7.
+type Mode uint8
+
+const (
+	// ModeHTM is the baseline: plain best-effort HTM with retry and
+	// irrevocable fallback, no instrumentation.
+	ModeHTM Mode = iota
+	// ModeAddrOnly places one fixed advisory locking point at the start
+	// of each atomic block and uses only precise mode ("AddrOnly").
+	ModeAddrOnly
+	// ModeStaggeredSW is staggered transactions with software anchor
+	// tracking: no hardware conflicting-PC; a per-thread map from cache
+	// line to anchor is maintained with nontransactional stores
+	// ("Staggered+SW" / "StaggerTM w/o CPC").
+	ModeStaggeredSW
+	// ModeStaggeredHW is full staggered transactions with the hardware
+	// conflicting-PC tag ("Staggered").
+	ModeStaggeredHW
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeHTM:
+		return "HTM"
+	case ModeAddrOnly:
+		return "AddrOnly"
+	case ModeStaggeredSW:
+		return "Staggered+SW"
+	case ModeStaggeredHW:
+		return "Staggered"
+	default:
+		return "Mode(?)"
+	}
+}
+
+// Instrumented reports whether the mode inserts ALPoint calls at anchors.
+func (m Mode) Instrumented() bool {
+	return m == ModeStaggeredSW || m == ModeStaggeredHW
+}
+
+// Config tunes the runtime. DefaultConfig matches the paper's Section 6.
+type Config struct {
+	Mode Mode
+
+	// HistLen is the abort-history ring size per ABContext (paper: 8).
+	HistLen int
+	// PCThr and AddrThr are the recurrence thresholds of Figure 6
+	// (paper: PC_THR = 2, ADDR_THR = 2).
+	PCThr, AddrThr int
+	// PromThr is the number of conflict aborts tolerated in coarse-grain
+	// mode before the lock is promoted to the parent anchor.
+	PromThr int
+	// RateWindow sizes the decaying commit/abort counters behind
+	// decision (1): advisory locks are armed only while conflict aborts
+	// are frequent relative to commits.
+	RateWindow int
+
+	// NumLocks sizes the static advisory-lock table; locks are chosen by
+	// hashing the conflicting data address.
+	NumLocks int
+	// MaxLocksPerTx bounds how many advisory locks one transaction may
+	// hold. The paper acquires exactly one ("we acquire only one per
+	// transaction in this paper"); higher values let a coarse-grain ALP
+	// serialize several distinct objects per transaction. Lock waits are
+	// bounded by LockTimeout, so multi-lock acquisition cannot deadlock —
+	// at worst a waiter times out and proceeds speculatively.
+	MaxLocksPerTx int
+	// LockTimeout bounds, in cycles, how long an ALP waits for an
+	// advisory lock before proceeding without it (Section 2).
+	LockTimeout uint64
+	// LockSpin is the pause between lock polls, in cycles.
+	LockSpin uint64
+
+	// SWMapWords sizes the per-thread software line-to-anchor map used by
+	// ModeStaggeredSW (slots of one word each, direct-mapped).
+	SWMapWords int
+
+	// MaxRetries and BackoffBase configure the underlying HTM retry loop.
+	MaxRetries  int
+	BackoffBase uint64
+}
+
+// DefaultConfig returns the paper's runtime parameters.
+func DefaultConfig(mode Mode) Config {
+	return Config{
+		Mode:          mode,
+		HistLen:       8,
+		PCThr:         2,
+		AddrThr:       2,
+		PromThr:       4,
+		RateWindow:    64,
+		NumLocks:      64,
+		MaxLocksPerTx: 1,
+		LockTimeout:   20000,
+		LockSpin:      12,
+		SWMapWords:    1024,
+		MaxRetries:    10,
+		BackoffBase:   64,
+	}
+}
+
+func (c *Config) validate() {
+	switch {
+	case c.HistLen <= 0:
+		panic("stagger: HistLen must be positive")
+	case c.RateWindow <= 0:
+		panic("stagger: RateWindow must be positive")
+	case c.NumLocks <= 0 || c.NumLocks&(c.NumLocks-1) != 0:
+		panic("stagger: NumLocks must be a positive power of two")
+	case c.MaxLocksPerTx <= 0:
+		panic("stagger: MaxLocksPerTx must be positive")
+	case c.SWMapWords <= 0 || c.SWMapWords&(c.SWMapWords-1) != 0:
+		panic("stagger: SWMapWords must be a positive power of two")
+	case c.MaxRetries <= 0:
+		panic("stagger: MaxRetries must be positive")
+	}
+}

@@ -1,0 +1,75 @@
+package stagger
+
+import (
+	"repro/internal/htm"
+	"repro/internal/mem"
+)
+
+// Advisory locks live in ordinary simulated memory but are only ever
+// touched with nontransactional loads and stores, so acquiring, spinning
+// on, or releasing one never joins any transaction's speculative set —
+// the isolation escape the paper requires from the hardware. Each lock
+// record occupies its own cache line: word 0 is the owner (core+1, or 0
+// when free), word 1 is a contention flag set by waiters.
+
+// lockFor maps a data address to its advisory lock word (a static set of
+// pre-allocated locks selected by address hash, as in AcquireLockFor).
+func (rt *Runtime) lockFor(a mem.Addr) mem.Addr {
+	line := uint64(mem.LineOf(a)) / mem.LineSize
+	idx := hash64(line) & uint64(rt.cfg.NumLocks-1)
+	return rt.locksBase + mem.Addr(idx)*mem.LineSize
+}
+
+// acquireLockFor blocks (with timeout) until the advisory lock chosen by
+// addr is held by this transaction. Waiting advances only virtual time;
+// the spin uses nontransactional loads so the eventual release by the
+// owner cannot abort us.
+func (t *TxCtx) acquireLockFor(addr mem.Addr) {
+	rt := t.th.rt
+	lock := rt.lockFor(addr)
+	for _, held := range t.locks {
+		if held == lock {
+			return // hashing aliased onto a lock we already hold
+		}
+	}
+	deadline := t.c.Now() + rt.cfg.LockTimeout
+	announced := false
+	for {
+		if t.c.NTLoad(lock) == 0 && t.c.NTCas(lock, 0, uint64(t.th.tid)+1) {
+			t.locks = append(t.locks, lock)
+			rt.Metrics.LocksAcquired++
+			return
+		}
+		if !announced {
+			// Tell the holder someone waited, so its commit knows the
+			// lock was contended.
+			t.c.NTStore(lock+mem.WordSize, 1)
+			announced = true
+		}
+		if t.c.Now() >= deadline {
+			rt.Metrics.LockTimeouts++
+			return // proceed without the lock (purely advisory)
+		}
+		t.c.SpinWait(rt.cfg.LockSpin, htm.WaitLock)
+	}
+}
+
+// lockContended reports whether any thread waited on a held lock.
+func (t *TxCtx) lockContended() bool {
+	for _, lock := range t.locks {
+		if t.c.NTLoad(lock+mem.WordSize) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// releaseLock frees all held advisory locks, clearing the contention
+// flags for the next holding periods.
+func (t *TxCtx) releaseLock() {
+	for _, lock := range t.locks {
+		t.c.NTStore(lock+mem.WordSize, 0)
+		t.c.NTStore(lock, 0)
+	}
+	t.locks = t.locks[:0]
+}

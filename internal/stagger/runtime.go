@@ -1,0 +1,314 @@
+package stagger
+
+import (
+	"fmt"
+
+	"repro/internal/anchor"
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/prog"
+)
+
+// Runtime is the per-machine staggered-transactions runtime: it owns the
+// advisory lock table (in simulated memory), the per-thread software
+// anchor maps, and all ABContexts. Create one per simulation with New.
+type Runtime struct {
+	cfg  Config
+	m    *htm.Machine
+	comp *anchor.Compiled
+
+	// locksBase is the advisory lock table: NumLocks lock records, one
+	// cache line each (word 0: owner+1 or 0; word 1: contended flag).
+	locksBase mem.Addr
+
+	// swBase holds per-thread direct-mapped line→anchor maps (SW mode).
+	swBase []mem.Addr
+
+	threads []*Thread
+
+	// Metrics (aggregated across threads; the simulation is serialized by
+	// the engine so plain counters are safe).
+	Metrics Metrics
+
+	// Conflict locality histograms (Table 1's LA/LP columns): counts per
+	// conflicting line address and per resolved anchor.
+	confAddrs map[mem.Addr]int
+	confPCs   map[uint32]int
+
+	// perAB aggregates policy behaviour per atomic block (diagnostics).
+	perAB map[int]*ABMetrics
+}
+
+// ABMetrics summarizes one atomic block's behaviour across all threads.
+type ABMetrics struct {
+	Name                               string
+	Commits, ConfAborts, Deep          uint64
+	Precise, Coarse, Promote, Training uint64
+	Locks                              uint64
+}
+
+// PerAB returns per-atomic-block aggregates keyed by block ID.
+func (rt *Runtime) PerAB() map[int]*ABMetrics { return rt.perAB }
+
+// abMetrics returns (creating) the aggregate for an atomic block.
+func (rt *Runtime) abMetrics(ab *prog.AtomicBlock) *ABMetrics {
+	m, ok := rt.perAB[ab.ID]
+	if !ok {
+		m = &ABMetrics{Name: ab.Name}
+		rt.perAB[ab.ID] = m
+	}
+	return m
+}
+
+// Metrics counts runtime-level events for the experiment harness.
+type Metrics struct {
+	// ALPVisits counts dynamic executions of instrumented ALPoints
+	// ("anchs per txn" in Table 3 divides this by commits).
+	ALPVisits uint64
+	// LocksAcquired counts successful advisory lock acquisitions.
+	LocksAcquired uint64
+	// LockTimeouts counts acquisitions abandoned after LockTimeout.
+	LockTimeouts uint64
+	// Activations counts policy decisions by Figure 6 case.
+	ActPrecise, ActCoarse, ActPromote, ActTraining uint64
+	// AccHits/AccTotal measure anchor identification accuracy: how often
+	// the runtime-resolved anchor equals the true anchor of the initial
+	// access to the conflicting line (Table 3 "Accuracy").
+	AccHits, AccTotal uint64
+	// SWMisses counts conflicts whose line had no software map entry
+	// (SW mode only).
+	SWMisses uint64
+}
+
+// Accuracy returns the anchor identification accuracy in [0,1], or 1 if
+// no conflict aborts were observed.
+func (mt *Metrics) Accuracy() float64 {
+	if mt.AccTotal == 0 {
+		return 1
+	}
+	return float64(mt.AccHits) / float64(mt.AccTotal)
+}
+
+// New builds a runtime for machine m running module programs compiled to
+// comp. comp may be nil only for ModeHTM and ModeAddrOnly.
+func New(m *htm.Machine, comp *anchor.Compiled, cfg Config) *Runtime {
+	cfg.validate()
+	if cfg.Mode.Instrumented() && comp == nil {
+		panic("stagger: instrumented mode requires compiled anchor tables")
+	}
+	rt := &Runtime{
+		cfg: cfg, m: m, comp: comp,
+		confAddrs: make(map[mem.Addr]int),
+		confPCs:   make(map[uint32]int),
+		perAB:     make(map[int]*ABMetrics),
+	}
+	rt.locksBase = m.Alloc.AllocLines(cfg.NumLocks)
+	cores := m.Config().Cores
+	rt.threads = make([]*Thread, cores)
+	if cfg.Mode == ModeStaggeredSW {
+		rt.swBase = make([]mem.Addr, cores)
+		for i := range rt.swBase {
+			rt.swBase[i] = m.Alloc.AllocLines(cfg.SWMapWords * mem.WordSize / mem.LineSize)
+		}
+	}
+	return rt
+}
+
+// Config returns the runtime configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// Compiled returns the compiler output backing this runtime (may be nil).
+func (rt *Runtime) Compiled() *anchor.Compiled { return rt.comp }
+
+// Thread returns the runtime context for core tid, creating it on first
+// use. Each thread body must use only its own Thread.
+func (rt *Runtime) Thread(tid int) *Thread {
+	if rt.threads[tid] == nil {
+		rt.threads[tid] = &Thread{
+			rt:   rt,
+			tid:  tid,
+			ctxs: make(map[int]*ABContext),
+		}
+	}
+	return rt.threads[tid]
+}
+
+// Locality summarizes conflict-pattern locality over the whole run: la
+// (lp) is true when the most frequent conflicting address (anchor)
+// accounts for a majority of conflict aborts — the LA/LP columns of the
+// paper's Table 1.
+func (rt *Runtime) Locality() (la, lp bool) {
+	return majority(rt.confAddrs), majority(rt.confPCs)
+}
+
+func majority[K comparable](hist map[K]int) bool {
+	total, max := 0, 0
+	for _, n := range hist {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	return total > 0 && max*2 > total
+}
+
+// Thread is the per-thread runtime state.
+type Thread struct {
+	rt   *Runtime
+	tid  int
+	ctxs map[int]*ABContext
+}
+
+// ABContext is the per-thread, per-atomic-block structure of Figure 4:
+// the currently active anchor, the probable conflicting address, the
+// abort history, and the anchor table.
+type ABContext struct {
+	ab *prog.AtomicBlock
+	u  *anchor.Unified
+
+	// activeAnchor is the site ID of the armed ALP (0 = none).
+	activeAnchor uint32
+	// blockAddr is the expected conflicting line (0 = wild card /
+	// coarse-grain).
+	blockAddr mem.Addr
+
+	history []abortRecord // ring, newest last
+
+	// deepW counts instances whose retry chain got deep (near the
+	// irrevocable cliff) — the wasted-work signal that justifies
+	// whole-structure (coarse) locking.
+	deepW int
+
+	// commitsW and confAbortsW are decaying windowed counters that
+	// implement the paper's decision (1): whether this atomic block is
+	// contended enough to lock at all ("based on the frequency of
+	// contention aborts", Section 2). Both halve when commitsW reaches
+	// the window size.
+	commitsW, confAbortsW int
+}
+
+// noteCommit updates the contention-rate window.
+func (c *ABContext) noteCommit(window int) {
+	c.commitsW++
+	if c.commitsW >= window {
+		c.commitsW /= 2
+		c.confAbortsW /= 2
+		c.deepW /= 2
+	}
+}
+
+// contended reports whether recent conflict-abort frequency justifies
+// arming advisory locks (decision 1). The threshold — roughly two
+// conflict aborts for every three commits — keeps moderately contended
+// structures (vacation's trees) running unlocked while catching the
+// pathological ones.
+func (c *ABContext) contended() bool {
+	return 3*c.confAbortsW >= 2*c.commitsW+4
+}
+
+// contendedHeavily sets the (stricter) bar for coarse-grain locking and
+// promotion: those modes serialize whole structures, so they only pay
+// when transactions are burning long retry chains (heading for the
+// irrevocable cliff), not merely aborting once in a while.
+func (c *ABContext) contendedHeavily() bool {
+	return 8*c.deepW >= c.commitsW+8
+}
+
+type abortRecord struct {
+	anchorSite uint32 // resolved anchor site ID (0 = none/empty entry)
+	addr       mem.Addr
+}
+
+// ctx returns (creating on demand) the ABContext for an atomic block.
+func (th *Thread) ctx(ab *prog.AtomicBlock) *ABContext {
+	c, ok := th.ctxs[ab.ID]
+	if !ok {
+		c = &ABContext{ab: ab}
+		if th.rt.comp != nil {
+			c.u = th.rt.comp.Unified[ab]
+			if c.u == nil {
+				panic(fmt.Sprintf("stagger: atomic block %q not compiled", ab.Name))
+			}
+		}
+		th.ctxs[ab.ID] = c
+	}
+	return c
+}
+
+// ActiveAnchor exposes the armed anchor for tests and diagnostics.
+func (c *ABContext) ActiveAnchor() uint32 { return c.activeAnchor }
+
+// BlockAddr exposes the expected conflict address (0 = coarse).
+func (c *ABContext) BlockAddr() mem.Addr { return c.blockAddr }
+
+// Atomic executes body as one instance of atomic block ab on core c,
+// applying the runtime's mode: baseline retry loop, AddrOnly's fixed
+// head-of-block lock, or full staggered transactions with ALPs armed by
+// the locking policy.
+func (th *Thread) Atomic(c *htm.Core, ab *prog.AtomicBlock, body func(tc *TxCtx)) {
+	if c.ID() != th.tid {
+		panic("stagger: thread used on wrong core")
+	}
+	abc := th.ctx(ab)
+	tc := &TxCtx{th: th, c: c, abc: abc}
+	opts := htm.AtomicOpts{
+		MaxRetries:  th.rt.cfg.MaxRetries,
+		BackoffBase: th.rt.cfg.BackoffBase,
+		RuntimePC:   0xFFFF0,
+	}
+	hooks := htm.TxHooks{
+		OnBegin: func(attempt int) {
+			// Restore the armed anchor for this instance (the paper
+			// clears activeAnchor inside the transaction after locking
+			// and restores it at the next begin).
+			tc.armedAnchor = abc.activeAnchor
+			tc.locks = tc.locks[:0]
+			if th.rt.cfg.Mode == ModeAddrOnly && abc.blockAddr != 0 {
+				// AddrOnly: one fixed ALP at the start of the block,
+				// precise mode only.
+				tc.acquireLockFor(abc.blockAddr)
+				tc.armedAnchor = 0
+			}
+		},
+		OnAbort: func(info htm.AbortInfo, attempt int) {
+			tc.releaseLock()
+			th.rt.activate(tc, abc, info, attempt)
+		},
+		OnCommit: func(irrevocable bool) {
+			th.rt.abMetrics(ab).Commits++
+			abc.noteCommit(th.rt.cfg.RateWindow)
+			noContention := len(tc.locks) != 0 && !tc.lockContended()
+			tc.releaseLock()
+			if noContention {
+				// Shift an empty record into the history to decay stale
+				// conflict patterns and avoid over-locking (Section 5.2):
+				// once the pattern has decayed below threshold, the ALP
+				// deactivates and full concurrency resumes.
+				abc.appendHistory(th.rt.cfg.HistLen, abortRecord{})
+				if (abc.activeAnchor != 0 || abc.blockAddr != 0) &&
+					abc.countAnchor(abc.activeAnchor) <= th.rt.cfg.PCThr &&
+					abc.countAddr(abc.blockAddr) <= th.rt.cfg.AddrThr {
+					abc.activeAnchor = 0
+					abc.blockAddr = 0
+				}
+			}
+			// Rate-based re-check of decision (1): if conflict aborts are
+			// no longer frequent — typically BECAUSE the advisory lock is
+			// working — disarm and probe whether full concurrency is safe
+			// again. Re-arming is cheap if contention returns.
+			if (abc.activeAnchor != 0 || abc.blockAddr != 0) &&
+				!abc.contended() && !abc.contendedHeavily() {
+				abc.activeAnchor = 0
+				abc.blockAddr = 0
+			}
+		},
+		OnIrrevocable: func() {
+			// Irrevocable mode is already globally serialized; drop any
+			// advisory lock state for this instance.
+			tc.armedAnchor = 0
+		},
+	}
+	c.Atomic(opts, hooks, func(core *htm.Core) {
+		body(tc)
+	})
+}

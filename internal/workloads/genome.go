@@ -1,0 +1,81 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/prog"
+	"repro/internal/simds"
+	"repro/internal/stagger"
+)
+
+// genome: STAMP's gene sequencer, phase 1 — deduplicating DNA segments
+// into a fixed-size hash table whose overloaded buckets are linked lists
+// (the atomic block of Figure 3 in the paper). Conflict chains form when
+// several transactions insert into overlapping bucket sets; staggered
+// transactions break them by locking promotion up to the whole table.
+
+const (
+	genSegments = 2048
+	genDistinct = 512
+	genBuckets  = 256 // lightly loaded: ~2 entries per chain
+	genChunk    = 4   // segments inserted per transaction (Figure 3 loop)
+)
+
+func init() { register("genome", buildGenome) }
+
+func buildGenome() *Workload {
+	mod := prog.NewModule("genome")
+	ht := simds.DeclareHashTable(mod)
+
+	// The Figure 3 atomic block: a loop inserting a chunk of segments.
+	root := mod.NewFunc("insert_segments", "uniqueSegmentsPtr", "segment")
+	entry, loop, exit := root.Entry(), root.NewBlock("loop"), root.NewBlock("exit")
+	entry.To(loop)
+	loop.To(loop, exit)
+	loop.Call(ht.FnInsert, root.Param(0), root.Param(1))
+	ab := mod.Atomic("insert_segments", root)
+	mod.MustFinalize()
+
+	var table mem.Addr
+	return &Workload{
+		Name:        "genome",
+		Description: fmt.Sprintf("segment dedup: %d segments, %d buckets", genSegments, genBuckets),
+		Contention:  "low",
+		Mod:         mod,
+		TotalOps:    genSegments / genChunk, // one op = one chunk insert
+		Setup: func(m *htm.Machine, seed int64) {
+			table = simds.NewHashTable(m, genBuckets)
+		},
+		Body: func(rt *stagger.Runtime, tid, threads, ops int, seed int64) func(*htm.Core) {
+			rng := threadRNG(seed, tid)
+			return func(c *htm.Core) {
+				th := rt.Thread(c.ID())
+				al := c.Machine().Alloc
+				for i := 0; i < ops; i++ {
+					segs := make([]uint64, genChunk)
+					nodes := make([]mem.Addr, genChunk)
+					for j := range segs {
+						segs[j] = uint64(rng.Intn(genDistinct) + 1)
+						nodes[j] = al.AllocLines(1)
+					}
+					th.Atomic(c, ab, func(tc *stagger.TxCtx) {
+						for j, s := range segs {
+							ht.Insert(tc, table, s, s, nodes[j])
+							tc.Compute(30)
+						}
+					})
+					c.Compute(1200) // segment extraction outside the tx
+				}
+			}
+		},
+		Verify: func(m *htm.Machine, threads, totalOps int) error {
+			n := simds.HTCount(m, table)
+			if n == 0 || n > genDistinct {
+				return fmt.Errorf("table has %d entries, want 1..%d distinct", n, genDistinct)
+			}
+			return nil
+		},
+	}
+}

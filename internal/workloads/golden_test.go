@@ -1,0 +1,53 @@
+package workloads_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/anchor"
+	"repro/internal/workloads"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden anchor-table dumps")
+
+// TestAnchorTablesGolden locks down the compiler pass's output for every
+// benchmark: the complete unified anchor tables (anchor classification,
+// parents, pioneers, ALP insertion). Any change to DSA, Algorithm 1, or
+// table construction that alters a real program's compilation shows up
+// here as a diff. Regenerate intentionally with:
+//
+//	go test ./internal/workloads -run Golden -update
+func TestAnchorTablesGolden(t *testing.T) {
+	for _, name := range workloads.Names() {
+		t.Run(name, func(t *testing.T) {
+			w, err := workloads.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := anchor.Compile(w.Mod, anchor.DefaultOptions())
+			out := ""
+			for _, ab := range w.Mod.Atomics {
+				out += c.Dump(ab) + "\n"
+			}
+			path := filepath.Join("testdata", name+".anchors.golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if string(want) != out {
+				t.Errorf("anchor tables changed; run with -update if intended.\n--- got ---\n%s\n--- want ---\n%s", out, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,142 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/prog"
+	"repro/internal/simds"
+	"repro/internal/stagger"
+)
+
+// intruder: STAMP's network intrusion detector. Threads pop packet
+// fragments from a shared task queue, reassemble flows in a shared
+// fragment map, and — at the end of the long decoder transaction — push
+// completed flows onto the result queue. Table 1 names the task queue as
+// the contention source; the enqueue near the end of TMdecoder_process
+// is what staggered transactions serialize for the paper's biggest abort
+// reduction (89%).
+
+const (
+	intrFlows    = 128
+	intrFragsPer = 2
+	intrBuckets  = 64
+)
+
+func init() { register("intruder", buildIntruder) }
+
+func buildIntruder() *Workload {
+	mod := prog.NewModule("intruder")
+	q := simds.DeclareQueue(mod)
+	ht := simds.DeclareHashTable(mod)
+
+	// AB 1: fetch a fragment from the packet queue.
+	popRoot := mod.NewFunc("get_packet", "qPtr")
+	popRoot.Entry().Call(q.FnPop, popRoot.Param(0))
+	abPop := mod.Atomic("get_packet", popRoot)
+
+	// AB 2: the decoder: update the fragment map, and when the flow is
+	// complete, enqueue it on the result queue at the END of the
+	// transaction.
+	decRoot := mod.NewFunc("decoder_process", "mapPtr", "resultQ", "frag")
+	decRoot.Entry().Call(ht.FnInsert, decRoot.Param(0), decRoot.Param(2))
+	decRoot.Entry().Call(q.FnPush, decRoot.Param(1), decRoot.Param(2))
+	abDec := mod.Atomic("decoder_process", decRoot)
+
+	// AB 3: the detector pops completed flows and scans them.
+	detRoot := mod.NewFunc("detector", "resultQ")
+	detRoot.Entry().Call(q.FnPop, detRoot.Param(0))
+	abDet := mod.Atomic("detector", detRoot)
+	mod.MustFinalize()
+
+	var packetQ, resultQ, fragMap mem.Addr
+	return &Workload{
+		Name:        "intruder",
+		Description: "packet reassembly: shared task queue + fragment map",
+		Contention:  "high",
+		Mod:         mod,
+		TotalOps:    intrFlows * intrFragsPer, // one op = one fragment
+		Setup: func(m *htm.Machine, seed int64) {
+			packetQ = simds.NewQueue(m.Alloc)
+			resultQ = simds.NewQueue(m.Alloc)
+			fragMap = simds.NewHashTable(m, intrBuckets)
+			// Fragments interleaved across flows: flowID<<8 | fragIdx.
+			rng := threadRNG(seed, 888)
+			frags := make([]uint64, 0, intrFlows*intrFragsPer)
+			for f := 0; f < intrFragsPer; f++ {
+				for fl := 0; fl < intrFlows; fl++ {
+					frags = append(frags, uint64(fl)<<8|uint64(f))
+				}
+			}
+			rng.Shuffle(len(frags), func(i, j int) { frags[i], frags[j] = frags[j], frags[i] })
+			simds.SeedQueue(m, packetQ, frags)
+		},
+		Body: func(rt *stagger.Runtime, tid, threads, ops int, seed int64) func(*htm.Core) {
+			return func(c *htm.Core) {
+				th := rt.Thread(c.ID())
+				al := c.Machine().Alloc
+				for {
+					var frag uint64
+					var ok bool
+					th.Atomic(c, abPop, func(tc *stagger.TxCtx) {
+						frag, ok = q.Pop(tc, packetQ)
+					})
+					if !ok {
+						break
+					}
+					flow := frag >> 8
+					mapNode := al.AllocLines(1)
+					resNode := al.AllocLines(1)
+					th.Atomic(c, abDec, func(tc *stagger.TxCtx) {
+						tc.Compute(450) // decode fragment payload
+						// Count this flow's fragments in the shared map.
+						cnt, _ := ht.Lookup(tc, fragMap, flow+1)
+						ht.Insert(tc, fragMap, flow+1, cnt+1, mapNode)
+						tc.Compute(450) // checksum / reassembly work
+						// Hand the decoded fragment to the detector: the
+						// enqueue near the end of the long decoder
+						// transaction is intruder's dominant conflict
+						// (Section 6.2 of the paper).
+						q.Push(tc, resultQ, frag, resNode)
+					})
+					th.Atomic(c, abDet, func(tc *stagger.TxCtx) {
+						if f2, ok2 := q.Pop(tc, resultQ); ok2 {
+							_ = f2
+							tc.Compute(200) // signature scan
+						}
+					})
+					c.Compute(50)
+				}
+			}
+		},
+		Verify: func(m *htm.Machine, threads, totalOps int) error {
+			if n := simds.QueueLen(m, packetQ); n != 0 {
+				return fmt.Errorf("%d fragments left in packet queue", n)
+			}
+			// All flows fully assembled in the map.
+			for fl := 0; fl < intrFlows; fl++ {
+				cur := chainFind(m, fragMap, uint64(fl)+1)
+				if cur != intrFragsPer {
+					return fmt.Errorf("flow %d assembled %d/%d fragments", fl, cur, intrFragsPer)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// chainFind reads a hash-table value directly from memory.
+func chainFind(m *htm.Machine, ht mem.Addr, key uint64) uint64 {
+	nb := m.Mem.Load(ht)
+	bi := seedHTHash(key, nb)
+	chain := mem.Addr(m.Mem.Load(ht + mem.Addr(8*(1+bi))))
+	cur := mem.Addr(m.Mem.Load(chain))
+	for cur != 0 {
+		if m.Mem.Load(cur) == key {
+			return m.Mem.Load(cur + 8)
+		}
+		cur = mem.Addr(m.Mem.Load(cur + 16))
+	}
+	return 0
+}

@@ -1,0 +1,91 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/prog"
+	"repro/internal/simds"
+	"repro/internal/stagger"
+)
+
+// kmeans: STAMP's clustering kernel. Threads assign points to their
+// nearest center (compute outside the transaction, as STAMP does — the
+// centers are read-only within an iteration) and transactionally fold
+// the point into the chosen cluster's accumulator array. Conflicting
+// addresses and PCs both have good locality (Table 1), so precise-mode
+// advisory locks give near-fine-grain per-cluster serialization
+// (Section 6.2's kmeans discussion).
+
+const (
+	kmClusters = 8
+	kmDims     = 14
+	kmPoints   = 2048
+)
+
+func init() { register("kmeans", buildKmeans) }
+
+func buildKmeans() *Workload {
+	mod := prog.NewModule("kmeans")
+	cs := simds.DeclareCenters(mod, kmClusters, kmDims)
+	root := mod.NewFunc("assign_point", "centerPtr")
+	root.Entry().Call(cs.FnUpdate, root.Param(0))
+	ab := mod.Atomic("assign_point", root)
+	mod.MustFinalize()
+
+	var base mem.Addr
+	return &Workload{
+		Name:        "kmeans",
+		Description: fmt.Sprintf("n=%d d=%d c=%d accumulator updates", kmPoints, kmDims, kmClusters),
+		Contention:  "high",
+		Mod:         mod,
+		TotalOps:    kmPoints,
+		Setup: func(m *htm.Machine, seed int64) {
+			base = simds.NewCenters(m, cs)
+		},
+		Body: func(rt *stagger.Runtime, tid, threads, ops int, seed int64) func(*htm.Core) {
+			rng := threadRNG(seed, tid)
+			return func(c *htm.Core) {
+				th := rt.Thread(c.ID())
+				point := make([]uint64, kmDims)
+				for i := 0; i < ops; i++ {
+					for d := range point {
+						point[d] = uint64(rng.Intn(100))
+					}
+					// Nearest-center search: reads of stable centers,
+					// modeled as compute (STAMP keeps it outside the tx).
+					c.Compute(60 * kmDims)
+					// Real cluster sizes are skewed; popular clusters are
+					// where the paper's kmeans contention comes from.
+					k := skewedCluster(rng.Intn(100))
+					th.Atomic(c, ab, func(tc *stagger.TxCtx) {
+						cs.Update(tc, base, k, point)
+					})
+				}
+			}
+		},
+		Verify: func(m *htm.Machine, threads, totalOps int) error {
+			var total uint64
+			for k := 0; k < kmClusters; k++ {
+				total += cs.Count(m, base, k)
+			}
+			if total != uint64(totalOps) {
+				return fmt.Errorf("membership total = %d, want %d", total, totalOps)
+			}
+			return nil
+		},
+	}
+}
+
+// skewedCluster maps a uniform percentile to a cluster with a skewed
+// (roughly geometric) popularity distribution.
+func skewedCluster(p int) int {
+	cut := [kmClusters]int{40, 65, 80, 88, 93, 96, 98, 100}
+	for k, c := range cut {
+		if p < c {
+			return k
+		}
+	}
+	return kmClusters - 1
+}

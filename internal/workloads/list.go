@@ -1,0 +1,115 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/prog"
+	"repro/internal/simds"
+	"repro/internal/stagger"
+)
+
+// list-lo and list-hi: the RSTM IntSet microbenchmark. A set of threads
+// search and update one shared sorted list of ~64 nodes. list-lo runs
+// 90/5/5 lookup/insert/delete; list-hi runs 60/20/20 and is the paper's
+// worst scaler (S = 1.0 at 16 threads). Conflicting addresses vary from
+// instance to instance (cells all over the heap) while the conflicting
+// PCs are stable — the pattern that needs coarse-grain locking and
+// promotion rather than address-based prediction.
+
+const listNodes = 128
+
+func init() {
+	register("list-lo", func() *Workload { return buildList("list-lo", 90, 5, 3200) })
+	register("list-hi", func() *Workload { return buildList("list-hi", 60, 20, 3200) })
+}
+
+func buildList(name string, lookupPct, insertPct, totalOps int) *Workload {
+	mod := prog.NewModule(name)
+	l := simds.DeclareSortedList(mod)
+	abLookup := atomicWrap(mod, "lookup", l.FnLookup)
+	abInsert := atomicWrap(mod, "insert", l.FnInsert)
+	abDelete := atomicWrap(mod, "delete", l.FnDelete)
+	abSize := atomicWrap(mod, "contains_all", l.FnLookup)
+	mod.MustFinalize()
+
+	var list mem.Addr
+	return &Workload{
+		Name: name,
+		Description: fmt.Sprintf("%d nodes, %d%%/%d%%/%d%% lookup/insert/delete",
+			listNodes, lookupPct, insertPct, 100-lookupPct-insertPct),
+		Contention: map[string]string{"list-lo": "med", "list-hi": "high"}[name],
+		Mod:        mod,
+		TotalOps:   totalOps,
+		Setup: func(m *htm.Machine, seed int64) {
+			list = simds.NewList(m.Alloc)
+			keys := make([]uint64, 0, listNodes)
+			for k := uint64(2); len(keys) < listNodes; k += 4 {
+				keys = append(keys, k)
+			}
+			simds.SeedList(m, list, keys)
+		},
+		Body: func(rt *stagger.Runtime, tid, threads, ops int, seed int64) func(*htm.Core) {
+			rng := threadRNG(seed, tid)
+			return func(c *htm.Core) {
+				th := rt.Thread(c.ID())
+				// Per-thread node pool (Lockless-allocator stand-in):
+				// nodes pack four to a line within one thread's pool.
+				pool := mem.NewAllocator(c.Machine().Alloc.AllocLines(ops/2+2), uint64(ops/2+2)*64)
+				for i := 0; i < ops; i++ {
+					k := uint64(rng.Intn(2*listNodes))*2 + 2
+					r := rng.Intn(100)
+					switch {
+					case r < lookupPct:
+						th.Atomic(c, abLookup, func(tc *stagger.TxCtx) {
+							l.Lookup(tc, list, k)
+						})
+					case r < lookupPct+insertPct:
+						node := pool.AllocObject(2)
+						th.Atomic(c, abInsert, func(tc *stagger.TxCtx) {
+							l.Insert(tc, list, k, node)
+						})
+					default:
+						th.Atomic(c, abDelete, func(tc *stagger.TxCtx) {
+							l.Delete(tc, list, k)
+						})
+					}
+					c.Compute(10) // non-transactional think time
+					if i%64 == 63 {
+						// Occasional longer read-only scan (4th atomic block).
+						th.Atomic(c, abSize, func(tc *stagger.TxCtx) {
+							l.Lookup(tc, list, uint64(4*listNodes))
+						})
+					}
+				}
+			}
+		},
+		Verify: func(m *htm.Machine, threads, totalOps int) error {
+			keys := simds.Keys(m, list)
+			for i := 1; i < len(keys); i++ {
+				if keys[i-1] >= keys[i] {
+					return fmt.Errorf("list unsorted at %d: %d >= %d", i, keys[i-1], keys[i])
+				}
+			}
+			for _, k := range keys {
+				if k%2 != 0 {
+					return fmt.Errorf("odd key %d leaked into list", k)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// atomicWrap declares an atomic block that calls fn with the enclosing
+// root function's parameters (the usual "TM_BEGIN; call; TM_END" shape).
+func atomicWrap(mod *prog.Module, name string, fn *prog.Func) *prog.AtomicBlock {
+	root := mod.NewFunc("ab_"+name, "a0", "a1")
+	args := make([]*prog.Value, len(fn.Params))
+	for i := range args {
+		args[i] = root.Param(i % 2)
+	}
+	root.Entry().Call(fn, args...)
+	return mod.Atomic(name, root)
+}

@@ -1,0 +1,142 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/prog"
+	"repro/internal/simds"
+	"repro/internal/stagger"
+)
+
+// memcached: an in-memory key-value store (modeled on memcached 1.4.9
+// with the network code elided, fed synthetic memslap-style traffic).
+// Every GET and SET transaction updates the global statistics block in
+// the middle of the transaction — the paper's Table 1 identifies
+// "statistics information" as the contention source, with stable
+// conflicting addresses and PCs (precise-mode territory).
+
+const (
+	mcBuckets  = 128
+	mcInitKeys = 256
+	mcKeySpace = 512
+
+	statGets   = 0
+	statSets   = 1
+	statHits   = 2
+	statMisses = 3
+)
+
+func init() { register("memcached", buildMemcached) }
+
+func buildMemcached() *Workload {
+	mod := prog.NewModule("memcached")
+	ht := simds.DeclareHashTable(mod)
+	sb := simds.DeclareStats(mod)
+
+	// GET: lookup, then bump gets + hits/misses mid-transaction.
+	getRoot := mod.NewFunc("process_get", "htPtr", "statsPtr")
+	getRoot.Entry().Call(ht.FnLookup, getRoot.Param(0))
+	getRoot.Entry().Call(sb.FnBump, getRoot.Param(1))
+	getRoot.Entry().Call(sb.FnBump, getRoot.Param(1))
+	abGet := mod.Atomic("get", getRoot)
+
+	// SET: insert/update, then bump sets.
+	setRoot := mod.NewFunc("process_set", "htPtr", "statsPtr", "item")
+	setRoot.Entry().Call(ht.FnInsert, setRoot.Param(0), setRoot.Param(2))
+	setRoot.Entry().Call(sb.FnBump, setRoot.Param(1))
+	abSet := mod.Atomic("set", setRoot)
+	mod.MustFinalize()
+
+	var table, stats mem.Addr
+	return &Workload{
+		Name:        "memcached",
+		Description: "in-memory key-value storage, 90% GET / 10% SET",
+		Contention:  "high",
+		Mod:         mod,
+		TotalOps:    3200,
+		Setup: func(m *htm.Machine, seed int64) {
+			table = simds.NewHashTable(m, mcBuckets)
+			stats = simds.NewStats(m.Alloc)
+			rng := threadRNG(seed, 999)
+			for i := 0; i < mcInitKeys; i++ {
+				k := uint64(rng.Intn(mcKeySpace) + 1)
+				node := m.Alloc.AllocLines(1)
+				seedHTInsert(m, table, k, k*3, node)
+			}
+		},
+		Body: func(rt *stagger.Runtime, tid, threads, ops int, seed int64) func(*htm.Core) {
+			rng := threadRNG(seed, tid)
+			return func(c *htm.Core) {
+				th := rt.Thread(c.ID())
+				for i := 0; i < ops; i++ {
+					k := uint64(rng.Intn(mcKeySpace) + 1)
+					if rng.Intn(100) < 90 {
+						th.Atomic(c, abGet, func(tc *stagger.TxCtx) {
+							tc.Compute(60) // request parsing
+							_, hit := ht.Lookup(tc, table, k)
+							tc.Compute(40)
+							sb.Bump(tc, stats, statGets, 1)
+							if hit {
+								sb.Bump(tc, stats, statHits, 1)
+							} else {
+								sb.Bump(tc, stats, statMisses, 1)
+							}
+							tc.Compute(40) // response formatting
+						})
+					} else {
+						node := c.Machine().Alloc.AllocLines(1)
+						th.Atomic(c, abSet, func(tc *stagger.TxCtx) {
+							tc.Compute(200)
+							ht.Insert(tc, table, k, k*7, node)
+							sb.Bump(tc, stats, statSets, 1)
+							tc.Compute(100)
+						})
+					}
+					c.Compute(500)
+				}
+			}
+		},
+		Verify: func(m *htm.Machine, threads, totalOps int) error {
+			gets := simds.Counter(m.Mem, stats, statGets)
+			sets := simds.Counter(m.Mem, stats, statSets)
+			hits := simds.Counter(m.Mem, stats, statHits)
+			misses := simds.Counter(m.Mem, stats, statMisses)
+			if gets+sets != uint64(totalOps) {
+				return fmt.Errorf("gets+sets = %d, want %d", gets+sets, totalOps)
+			}
+			if hits+misses != gets {
+				return fmt.Errorf("hits+misses = %d, gets = %d", hits+misses, gets)
+			}
+			if n := simds.HTCount(m, table); n < mcInitKeys/2 || n > mcKeySpace {
+				return fmt.Errorf("implausible table size %d", n)
+			}
+			return nil
+		},
+	}
+}
+
+// seedHTInsert populates the hash table directly in memory (setup only).
+func seedHTInsert(m *htm.Machine, ht mem.Addr, key, val uint64, node mem.Addr) {
+	nb := m.Mem.Load(ht)
+	bi := seedHTHash(key, nb)
+	chain := mem.Addr(m.Mem.Load(ht + mem.Addr(8*(1+bi))))
+	// Walk for duplicates.
+	cur := mem.Addr(m.Mem.Load(chain))
+	for cur != 0 {
+		if m.Mem.Load(cur) == key {
+			m.Mem.Store(cur+8, val)
+			return
+		}
+		cur = mem.Addr(m.Mem.Load(cur + 16))
+	}
+	m.Mem.Store(node, key)
+	m.Mem.Store(node+8, val)
+	m.Mem.Store(node+16, m.Mem.Load(chain))
+	m.Mem.Store(chain, uint64(node))
+}
+
+func seedHTHash(key, numBucket uint64) uint64 {
+	return (key * 0x9E3779B97F4A7C15 >> 33) % numBucket
+}

@@ -1,0 +1,123 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/prog"
+	"repro/internal/simds"
+	"repro/internal/stagger"
+)
+
+// vacation: STAMP's travel reservation system. Each transaction makes a
+// reservation: several red-black-tree lookups across the car/room/flight
+// tables, one quantity update, and occasionally a customer-record
+// insert. Trees are large and keys scatter, so contention is moderate
+// (Table 1: wasted work exists but speedup is already 9.7); the paper
+// uses vacation to show staggered transactions do not slow down what
+// already scales.
+
+const (
+	vacRelations = 128 // entries per reservation table
+	vacTables    = 3   // cars, rooms, flights
+)
+
+func init() { register("vacation", buildVacation) }
+
+func buildVacation() *Workload {
+	mod := prog.NewModule("vacation")
+	rb := simds.DeclareRBTree(mod)
+
+	resRoot := mod.NewFunc("make_reservation", "tablePtr", "customerPtr")
+	resRoot.Entry().Call(rb.FnLookup, resRoot.Param(0))
+	resRoot.Entry().Call(rb.FnLookup, resRoot.Param(0))
+	resRoot.Entry().Call(rb.FnUpdate, resRoot.Param(0))
+	abReserve := mod.Atomic("make_reservation", resRoot)
+
+	custRoot := mod.NewFunc("add_customer", "customerPtr", "record")
+	custRoot.Entry().Call(rb.FnInsert, custRoot.Param(0), custRoot.Param(1))
+	abCustomer := mod.Atomic("add_customer", custRoot)
+
+	qryRoot := mod.NewFunc("query_tables", "tablePtr")
+	qryRoot.Entry().Call(rb.FnLookup, qryRoot.Param(0))
+	abQuery := mod.Atomic("query_tables", qryRoot)
+	mod.MustFinalize()
+
+	var tables [vacTables]mem.Addr
+	var customers mem.Addr
+	return &Workload{
+		Name:        "vacation",
+		Description: fmt.Sprintf("reservations over %d-entry red-black trees", vacRelations),
+		Contention:  "med",
+		Mod:         mod,
+		TotalOps:    2400,
+		Setup: func(m *htm.Machine, seed int64) {
+			keys := make([]uint64, vacRelations)
+			for i := range keys {
+				keys[i] = uint64(i*2 + 2)
+			}
+			for t := range tables {
+				tables[t] = simds.NewRBTree(m.Alloc)
+				simds.SeedRBTree(m, tables[t], keys, func(k uint64) uint64 { return 100 })
+			}
+			customers = simds.NewRBTree(m.Alloc)
+			ckeys := make([]uint64, 256)
+			for i := range ckeys {
+				ckeys[i] = uint64(1000 + i*400)
+			}
+			simds.SeedRBTree(m, customers, ckeys, func(k uint64) uint64 { return 0 })
+		},
+		Body: func(rt *stagger.Runtime, tid, threads, ops int, seed int64) func(*htm.Core) {
+			rng := threadRNG(seed, tid)
+			return func(c *htm.Core) {
+				th := rt.Thread(c.ID())
+				al := c.Machine().Alloc
+				for i := 0; i < ops; i++ {
+					r := rng.Intn(100)
+					switch {
+					case r < 80: // make a reservation
+						tb := tables[rng.Intn(vacTables)]
+						k1 := uint64(rng.Intn(vacRelations))*2 + 2
+						k2 := uint64(rng.Intn(vacRelations))*2 + 2
+						th.Atomic(c, abReserve, func(tc *stagger.TxCtx) {
+							rb.Lookup(tc, tb, k1)
+							tc.Compute(120)
+							rb.Lookup(tc, tb, k2)
+							tc.Compute(120)
+							rb.Update(tc, tb, k1, ^uint64(0)) // -1 seat/room
+						})
+					case r < 90: // register a customer
+						node := al.AllocLines(1)
+						key := uint64(1000 + rng.Intn(100000))
+						th.Atomic(c, abCustomer, func(tc *stagger.TxCtx) {
+							rb.Insert(tc, customers, key, uint64(tid), node)
+						})
+					default: // price queries
+						tb := tables[rng.Intn(vacTables)]
+						k := uint64(rng.Intn(vacRelations))*2 + 2
+						th.Atomic(c, abQuery, func(tc *stagger.TxCtx) {
+							rb.Lookup(tc, tb, k)
+							tc.Compute(200)
+						})
+					}
+					c.Compute(150)
+				}
+			}
+		},
+		Verify: func(m *htm.Machine, threads, totalOps int) error {
+			for t := range tables {
+				if !simds.RBDepthOK(m, tables[t]) {
+					return fmt.Errorf("table %d violates red-black invariants", t)
+				}
+				if got := len(simds.RBKeys(m, tables[t])); got != vacRelations {
+					return fmt.Errorf("table %d has %d keys, want %d", t, got, vacRelations)
+				}
+			}
+			if !simds.RBDepthOK(m, customers) {
+				return fmt.Errorf("customer tree violates red-black invariants")
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,106 @@
+// Package workloads ports the paper's ten benchmarks to the simulated
+// machine: genome, intruder, kmeans, labyrinth, ssca2, vacation (STAMP),
+// list-lo and list-hi (RSTM IntSet), tsp (branch-and-bound over a B+ tree
+// priority queue), and memcached (key-value store with global statistics).
+//
+// Each port reproduces the benchmark's *contention pattern* as itemized
+// in Table 1 of the paper (linked lists, priority queue head, statistics
+// line, task queues, accumulator arrays, red-black trees) on real shared
+// data structures in simulated memory, with synthetic inputs drawn from
+// seeded PRNGs. Work is fixed in total and split across threads, so
+// speedup is sequential-cycles over parallel-makespan.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/htm"
+	"repro/internal/prog"
+	"repro/internal/stagger"
+)
+
+// Workload is one runnable benchmark. Build-returned instances are
+// single-use: Setup allocates state inside one machine, Body closures
+// reference it, Verify checks it after the run.
+type Workload struct {
+	// Name is the benchmark's identifier (e.g. "list-hi").
+	Name string
+	// Description summarizes source and input, as in Table 4.
+	Description string
+	// Contention is the paper's qualitative rating: low / med / high.
+	Contention string
+	// Mod is the finalized static program of the benchmark.
+	Mod *prog.Module
+
+	// TotalOps is the default total transactional operation count.
+	TotalOps int
+
+	// Setup seeds the shared data (untimed, direct memory writes).
+	Setup func(m *htm.Machine, seed int64)
+	// Body returns the thread body for thread tid of threads, performing
+	// ops operations.
+	Body func(rt *stagger.Runtime, tid, threads, ops int, seed int64) func(*htm.Core)
+	// Verify checks post-run invariants against the expected totals.
+	Verify func(m *htm.Machine, threads, totalOps int) error
+}
+
+// Builder constructs a fresh workload instance (fresh module and state).
+type Builder func() *Workload
+
+var registry = map[string]Builder{}
+
+// register adds a builder; called from each workload's init.
+func register(name string, b Builder) {
+	if _, dup := registry[name]; dup {
+		panic("workloads: duplicate " + name)
+	}
+	registry[name] = b
+}
+
+// Get builds a fresh instance of the named workload.
+func Get(name string) (*Workload, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown benchmark %q", name)
+	}
+	return b(), nil
+}
+
+// Names lists registered benchmarks in the paper's Table 4 order where
+// applicable, alphabetically otherwise.
+func Names() []string {
+	order := []string{"genome", "intruder", "kmeans", "labyrinth", "ssca2",
+		"vacation", "list-lo", "list-hi", "tsp", "memcached"}
+	var out []string
+	seen := map[string]bool{}
+	for _, n := range order {
+		if _, ok := registry[n]; ok {
+			out = append(out, n)
+			seen[n] = true
+		}
+	}
+	var rest []string
+	for n := range registry {
+		if !seen[n] {
+			rest = append(rest, n)
+		}
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}
+
+// split gives thread tid its share of total operations.
+func split(total, threads, tid int) int {
+	n := total / threads
+	if tid < total%threads {
+		n++
+	}
+	return n
+}
+
+// threadRNG derives a deterministic per-thread generator.
+func threadRNG(seed int64, tid int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1000003 + int64(tid)*7919 + 17))
+}
