@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: ci vet build test smoke paper
+
+# ci is the gate: static checks, full build, full test suite, then the
+# chaos smoke (fault injection + verification on a representative cell).
+ci: vet build test smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+smoke:
+	$(GO) test ./internal/harness -run TestChaosSmoke -count=1
+
+paper:
+	$(GO) run ./cmd/paper

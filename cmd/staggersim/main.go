@@ -6,6 +6,11 @@
 //
 //	staggersim -bench list-hi -mode staggered -threads 16
 //	staggersim -bench tsp -mode htm -threads 1 -ops 2000 -v
+//
+// Fault injection (all deterministic in -seed):
+//
+//	staggersim -bench list-hi -chaos 0.01 -hardened
+//	staggersim -chaos-campaign -chaos-rates 0,0.002,0.01,0.05 -ops 240
 package main
 
 import (
@@ -13,8 +18,10 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
+	"repro/internal/chaos"
 	"repro/internal/harness"
 	"repro/internal/htm"
 	"repro/internal/stagger"
@@ -46,7 +53,21 @@ func main() {
 	lazy := flag.Bool("lazy", false, "lazy (commit-time) conflict detection")
 	trace := flag.Int("trace", 0, "print the first N transaction events")
 	speedup := flag.Bool("speedup", false, "also run 1-thread baseline and report speedup")
+	chaosRate := flag.Float64("chaos", 0, "inject every fault class at this rate (0 = off)")
+	chaosAbort := flag.Float64("chaos-abort", 0, "spurious-abort rate (overrides -chaos)")
+	chaosNT := flag.Float64("chaos-ntdelay", 0, "NT-store delay rate (overrides -chaos)")
+	chaosDrop := flag.Float64("chaos-lockdrop", 0, "lost-lock-release rate (overrides -chaos)")
+	chaosJit := flag.Float64("chaos-jitter", 0, "per-core stall-jitter rate (overrides -chaos)")
+	hardened := flag.Bool("hardened", false, "run the self-healing runtime config (leases, jitter, exp backoff, livelock escape)")
+	watchdog := flag.Uint64("watchdog", 0, "fail loudly past this many virtual cycles (0 = none)")
+	campaign := flag.Bool("chaos-campaign", false, "sweep fault rates across benchmarks and print degradation curves")
+	rates := flag.String("chaos-rates", "", "comma-separated fault rates for -chaos-campaign")
 	flag.Parse()
+
+	if *campaign {
+		runCampaign(*bench, *mode, *threads, *seed, *ops, *watchdog, *rates)
+		return
+	}
 
 	if *bench == "" {
 		fmt.Println("available benchmarks:")
@@ -70,6 +91,27 @@ func main() {
 		Naive:     *naive,
 		Lazy:      *lazy,
 		TraceN:    *trace,
+		Watchdog:  *watchdog,
+	}
+	ccfg := chaos.Scaled(*chaosRate, *seed)
+	if *chaosAbort > 0 {
+		ccfg.AbortRate = *chaosAbort
+	}
+	if *chaosNT > 0 {
+		ccfg.NTDelayRate = *chaosNT
+	}
+	if *chaosDrop > 0 {
+		ccfg.LockDropRate = *chaosDrop
+	}
+	if *chaosJit > 0 {
+		ccfg.JitterRate = *chaosJit
+	}
+	if ccfg.Enabled() {
+		rc.Chaos = &ccfg
+	}
+	if *hardened {
+		scfg := stagger.HardenedConfig(m)
+		rc.Stagger = &scfg
 	}
 	res, err := harness.Run(rc)
 	if err != nil {
@@ -94,6 +136,42 @@ func main() {
 	}
 }
 
+// runCampaign sweeps fault rates across benchmarks under the hardened
+// runtime and prints graceful-degradation curves.
+func runCampaign(bench, mode string, threads int, seed int64, ops int, watchdog uint64, rateList string) {
+	m, err := parseMode(mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "staggersim:", err)
+		os.Exit(2)
+	}
+	cs := harness.ChaosSweep{
+		Mode:     m,
+		Threads:  threads,
+		Seed:     seed,
+		TotalOps: ops,
+		Watchdog: watchdog,
+	}
+	if bench != "" {
+		cs.Benchmarks = strings.Split(bench, ",")
+	}
+	if rateList != "" {
+		for _, f := range strings.Split(rateList, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "staggersim: bad -chaos-rates entry %q: %v\n", f, err)
+				os.Exit(2)
+			}
+			cs.Rates = append(cs.Rates, r)
+		}
+	}
+	cells, err := harness.RunChaosSweep(cs)
+	fmt.Print(harness.FormatChaos(cells))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "staggersim:", err)
+		os.Exit(1)
+	}
+}
+
 func printResult(r *harness.Result) {
 	s := &r.Stats
 	fmt.Printf("benchmark   %s  (%s, %d threads, seed %d)\n",
@@ -101,14 +179,22 @@ func printResult(r *harness.Result) {
 	fmt.Printf("makespan    %d cycles\n", s.Makespan)
 	fmt.Printf("commits     %d  (irrevocable %d = %.1f%%)\n",
 		s.Commits, s.IrrevocableCommits, 100*s.IrrevocableFraction())
-	fmt.Printf("aborts      %d total (%.2f per commit): conflict %d, overflow %d, explicit %d, lock-held %d\n",
+	fmt.Printf("aborts      %d total (%.2f per commit): conflict %d, overflow %d, explicit %d, lock-held %d, spurious %d\n",
 		s.TotalAborts(), s.AbortsPerCommit(),
 		s.Aborts[htm.AbortConflict], s.Aborts[htm.AbortOverflow],
-		s.Aborts[htm.AbortExplicit], s.Aborts[htm.AbortLockHeld])
+		s.Aborts[htm.AbortExplicit], s.Aborts[htm.AbortLockHeld],
+		s.Aborts[htm.AbortSpurious])
 	fmt.Printf("cycles      useful-tx %d, wasted-tx %d (W/U %.2f)\n",
 		s.UsefulTxCycles, s.WastedTxCycles, s.WastedOverUseful())
-	fmt.Printf("waiting     lock %d, backoff %d, global %d\n",
-		s.WaitCycles[htm.WaitLock], s.WaitCycles[htm.WaitBackoff], s.WaitCycles[htm.WaitGlobal])
+	fmt.Printf("waiting     lock %d, backoff %d, global %d, fault %d\n",
+		s.WaitCycles[htm.WaitLock], s.WaitCycles[htm.WaitBackoff],
+		s.WaitCycles[htm.WaitGlobal], s.WaitCycles[htm.WaitFault])
+	if r.Faults.Total() > 0 {
+		fmt.Printf("chaos       injected: aborts %d, nt-delays %d, lock-drops %d, jitters %d\n",
+			r.Faults.Aborts, r.Faults.NTDelays, r.Faults.LockDrops, r.Faults.Jitters)
+		fmt.Printf("recovery    locks reclaimed %d, lock timeouts %d, livelock escapes %d\n",
+			r.Metrics.LocksReclaimed, r.Metrics.LockTimeouts, r.Metrics.LivelockEscapes)
+	}
 	fmt.Printf("tm fraction %.1f%% of cycles, %.0f tx-uops per txn\n",
 		100*r.TMFraction(), r.UopsPerTxn())
 	fmt.Printf("memory      L1 %d, L2 %d, L3/transfer %d, DRAM %d\n",

@@ -24,7 +24,8 @@ var (
 // RunCached is Run with memoization over the default machine and runtime
 // configurations. Configs with overrides bypass the cache.
 func RunCached(rc RunConfig) (*Result, error) {
-	if rc.Machine != nil || rc.Stagger != nil || rc.TraceN > 0 {
+	if rc.Machine != nil || rc.Stagger != nil || rc.TraceN > 0 ||
+		rc.Chaos != nil || rc.Watchdog != 0 {
 		return Run(rc)
 	}
 	if rc.Seed == 0 {

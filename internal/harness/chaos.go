@@ -1,0 +1,184 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/chaos"
+	"repro/internal/htm"
+	"repro/internal/stagger"
+	"repro/internal/workloads"
+)
+
+// A chaos campaign sweeps fault-injection rates across benchmarks and
+// checks that the hardened runtime degrades gracefully: every cell must
+// finish under the watchdog and pass its workload's Verify invariants,
+// whatever mix of spurious aborts, delayed NT stores, lost lock releases,
+// and stall jitter is thrown at it. The output is a degradation curve —
+// makespan at each fault rate normalized to the fault-free run — which is
+// the robustness analogue of Figure 7.
+
+// ChaosSweep configures one campaign.
+type ChaosSweep struct {
+	// Benchmarks to sweep; empty means all workloads.
+	Benchmarks []string
+	// Rates are the per-event fault probabilities to sweep. The first
+	// rate-0 cell (added automatically if absent) is the degradation
+	// denominator. Empty means {0, 0.002, 0.01, 0.05}.
+	Rates []float64
+	// Mode under test; campaigns default to full staggered transactions.
+	Mode stagger.Mode
+	// Threads per cell (default PaperThreads).
+	Threads int
+	// Seed drives both the workload and the fault schedule.
+	Seed int64
+	// TotalOps overrides each workload's default operation count (0 =
+	// default; campaigns usually shorten runs).
+	TotalOps int
+	// Watchdog bounds each cell's virtual time (default 200M cycles) so a
+	// livelocked cell fails loudly with its last trace events.
+	Watchdog uint64
+	// Stagger overrides the runtime config; nil uses HardenedConfig, the
+	// self-healing configuration the campaign exists to exercise.
+	Stagger *stagger.Config
+}
+
+// ChaosCell is one (benchmark, rate) result.
+type ChaosCell struct {
+	Bench string
+	Rate  float64
+
+	Makespan uint64
+	Commits  uint64
+	Aborts   uint64
+	Spurious uint64 // injected-abort deliveries observed by the HTM
+
+	LocksReclaimed  uint64
+	LockTimeouts    uint64
+	LivelockEscapes uint64
+
+	// Faults counts what the injector actually fired, by class.
+	Faults chaos.Counts
+
+	// Degradation is Makespan over the same benchmark's rate-0 makespan.
+	Degradation float64
+
+	// VerifyErr records an invariant failure (the sweep also returns an
+	// error, but the cell is kept for diagnosis).
+	VerifyErr error
+}
+
+func (cs *ChaosSweep) defaults() {
+	if len(cs.Benchmarks) == 0 {
+		cs.Benchmarks = workloads.Names()
+	}
+	if len(cs.Rates) == 0 {
+		cs.Rates = []float64{0, 0.002, 0.01, 0.05}
+	}
+	if cs.Rates[0] != 0 {
+		cs.Rates = append([]float64{0}, cs.Rates...)
+	}
+	if cs.Threads == 0 {
+		cs.Threads = PaperThreads
+	}
+	if cs.Seed == 0 {
+		cs.Seed = 42
+	}
+	if cs.Watchdog == 0 {
+		cs.Watchdog = 200_000_000
+	}
+	if cs.Stagger == nil {
+		scfg := stagger.HardenedConfig(cs.Mode)
+		cs.Stagger = &scfg
+	}
+}
+
+// RunChaosSweep runs the campaign. It returns the cells in sweep order
+// and an error if any cell hit the watchdog or failed verification —
+// graceful degradation means slower, never wrong or stuck.
+func RunChaosSweep(cs ChaosSweep) ([]ChaosCell, error) {
+	cs.defaults()
+	var cells []ChaosCell
+	var firstErr error
+	for _, b := range cs.Benchmarks {
+		var base uint64
+		for _, rate := range cs.Rates {
+			rc := RunConfig{
+				Benchmark: b,
+				Mode:      cs.Mode,
+				Threads:   cs.Threads,
+				Seed:      cs.Seed,
+				TotalOps:  cs.TotalOps,
+				Watchdog:  cs.Watchdog,
+				Stagger:   cs.Stagger,
+			}
+			if rate > 0 {
+				ccfg := chaos.Scaled(rate, cs.Seed)
+				rc.Chaos = &ccfg
+			}
+			res, err := Run(rc)
+			if err != nil {
+				// Watchdog (or setup) failure: the campaign is already
+				// lost; report it with the cell context attached.
+				return cells, fmt.Errorf("chaos sweep: rate %g: %w", rate, err)
+			}
+			cell := ChaosCell{
+				Bench:           b,
+				Rate:            rate,
+				Makespan:        res.Makespan(),
+				Commits:         res.Stats.Commits,
+				Aborts:          res.Stats.TotalAborts(),
+				Spurious:        res.Stats.Aborts[htm.AbortSpurious],
+				LocksReclaimed:  res.Metrics.LocksReclaimed,
+				LockTimeouts:    res.Metrics.LockTimeouts,
+				LivelockEscapes: res.Metrics.LivelockEscapes,
+				Faults:          res.Faults,
+				VerifyErr:       res.VerifyErr,
+			}
+			if rate == 0 {
+				base = cell.Makespan
+			}
+			if base != 0 {
+				cell.Degradation = float64(cell.Makespan) / float64(base)
+			}
+			cells = append(cells, cell)
+			if res.VerifyErr != nil && firstErr == nil {
+				firstErr = fmt.Errorf("chaos sweep: %s at rate %g: verify failed: %w",
+					b, rate, res.VerifyErr)
+			}
+		}
+	}
+	return cells, firstErr
+}
+
+// FormatChaos renders the campaign as per-benchmark degradation curves.
+func FormatChaos(cells []ChaosCell) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos campaign: graceful degradation under injected faults\n")
+	fmt.Fprintf(&b, "%-10s %7s %6s %9s %8s %8s %6s %6s %6s %6s  %s\n",
+		"Benchmark", "rate", "ok", "makespan", "commits", "aborts",
+		"spur", "recl", "tmo", "esc", "degradation")
+	for _, c := range cells {
+		ok := "Y"
+		if c.VerifyErr != nil {
+			ok = "FAIL"
+		}
+		fmt.Fprintf(&b, "%-10s %7.3g %6s %9d %8d %8d %6d %6d %6d %6d  %s\n",
+			c.Bench, c.Rate, ok, c.Makespan, c.Commits, c.Aborts,
+			c.Spurious, c.LocksReclaimed, c.LockTimeouts, c.LivelockEscapes,
+			degradeBar(c.Degradation))
+	}
+	return b.String()
+}
+
+// degradeBar draws a normalized-makespan bar (1.0 = fault-free speed).
+func degradeBar(v float64) string {
+	n := int(v*10 + 0.5)
+	if n < 0 {
+		n = 0
+	}
+	if n > 60 {
+		n = 60
+	}
+	return strings.Repeat("#", n) + fmt.Sprintf(" %.2fx", v)
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"repro/internal/anchor"
+	"repro/internal/chaos"
 	"repro/internal/htm"
 	"repro/internal/stagger"
 	"repro/internal/workloads"
@@ -43,6 +44,13 @@ type RunConfig struct {
 	// Stagger optionally overrides the runtime configuration; nil uses
 	// the paper's parameters for the selected mode.
 	Stagger *stagger.Config
+	// Chaos enables deterministic fault injection (nil or all-zero rates:
+	// fault-free, bit-identical to the baseline simulator).
+	Chaos *chaos.Config
+	// Watchdog bounds each core's virtual clock; a run exceeding it fails
+	// loudly with the last trace events instead of hanging (0 = no
+	// bound). Overrides Machine.WatchdogCycles when nonzero.
+	Watchdog uint64
 }
 
 // Result is everything one run produces.
@@ -68,6 +76,9 @@ type Result struct {
 
 	// VerifyErr is non-nil if the workload's invariants failed.
 	VerifyErr error
+
+	// Faults counts injected faults by class (all zero without chaos).
+	Faults chaos.Counts
 }
 
 // Makespan returns the simulated duration in cycles.
@@ -134,6 +145,9 @@ func Run(rc RunConfig) (*Result, error) {
 	mcfg.HardwareCPC = rc.Mode == stagger.ModeStaggeredHW
 	mcfg.Lazy = rc.Lazy
 	mcfg.Seed = rc.Seed
+	if rc.Watchdog != 0 {
+		mcfg.WatchdogCycles = rc.Watchdog
+	}
 
 	aopts := anchor.DefaultOptions()
 	aopts.PCBits = mcfg.PCTagBits
@@ -149,6 +163,12 @@ func Run(rc RunConfig) (*Result, error) {
 		scfg = *rc.Stagger
 		scfg.Mode = rc.Mode
 	}
+	var inj *chaos.Injector
+	if rc.Chaos != nil && rc.Chaos.Enabled() {
+		inj = chaos.NewInjector(*rc.Chaos, mcfg.Cores)
+		mach.SetFaultInjector(inj)
+		scfg.LockFaults = inj
+	}
 	rt := stagger.New(mach, comp, scfg)
 
 	w.Setup(mach, rc.Seed)
@@ -157,7 +177,10 @@ func Run(rc RunConfig) (*Result, error) {
 		n := splitOps(rc.TotalOps, rc.Threads, tid)
 		bodies[tid] = w.Body(rt, tid, rc.Threads, n, rc.Seed)
 	}
-	mach.Run(bodies)
+	if err := mach.RunChecked(bodies); err != nil {
+		return nil, fmt.Errorf("harness: %s (%s, %d threads): %w",
+			rc.Benchmark, rc.Mode, rc.Threads, err)
+	}
 
 	res := &Result{
 		Config:         rc,
@@ -172,6 +195,9 @@ func Run(rc RunConfig) (*Result, error) {
 	res.LA, res.LP = rt.Locality()
 	res.PerAB = rt.PerAB()
 	res.Trace = mach.Trace()
+	if inj != nil {
+		res.Faults = inj.Counts()
+	}
 	return res, nil
 }
 

@@ -111,15 +111,15 @@ var table3Benches = []string{"genome", "intruder", "kmeans", "labyrinth",
 func Table3(seed int64) ([]Table3Row, error) {
 	var rows []Table3Row
 	for _, b := range table3Benches {
-		base1, err := RunCached(RunConfig{Benchmark: b, Mode: stagger.ModeHTM, Threads: 1, Seed: seed})
+		base1, err := runVerified(RunConfig{Benchmark: b, Mode: stagger.ModeHTM, Threads: 1, Seed: seed})
 		if err != nil {
 			return nil, err
 		}
-		inst1, err := RunCached(RunConfig{Benchmark: b, Mode: stagger.ModeStaggeredHW, Threads: 1, Seed: seed})
+		inst1, err := runVerified(RunConfig{Benchmark: b, Mode: stagger.ModeStaggeredHW, Threads: 1, Seed: seed})
 		if err != nil {
 			return nil, err
 		}
-		inst16, err := RunCached(RunConfig{Benchmark: b, Mode: stagger.ModeStaggeredHW, Threads: PaperThreads, Seed: seed})
+		inst16, err := runVerified(RunConfig{Benchmark: b, Mode: stagger.ModeStaggeredHW, Threads: PaperThreads, Seed: seed})
 		if err != nil {
 			return nil, err
 		}
@@ -219,13 +219,13 @@ type Figure7Row struct {
 func Figure7(seed int64) ([]Figure7Row, error) {
 	var rows []Figure7Row
 	for _, b := range workloads.Names() {
-		base, err := RunCached(RunConfig{Benchmark: b, Mode: stagger.ModeHTM, Threads: PaperThreads, Seed: seed})
+		base, err := runVerified(RunConfig{Benchmark: b, Mode: stagger.ModeHTM, Threads: PaperThreads, Seed: seed})
 		if err != nil {
 			return nil, err
 		}
 		row := Figure7Row{Bench: b, HTM: 1.0}
 		for _, m := range []stagger.Mode{stagger.ModeAddrOnly, stagger.ModeStaggeredSW, stagger.ModeStaggeredHW} {
-			res, err := RunCached(RunConfig{Benchmark: b, Mode: m, Threads: PaperThreads, Seed: seed})
+			res, err := runVerified(RunConfig{Benchmark: b, Mode: m, Threads: PaperThreads, Seed: seed})
 			if err != nil {
 				return nil, err
 			}
@@ -286,11 +286,11 @@ type Figure8Row struct {
 func Figure8(seed int64) ([]Figure8Row, error) {
 	var rows []Figure8Row
 	for _, b := range workloads.Names() {
-		base, err := RunCached(RunConfig{Benchmark: b, Mode: stagger.ModeHTM, Threads: PaperThreads, Seed: seed})
+		base, err := runVerified(RunConfig{Benchmark: b, Mode: stagger.ModeHTM, Threads: PaperThreads, Seed: seed})
 		if err != nil {
 			return nil, err
 		}
-		stag, err := RunCached(RunConfig{Benchmark: b, Mode: stagger.ModeStaggeredHW, Threads: PaperThreads, Seed: seed})
+		stag, err := runVerified(RunConfig{Benchmark: b, Mode: stagger.ModeStaggeredHW, Threads: PaperThreads, Seed: seed})
 		if err != nil {
 			return nil, err
 		}
@@ -397,20 +397,36 @@ func FormatClaims(cs *ClaimsSummary) string {
 	return b.String()
 }
 
-// speedupCached is Speedup over RunCached.
+// speedupCached is Speedup over runVerified.
 func speedupCached(rc RunConfig) (float64, *Result, error) {
 	seq := rc
 	seq.Mode = stagger.ModeHTM
 	seq.Threads = 1
-	seqRes, err := RunCached(seq)
+	seqRes, err := runVerified(seq)
 	if err != nil {
 		return 0, nil, err
 	}
-	parRes, err := RunCached(rc)
+	parRes, err := runVerified(rc)
 	if err != nil {
 		return 0, nil, err
 	}
 	return float64(seqRes.Makespan()) / float64(parRes.Makespan()), parRes, nil
+}
+
+// runVerified is RunCached plus invariant enforcement: a run whose
+// workload Verify failed is an error, never a data point. Every table and
+// figure generator goes through it so a correctness bug cannot silently
+// become a (meaningless) performance number.
+func runVerified(rc RunConfig) (*Result, error) {
+	res, err := RunCached(rc)
+	if err != nil {
+		return nil, err
+	}
+	if res.VerifyErr != nil {
+		return nil, fmt.Errorf("harness: %s (%s, %d threads): verify failed: %w",
+			rc.Benchmark, rc.Mode, rc.Threads, res.VerifyErr)
+	}
+	return res, nil
 }
 
 // LazyRow compares eager and lazy conflict detection for one benchmark:
@@ -434,15 +450,15 @@ func FigureLazy(seed int64) ([]LazyRow, error) {
 	for _, b := range []string{"intruder", "kmeans", "list-hi", "memcached", "tsp", "vacation"} {
 		row := LazyRow{Bench: b}
 		for _, lazy := range []bool{false, true} {
-			seq, err := RunCached(RunConfig{Benchmark: b, Mode: stagger.ModeHTM, Threads: 1, Seed: seed, Lazy: lazy})
+			seq, err := runVerified(RunConfig{Benchmark: b, Mode: stagger.ModeHTM, Threads: 1, Seed: seed, Lazy: lazy})
 			if err != nil {
 				return nil, err
 			}
-			base, err := RunCached(RunConfig{Benchmark: b, Mode: stagger.ModeHTM, Threads: PaperThreads, Seed: seed, Lazy: lazy})
+			base, err := runVerified(RunConfig{Benchmark: b, Mode: stagger.ModeHTM, Threads: PaperThreads, Seed: seed, Lazy: lazy})
 			if err != nil {
 				return nil, err
 			}
-			stag, err := RunCached(RunConfig{Benchmark: b, Mode: stagger.ModeStaggeredHW, Threads: PaperThreads, Seed: seed, Lazy: lazy})
+			stag, err := runVerified(RunConfig{Benchmark: b, Mode: stagger.ModeStaggeredHW, Threads: PaperThreads, Seed: seed, Lazy: lazy})
 			if err != nil {
 				return nil, err
 			}
@@ -483,17 +499,17 @@ type ScalingRow struct {
 // staggered systems (the paper notes, e.g., that list-hi "stops scaling
 // after 4 threads" on plain HTM).
 func Scaling(bench string, seed int64) ([]ScalingRow, error) {
-	seq, err := RunCached(RunConfig{Benchmark: bench, Mode: stagger.ModeHTM, Threads: 1, Seed: seed})
+	seq, err := runVerified(RunConfig{Benchmark: bench, Mode: stagger.ModeHTM, Threads: 1, Seed: seed})
 	if err != nil {
 		return nil, err
 	}
 	var rows []ScalingRow
 	for _, th := range []int{1, 2, 4, 8, 16} {
-		base, err := RunCached(RunConfig{Benchmark: bench, Mode: stagger.ModeHTM, Threads: th, Seed: seed})
+		base, err := runVerified(RunConfig{Benchmark: bench, Mode: stagger.ModeHTM, Threads: th, Seed: seed})
 		if err != nil {
 			return nil, err
 		}
-		stag, err := RunCached(RunConfig{Benchmark: bench, Mode: stagger.ModeStaggeredHW, Threads: th, Seed: seed})
+		stag, err := runVerified(RunConfig{Benchmark: bench, Mode: stagger.ModeStaggeredHW, Threads: th, Seed: seed})
 		if err != nil {
 			return nil, err
 		}

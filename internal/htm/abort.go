@@ -23,6 +23,12 @@ const (
 	// AbortLockHeld means the transaction found the irrevocable global
 	// lock held when it tried to commit (or subscribe), and self-aborted.
 	AbortLockHeld
+	// AbortSpurious is a best-effort-HTM abort with no architectural
+	// cause visible to software: interrupts, capacity aliasing, TLB
+	// shootdowns. The simulator is fault-free by default; these are
+	// produced only by an installed FaultInjector.
+	AbortSpurious
+	numAbortReasons
 )
 
 // String implements fmt.Stringer.
@@ -38,6 +44,8 @@ func (r AbortReason) String() string {
 		return "explicit"
 	case AbortLockHeld:
 		return "lock-held"
+	case AbortSpurious:
+		return "spurious"
 	default:
 		return fmt.Sprintf("AbortReason(%d)", uint8(r))
 	}

@@ -71,6 +71,13 @@ type Config struct {
 	// designed to be independent of the resolution policy.
 	Lazy bool
 
+	// WatchdogCycles bounds each core's virtual clock: a core whose clock
+	// exceeds the bound before its thread body returns trips a progress
+	// watchdog that fails the run loudly (with the last transaction
+	// events) instead of letting a livelocked simulation spin forever.
+	// 0 (the default) disables the watchdog.
+	WatchdogCycles uint64
+
 	// Seed feeds the per-core PRNGs used for backoff jitter.
 	Seed int64
 

@@ -73,8 +73,20 @@ func (c *Core) l2Has(line mem.Addr) bool {
 func (c *Core) l2Add(line mem.Addr) { c.l2[line] = struct{}{} }
 
 // event serializes a globally visible action at the core's current clock
-// and delivers any pending remote abort before the action executes.
+// and delivers any pending remote abort before the action executes. With
+// a fault injector installed it is also where injected stall jitter and
+// spurious aborts land, so every fault occupies a definite slot in the
+// global virtual-time order and the schedule replays exactly.
 func (c *Core) event() {
+	if c.m.chaos != nil {
+		if j := c.m.chaos.StallJitter(c.id, c.clock); j != 0 {
+			c.stats.WaitCycles[WaitFault] += j
+			if c.inAttempt {
+				c.attemptWait += j
+			}
+			c.clock += j
+		}
+	}
 	c.m.eng.sync(c.id, c.clock)
 	if c.pendingAbort != nil {
 		info := *c.pendingAbort
@@ -84,6 +96,12 @@ func (c *Core) event() {
 			panic(txAbort{info})
 		}
 	}
+	if c.inTx && c.m.chaos != nil {
+		if reason, ok := c.m.chaos.SpuriousAbort(c.id, c.clock); ok {
+			c.abortSelf(AbortInfo{Reason: reason, ByCore: -1})
+		}
+	}
+	c.checkWatchdog()
 }
 
 func (c *Core) countUop() {
@@ -106,6 +124,9 @@ func (c *Core) Compute(uops int) {
 	}
 	w := uint64(c.m.cfg.IssueWidth)
 	c.clock += (uint64(uops) + w - 1) / w
+	// A compute-only loop never reaches event(); check the watchdog here
+	// too so such a livelock still fails loudly.
+	c.checkWatchdog()
 }
 
 // SpinWait models stalled cycles of the given kind, then yields to the
@@ -331,6 +352,7 @@ func (c *Core) NTStore(a mem.Addr, v uint64) {
 	c.countUop()
 	c.stats.NTStores++
 	c.ntStoreConflicts(a)
+	c.ntFaultDelay()
 	c.m.invalidateOthers(mem.LineOf(a), c.id)
 	c.clock += c.m.lookupLatency(c, mem.LineOf(a))
 	c.m.Mem.Store(a, v)
@@ -344,6 +366,7 @@ func (c *Core) NTCas(a mem.Addr, old, new uint64) bool {
 	c.stats.NTLoads++
 	c.stats.NTStores++
 	c.ntStoreConflicts(a)
+	c.ntFaultDelay()
 	c.m.invalidateOthers(mem.LineOf(a), c.id)
 	c.clock += c.m.lookupLatency(c, mem.LineOf(a))
 	if c.m.Mem.Load(a) != old {
@@ -351,6 +374,21 @@ func (c *Core) NTCas(a mem.Addr, old, new uint64) bool {
 	}
 	c.m.Mem.Store(a, new)
 	return true
+}
+
+// ntFaultDelay charges an injected transient delay against this
+// nontransactional store, if a fault injector is installed.
+func (c *Core) ntFaultDelay() {
+	if c.m.chaos == nil {
+		return
+	}
+	if d := c.m.chaos.NTDelay(c.id, c.clock); d != 0 {
+		c.stats.WaitCycles[WaitFault] += d
+		if c.inAttempt {
+			c.attemptWait += d
+		}
+		c.clock += d
+	}
 }
 
 // ntStoreConflicts synchronizes and aborts every remote transaction that

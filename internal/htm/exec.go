@@ -14,6 +14,16 @@ type AtomicOpts struct {
 	// BackoffBase is the base backoff quantum in cycles; the mean backoff
 	// before retry k is proportional to k ("Polite" policy).
 	BackoffBase uint64
+	// BackoffExp switches the inter-retry wait from the paper's linear
+	// Polite policy to capped exponential backoff with randomized jitter:
+	// the mean doubles per retry up to BackoffCap. Under injected spurious
+	// aborts the linear policy lets deep retry chains synchronize and
+	// livelock; the exponential cap bounds both the livelock window and
+	// the worst-case idle time.
+	BackoffExp bool
+	// BackoffCap bounds the exponential mean, in cycles (0 with
+	// BackoffExp: 64 * BackoffBase).
+	BackoffCap uint64
 	// RuntimePC is the synthetic PC attributed to the runtime's own
 	// transactional accesses (the global-lock subscription).
 	RuntimePC uint64
@@ -65,7 +75,11 @@ func (c *Core) Atomic(opts AtomicOpts, hooks TxHooks, body func(*Core)) {
 		if hooks.OnAbort != nil {
 			hooks.OnAbort(info, attempt)
 		}
-		c.politeBackoff(attempt, opts.BackoffBase)
+		if opts.BackoffExp {
+			c.expBackoff(attempt, opts.BackoffBase, opts.BackoffCap)
+		} else {
+			c.politeBackoff(attempt, opts.BackoffBase)
+		}
 	}
 	// Irrevocable fallback: acquire the global lock nontransactionally
 	// and run the body in place. Hardware transactions racing with us
@@ -125,6 +139,25 @@ func (c *Core) tryTx(runtimePC uint64, body func(*Core)) (info AbortInfo, ok boo
 // in the paper's runtime).
 func (c *Core) politeBackoff(attempt int, base uint64) {
 	mean := base * uint64(attempt+1)
+	jitter := uint64(c.rng.Int63n(int64(mean))) // in [0, mean)
+	c.SpinWait(mean/2+jitter, WaitBackoff)
+}
+
+// expBackoff stalls for a randomized interval whose mean doubles with
+// each retry up to cap (truncated binary exponential backoff). The jitter
+// draw comes from the core's deterministic PRNG, so the schedule is
+// reproducible from the machine seed.
+func (c *Core) expBackoff(attempt int, base, cap uint64) {
+	if cap == 0 {
+		cap = 64 * base
+	}
+	mean := base
+	if attempt < 63 {
+		mean = base << uint(attempt)
+	}
+	if mean > cap || mean == 0 {
+		mean = cap
+	}
 	jitter := uint64(c.rng.Int63n(int64(mean))) // in [0, mean)
 	c.SpinWait(mean/2+jitter, WaitBackoff)
 }

@@ -1,0 +1,255 @@
+package htm
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fakeInjector fires a spurious abort on every Nth transactional event,
+// plus fixed NT delays and stall jitter. (The real deterministic injector
+// lives in internal/chaos; htm's own tests use a local fake to keep the
+// package dependency-free.)
+type fakeInjector struct {
+	abortEvery int
+	reason     AbortReason
+	delay      uint64
+	jitter     uint64
+	events     int
+}
+
+func (f *fakeInjector) SpuriousAbort(core int, now uint64) (AbortReason, bool) {
+	f.events++
+	if f.abortEvery > 0 && f.events%f.abortEvery == 0 {
+		r := f.reason
+		if r == AbortNone {
+			r = AbortSpurious
+		}
+		return r, true
+	}
+	return AbortNone, false
+}
+
+func (f *fakeInjector) NTDelay(core int, now uint64) uint64     { return f.delay }
+func (f *fakeInjector) StallJitter(core int, now uint64) uint64 { return f.jitter }
+
+// TestSpuriousAbortDeliveredAndRetried: an injected abort must unwind the
+// attempt like a real conflict, count under AbortSpurious, and leave the
+// retry loop to finish the block correctly (speculatively or irrevocably).
+func TestSpuriousAbortDeliveredAndRetried(t *testing.T) {
+	m := New(smallConfig(1))
+	fi := &fakeInjector{abortEvery: 3}
+	m.SetFaultInjector(fi)
+	a := m.Alloc.AllocLines(1)
+	m.Run([]func(*Core){func(c *Core) {
+		for k := 0; k < 10; k++ {
+			c.Atomic(DefaultAtomicOpts(), TxHooks{}, func(c *Core) {
+				v := c.Load(0x100, 1, a)
+				c.Store(0x104, 2, a, v+1)
+			})
+		}
+	}})
+	if got := m.Mem.Load(a); got != 10 {
+		t.Fatalf("counter = %d, want 10 (spurious aborts broke atomicity)", got)
+	}
+	s := m.Stats()
+	if s.Commits != 10 {
+		t.Fatalf("commits = %d, want 10", s.Commits)
+	}
+	if s.Aborts[AbortSpurious] == 0 {
+		t.Fatal("no spurious aborts recorded despite abortEvery=3")
+	}
+	if s.Aborts[AbortConflict] != 0 {
+		t.Fatalf("single core recorded %d conflict aborts", s.Aborts[AbortConflict])
+	}
+}
+
+// TestSpuriousAbortCustomReason: the injector's reason code is the one
+// that lands in the stats (chaos campaigns use AbortConflict to stress
+// the locking policy with causeless conflicts).
+func TestSpuriousAbortCustomReason(t *testing.T) {
+	m := New(smallConfig(1))
+	m.SetFaultInjector(&fakeInjector{abortEvery: 2, reason: AbortExplicit})
+	a := m.Alloc.AllocLines(1)
+	m.Run([]func(*Core){func(c *Core) {
+		c.Atomic(DefaultAtomicOpts(), TxHooks{}, func(c *Core) {
+			c.Store(0x100, 1, a, 1)
+		})
+	}})
+	s := m.Stats()
+	if s.Aborts[AbortExplicit] == 0 {
+		t.Fatalf("no aborts under the injected reason; stats %+v", s.Aborts)
+	}
+}
+
+// TestIrrevocableImmuneToSpuriousAborts: the irrevocable fallback runs
+// non-speculatively, so even an injector that aborts every transactional
+// event cannot starve it — the guaranteed-progress path of the chaos
+// campaigns.
+func TestIrrevocableImmuneToSpuriousAborts(t *testing.T) {
+	m := New(smallConfig(1))
+	m.SetFaultInjector(&fakeInjector{abortEvery: 1}) // every event aborts
+	a := m.Alloc.AllocLines(1)
+	m.Run([]func(*Core){func(c *Core) {
+		opts := DefaultAtomicOpts()
+		opts.MaxRetries = 2
+		for k := 0; k < 5; k++ {
+			c.Atomic(opts, TxHooks{}, func(c *Core) {
+				v := c.Load(0x100, 1, a)
+				c.Store(0x104, 2, a, v+1)
+			})
+		}
+	}})
+	if got := m.Mem.Load(a); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	s := m.Stats()
+	if s.IrrevocableCommits != 5 {
+		t.Fatalf("irrevocable commits = %d, want 5 (all speculation poisoned)", s.IrrevocableCommits)
+	}
+}
+
+// TestNTDelayCharged: injected NT-store delays must advance the core's
+// clock and be charged to the fault wait bucket.
+func TestNTDelayCharged(t *testing.T) {
+	run := func(delay uint64) Stats {
+		m := New(smallConfig(1))
+		m.SetFaultInjector(&fakeInjector{delay: delay})
+		a := m.Alloc.AllocLines(1)
+		m.Run([]func(*Core){func(c *Core) {
+			for k := 0; k < 8; k++ {
+				c.NTStore(a, uint64(k))
+			}
+		}})
+		return m.Stats()
+	}
+	base := run(0)
+	slow := run(200)
+	if slow.WaitCycles[WaitFault] != 8*200 {
+		t.Fatalf("fault wait = %d, want %d", slow.WaitCycles[WaitFault], 8*200)
+	}
+	if slow.Makespan != base.Makespan+8*200 {
+		t.Fatalf("makespan %d, want base %d + %d", slow.Makespan, base.Makespan, 8*200)
+	}
+}
+
+// TestWatchdogTripsOnComputeLoop: a core that only computes (no memory
+// events) must still trip the watchdog instead of hanging.
+func TestWatchdogTripsOnComputeLoop(t *testing.T) {
+	cfg := smallConfig(1)
+	cfg.WatchdogCycles = 50_000
+	m := New(cfg)
+	err := m.RunChecked([]func(*Core){func(c *Core) {
+		for {
+			c.Compute(1000)
+		}
+	}})
+	var we *WatchdogError
+	if !errors.As(err, &we) {
+		t.Fatalf("err = %v, want *WatchdogError", err)
+	}
+	if we.Cycles <= we.Limit || we.Limit != 50_000 {
+		t.Fatalf("trip point %d not past limit %d", we.Cycles, we.Limit)
+	}
+	if !strings.Contains(we.Error(), "watchdog") {
+		t.Fatalf("error text %q lacks 'watchdog'", we.Error())
+	}
+}
+
+// TestWatchdogCarriesTrace: when transactions ran before the trip, the
+// error must carry the trailing events for diagnosis.
+func TestWatchdogCarriesTrace(t *testing.T) {
+	cfg := smallConfig(1)
+	cfg.WatchdogCycles = 100_000
+	m := New(cfg)
+	a := m.Alloc.AllocLines(1)
+	err := m.RunChecked([]func(*Core){func(c *Core) {
+		for {
+			c.Atomic(DefaultAtomicOpts(), TxHooks{}, func(c *Core) {
+				c.Store(0x100, 1, a, 1)
+			})
+		}
+	}})
+	var we *WatchdogError
+	if !errors.As(err, &we) {
+		t.Fatalf("err = %v, want *WatchdogError", err)
+	}
+	if len(we.Trace) == 0 {
+		t.Fatal("watchdog error carries no trace events")
+	}
+	if len(we.Trace) > watchdogTraceN {
+		t.Fatalf("trace holds %d events, ring is %d", len(we.Trace), watchdogTraceN)
+	}
+	if !strings.Contains(we.Error(), "last") {
+		t.Fatalf("error text %q does not mention the trace", we.Error())
+	}
+}
+
+// TestWatchdogQuietWhenUnderLimit: a bounded run with a generous watchdog
+// must behave exactly like an unbounded one.
+func TestWatchdogQuietWhenUnderLimit(t *testing.T) {
+	run := func(wd uint64) Stats {
+		cfg := smallConfig(2)
+		cfg.WatchdogCycles = wd
+		m := New(cfg)
+		a := m.Alloc.AllocLines(1)
+		m.Run([]func(*Core){
+			func(c *Core) {
+				for k := 0; k < 20; k++ {
+					c.Atomic(DefaultAtomicOpts(), TxHooks{}, func(c *Core) {
+						v := c.Load(0x100, 1, a)
+						c.Store(0x104, 2, a, v+1)
+					})
+				}
+			},
+			func(c *Core) {
+				for k := 0; k < 20; k++ {
+					c.Atomic(DefaultAtomicOpts(), TxHooks{}, func(c *Core) {
+						v := c.Load(0x200, 3, a)
+						c.Store(0x204, 4, a, v+1)
+					})
+				}
+			},
+		})
+		return m.Stats()
+	}
+	base := run(0)
+	bounded := run(1 << 40)
+	if !reflect.DeepEqual(base, bounded) {
+		t.Fatalf("watchdog changed execution:\nbase    %+v\nbounded %+v", base, bounded)
+	}
+}
+
+// TestRunCheckedRethrowsWorkloadPanics: only watchdog trips become
+// errors; genuine workload bugs must still surface as panics.
+func TestRunCheckedRethrowsWorkloadPanics(t *testing.T) {
+	m := New(smallConfig(1))
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("workload panic swallowed by RunChecked")
+		}
+	}()
+	m.RunChecked([]func(*Core){func(c *Core) {
+		panic("workload bug")
+	}})
+}
+
+// TestExpBackoffBounded: exponential backoff waits must stay under
+// (1.5 × cap) per retry and still advance the clock.
+func TestExpBackoffBounded(t *testing.T) {
+	m := New(smallConfig(1))
+	m.Run([]func(*Core){func(c *Core) {
+		for attempt := 0; attempt < 40; attempt++ {
+			before := c.Now()
+			c.expBackoff(attempt, 64, 1024)
+			d := c.Now() - before
+			if d == 0 {
+				t.Fatalf("attempt %d: backoff waited 0 cycles", attempt)
+			}
+			if d > 1024+1024/2+1024 { // mean/2 + jitter < 1.5*cap, plus slack
+				t.Fatalf("attempt %d: backoff waited %d cycles, cap 1024", attempt, d)
+			}
+		}
+	}})
+}

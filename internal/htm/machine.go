@@ -40,6 +40,11 @@ type Machine struct {
 	GlobalLock mem.Addr
 
 	trace *traceBuf
+	// lastEvents retains the trailing transaction events for the watchdog
+	// failure report; nil unless WatchdogCycles is configured.
+	lastEvents *traceRing
+	// chaos is the installed fault injector (nil = fault-free).
+	chaos FaultInjector
 	ran   bool
 }
 
@@ -53,6 +58,9 @@ func New(cfg Config) *Machine {
 		l3:  make(map[mem.Addr]struct{}),
 	}
 	m.Alloc = mem.NewAllocator(mem.Addr(cfg.HeapBase), cfg.HeapSize)
+	if cfg.WatchdogCycles != 0 {
+		m.lastEvents = newTraceRing(watchdogTraceN)
+	}
 	m.memBusy = make([]uint64, cfg.MemChannels)
 	// The global lock lives on its own line so subscribing to it never
 	// falsely conflicts with application data.
@@ -83,14 +91,23 @@ func (m *Machine) entry(line mem.Addr) *dirEntry {
 
 // Run executes one body per simulated thread, thread i on core i, and
 // blocks until all bodies return. It panics if more bodies than cores are
-// supplied or if the machine has already run.
+// supplied, if the machine has already run, or if the progress watchdog
+// trips (use RunChecked to receive the watchdog failure as an error).
 func (m *Machine) Run(bodies []func(c *Core)) {
+	if err := m.RunChecked(bodies); err != nil {
+		panic(err)
+	}
+}
+
+// RunChecked is Run, but a tripped progress watchdog is returned as a
+// *WatchdogError instead of panicking. Workload panics still propagate.
+func (m *Machine) RunChecked(bodies []func(c *Core)) error {
 	if m.ran {
 		panic("htm: Machine.Run called twice")
 	}
 	m.ran = true
 	if len(bodies) == 0 {
-		return
+		return nil
 	}
 	if len(bodies) > len(m.cores) {
 		panic(fmt.Sprintf("htm: %d thread bodies for %d cores", len(bodies), len(m.cores)))
@@ -122,11 +139,25 @@ func (m *Machine) Run(bodies []func(c *Core)) {
 	}
 	m.eng.start()
 	m.eng.waitAll()
+	// Workload bugs outrank watchdog trips: once one core exceeds the
+	// cycle bound, its peers usually trip too, but a genuine panic is the
+	// root cause worth surfacing.
+	var wd *WatchdogError
 	for _, p := range panics {
-		if p != nil {
+		switch v := p.(type) {
+		case nil:
+		case *WatchdogError:
+			if wd == nil || v.Cycles < wd.Cycles {
+				wd = v
+			}
+		default:
 			panic(p)
 		}
 	}
+	if wd != nil {
+		return wd
+	}
+	return nil
 }
 
 // Stats aggregates per-core statistics after Run.

@@ -10,6 +10,10 @@ const (
 	WaitBackoff
 	// WaitGlobal is time spent waiting for the irrevocable global lock.
 	WaitGlobal
+	// WaitFault is stall time charged by an installed fault injector
+	// (NT-store delays and per-core stall jitter); always zero on a
+	// fault-free machine.
+	WaitFault
 	numWaitKinds
 )
 
@@ -25,7 +29,7 @@ type CoreStats struct {
 	// IrrevocableCommits/Commits).
 	IrrevocableCommits uint64
 	// Aborts counts aborted transaction attempts by reason.
-	Aborts [5]uint64
+	Aborts [numAbortReasons]uint64
 
 	// UsefulTxCycles is time inside transaction attempts that committed,
 	// excluding in-transaction lock waiting.

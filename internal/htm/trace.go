@@ -87,6 +87,39 @@ type traceBuf struct {
 	limit  int
 }
 
+// traceRing keeps the LAST n events (the watchdog's failure report),
+// unlike traceBuf which keeps the first ones. It exists only on machines
+// with a watchdog configured, so the default hot path pays nothing.
+type traceRing struct {
+	buf  []TraceEvent
+	n    int // events ever added
+	next int
+}
+
+func newTraceRing(n int) *traceRing { return &traceRing{buf: make([]TraceEvent, n)} }
+
+func (r *traceRing) add(e TraceEvent) {
+	if r == nil {
+		return
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	r.n++
+}
+
+// events returns the retained events, oldest first.
+func (r *traceRing) events() []TraceEvent {
+	if r == nil {
+		return nil
+	}
+	if r.n <= len(r.buf) {
+		return append([]TraceEvent(nil), r.buf[:r.n]...)
+	}
+	out := make([]TraceEvent, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
 func (t *traceBuf) add(e TraceEvent) {
 	if t == nil {
 		return
@@ -100,23 +133,29 @@ func (t *traceBuf) add(e TraceEvent) {
 // recordBegin/recordCommit/recordAbort are called from the transaction
 // paths; they are no-ops unless tracing is enabled.
 func (c *Core) recordBegin() {
-	if c.m.trace != nil {
-		c.m.trace.add(TraceEvent{Time: c.clock, Core: c.id, Kind: TraceBegin})
+	if c.m.trace != nil || c.m.lastEvents != nil {
+		e := TraceEvent{Time: c.clock, Core: c.id, Kind: TraceBegin}
+		c.m.trace.add(e)
+		c.m.lastEvents.add(e)
 	}
 }
 
 func (c *Core) recordCommit() {
-	if c.m.trace != nil {
-		c.m.trace.add(TraceEvent{Time: c.clock, Core: c.id, Kind: TraceCommit})
+	if c.m.trace != nil || c.m.lastEvents != nil {
+		e := TraceEvent{Time: c.clock, Core: c.id, Kind: TraceCommit}
+		c.m.trace.add(e)
+		c.m.lastEvents.add(e)
 	}
 }
 
 func (c *Core) recordAbort(info AbortInfo) {
-	if c.m.trace != nil {
-		c.m.trace.add(TraceEvent{
+	if c.m.trace != nil || c.m.lastEvents != nil {
+		e := TraceEvent{
 			Time: c.clock, Core: c.id, Kind: TraceAbort,
 			Reason: info.Reason, ConfAddr: info.ConfAddr,
 			ConfPC: info.ConfPC, ByCore: info.ByCore,
-		})
+		}
+		c.m.trace.add(e)
+		c.m.lastEvents.add(e)
 	}
 }

@@ -86,6 +86,48 @@ type Config struct {
 	// MaxRetries and BackoffBase configure the underlying HTM retry loop.
 	MaxRetries  int
 	BackoffBase uint64
+
+	// The fields below are the self-healing extensions. All default to
+	// off, in which case the runtime's memory traffic is bit-identical to
+	// the paper-faithful baseline; HardenedConfig turns them all on.
+
+	// LockLease, when nonzero, lease-stamps advisory lock words: the
+	// acquiring CAS packs (expiry, owner) into the word, release checks
+	// ownership, and a waiter that finds the lease expired reclaims the
+	// lock instead of serializing behind a dead holder until LockTimeout
+	// on every transaction. 0 disables (plain owner words, as in the
+	// paper).
+	LockLease uint64
+	// LockPollJitter adds deterministic capped-exponential jitter to the
+	// advisory-lock poll interval, breaking the monopolization pattern of
+	// the unfair flat spinlock (DESIGN.md "advisory lock fairness"). The
+	// default false keeps the paper's unfair polling.
+	LockPollJitter bool
+	// BackoffExp and BackoffCap select capped exponential retry backoff
+	// in the HTM retry loop instead of the paper's linear Polite policy
+	// (see htm.AtomicOpts).
+	BackoffExp bool
+	BackoffCap uint64
+	// EscapeThreshold enables the per-atomic-block livelock escape: after
+	// this many irrevocable fallbacks inside one rate window, the block's
+	// next EscapeCooldown instances run with a single speculative attempt
+	// before promoting to irrevocable mode, guaranteeing progress when
+	// injected faults (or pathological contention) exhaust retry budgets.
+	// 0 disables.
+	EscapeThreshold int
+	// EscapeCooldown is the number of fast-promoted instances per escape
+	// (default 32 when EscapeThreshold > 0).
+	EscapeCooldown int
+	// LockFaults optionally injects advisory-lock faults (lost releases);
+	// the chaos package's Injector implements it. Nil injects nothing.
+	LockFaults LockFaults
+}
+
+// LockFaults is the advisory-lock fault hook: DropLockRelease reports
+// whether the release of one held lock should be lost, simulating a
+// holder that died without releasing.
+type LockFaults interface {
+	DropLockRelease(core int) bool
 }
 
 // DefaultConfig returns the paper's runtime parameters.
@@ -107,7 +149,25 @@ func DefaultConfig(mode Mode) Config {
 	}
 }
 
+// HardenedConfig is DefaultConfig with every self-healing feature on:
+// lease-stamped advisory locks reclaimed after LockTimeout, jittered lock
+// polling, capped exponential retry backoff, and the per-atomic-block
+// livelock escape. This is the configuration the chaos campaigns run.
+func HardenedConfig(mode Mode) Config {
+	c := DefaultConfig(mode)
+	c.LockLease = c.LockTimeout
+	c.LockPollJitter = true
+	c.BackoffExp = true
+	c.BackoffCap = 4096
+	c.EscapeThreshold = 8
+	c.EscapeCooldown = 32
+	return c
+}
+
 func (c *Config) validate() {
+	if c.EscapeThreshold > 0 && c.EscapeCooldown <= 0 {
+		c.EscapeCooldown = 32
+	}
 	switch {
 	case c.HistLen <= 0:
 		panic("stagger: HistLen must be positive")

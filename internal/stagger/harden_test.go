@@ -1,0 +1,261 @@
+package stagger
+
+import (
+	"testing"
+
+	"repro/internal/anchor"
+	"repro/internal/chaos"
+	"repro/internal/htm"
+	"repro/internal/mem"
+)
+
+// dropFirst loses exactly one lock release (the first by core 0),
+// simulating a holder that died while holding an advisory lock.
+type dropFirst struct{ dropped bool }
+
+func (d *dropFirst) DropLockRelease(core int) bool {
+	if !d.dropped && core == 0 {
+		d.dropped = true
+		return true
+	}
+	return false
+}
+
+// runDeadHolder runs the 2-thread counter with pre-armed ALPs (every
+// transaction acquires the hot advisory lock) and one lost release, under
+// the given config. Returns the runtime for metric inspection.
+func runDeadHolder(t *testing.T, cfg Config, incs int) (*htm.Machine, *Runtime) {
+	t.Helper()
+	m, ab, sLoad, sStore := counterProgram(t)
+	cfgM := htm.DefaultConfig()
+	cfgM.Cores = 2
+	mach := htm.New(cfgM)
+	comp := anchor.Compile(m, anchor.DefaultOptions())
+	cfg.LockFaults = &dropFirst{}
+	rt := New(mach, comp, cfg)
+	addr := mach.Alloc.AllocLines(1)
+	for tid := 0; tid < 2; tid++ {
+		abc := rt.Thread(tid).ctx(ab)
+		abc.activeAnchor = sLoad.ID
+		abc.blockAddr = mem.LineOf(addr)
+	}
+	bodies := make([]func(*htm.Core), 2)
+	for i := range bodies {
+		bodies[i] = func(c *htm.Core) {
+			th := rt.Thread(c.ID())
+			for k := 0; k < incs; k++ {
+				th.Atomic(c, ab, func(tc *TxCtx) {
+					v := tc.Load(sLoad, addr)
+					tc.Compute(200)
+					tc.Store(sStore, addr, v+1)
+				})
+			}
+		}
+	}
+	mach.Run(bodies)
+	if got := mach.Mem.Load(addr); got != uint64(2*incs) {
+		t.Fatalf("counter = %d, want %d (lost release broke atomicity?)", got, 2*incs)
+	}
+	return mach, rt
+}
+
+// TestStaleLockReclaimed is the self-healing claim: with lease-stamped
+// lock words, a lock orphaned by a dead holder is reclaimed after the
+// lease expires, so the run finishes far faster than the legacy runtime,
+// which serializes every later waiter behind a full LockTimeout spin.
+func TestStaleLockReclaimed(t *testing.T) {
+	const incs = 25
+
+	legacy := DefaultConfig(ModeStaggeredHW)
+	legacy.LockTimeout = 3000
+	legacyMach, legacyRT := runDeadHolder(t, legacy, incs)
+
+	leased := DefaultConfig(ModeStaggeredHW)
+	leased.LockTimeout = 3000
+	leased.LockLease = 600 // expire well before the waiter's deadline
+	leasedMach, leasedRT := runDeadHolder(t, leased, incs)
+
+	if legacyRT.Metrics.LockTimeouts == 0 {
+		t.Fatal("legacy runtime never timed out behind the dead holder")
+	}
+	if legacyRT.Metrics.LocksReclaimed != 0 {
+		t.Fatal("legacy runtime reclaimed a lock without leases")
+	}
+	if leasedRT.Metrics.LocksReclaimed == 0 {
+		t.Fatal("leased runtime never reclaimed the stale lock")
+	}
+	lm := legacyMach.Stats().Makespan
+	hm := leasedMach.Stats().Makespan
+	if hm >= lm {
+		t.Fatalf("leased makespan %d not below legacy %d (reclamation bought nothing)", hm, lm)
+	}
+}
+
+// TestLeaseReleaseStillWorks: with leases on but no faults, locks hand
+// over normally — the ownership-checked release must not strand words.
+func TestLeaseReleaseStillWorks(t *testing.T) {
+	cfg := DefaultConfig(ModeStaggeredHW)
+	cfg.LockLease = cfg.LockTimeout
+	m, ab, sLoad, sStore := counterProgram(t)
+	cfgM := htm.DefaultConfig()
+	cfgM.Cores = 4
+	mach := htm.New(cfgM)
+	comp := anchor.Compile(m, anchor.DefaultOptions())
+	rt := New(mach, comp, cfg)
+	addr := mach.Alloc.AllocLines(1)
+	for tid := 0; tid < 4; tid++ {
+		abc := rt.Thread(tid).ctx(ab)
+		abc.activeAnchor = sLoad.ID
+		abc.blockAddr = mem.LineOf(addr)
+	}
+	bodies := make([]func(*htm.Core), 4)
+	for i := range bodies {
+		bodies[i] = func(c *htm.Core) {
+			th := rt.Thread(c.ID())
+			for k := 0; k < 20; k++ {
+				th.Atomic(c, ab, func(tc *TxCtx) {
+					v := tc.Load(sLoad, addr)
+					tc.Compute(100)
+					tc.Store(sStore, addr, v+1)
+				})
+			}
+		}
+	}
+	mach.Run(bodies)
+	if got := mach.Mem.Load(addr); got != 80 {
+		t.Fatalf("counter = %d, want 80", got)
+	}
+	if rt.Metrics.LocksAcquired == 0 {
+		t.Fatal("no locks acquired despite pre-armed ALPs")
+	}
+	if rt.Metrics.LockTimeouts != 0 {
+		t.Fatalf("%d timeouts in a fault-free leased run (releases lost?)",
+			rt.Metrics.LockTimeouts)
+	}
+}
+
+// TestLivelockEscape: under total speculative poisoning (every
+// transactional event spuriously aborts), the per-AB escape must engage
+// and the run must still complete every operation.
+func TestLivelockEscape(t *testing.T) {
+	m, ab, sLoad, sStore := counterProgram(t)
+	cfgM := htm.DefaultConfig()
+	cfgM.Cores = 2
+	mach := htm.New(cfgM)
+	inj := chaos.NewInjector(chaos.Config{AbortRate: 1, Seed: 1}, cfgM.Cores)
+	mach.SetFaultInjector(inj)
+	comp := anchor.Compile(m, anchor.DefaultOptions())
+	cfg := DefaultConfig(ModeStaggeredHW)
+	cfg.MaxRetries = 3
+	cfg.EscapeThreshold = 2
+	cfg.EscapeCooldown = 8
+	rt := New(mach, comp, cfg)
+	addr := mach.Alloc.AllocLines(1)
+	const incs = 15
+	bodies := make([]func(*htm.Core), 2)
+	for i := range bodies {
+		bodies[i] = func(c *htm.Core) {
+			th := rt.Thread(c.ID())
+			for k := 0; k < incs; k++ {
+				th.Atomic(c, ab, func(tc *TxCtx) {
+					v := tc.Load(sLoad, addr)
+					tc.Store(sStore, addr, v+1)
+				})
+			}
+		}
+	}
+	mach.Run(bodies)
+	if got := mach.Mem.Load(addr); got != 2*incs {
+		t.Fatalf("counter = %d, want %d", got, 2*incs)
+	}
+	if rt.Metrics.LivelockEscapes == 0 {
+		t.Fatal("escape never engaged under AbortRate 1")
+	}
+	s := mach.Stats()
+	if s.IrrevocableCommits != s.Commits {
+		t.Fatalf("%d of %d commits irrevocable; expected all under total poisoning",
+			s.IrrevocableCommits, s.Commits)
+	}
+	// The escape caps attempts at 1 during cooldown, so total aborts must
+	// stay below the no-escape bound of MaxRetries per instance.
+	if s.TotalAborts() >= uint64(2*incs*cfg.MaxRetries) {
+		t.Fatalf("aborts = %d, escape never reduced retry burn (bound %d)",
+			s.TotalAborts(), 2*incs*cfg.MaxRetries)
+	}
+}
+
+// TestHardenedConfigCorrect: the full self-healing configuration must
+// still run the contended counter to the right answer in every mode.
+func TestHardenedConfigCorrect(t *testing.T) {
+	for _, mode := range []Mode{ModeHTM, ModeAddrOnly, ModeStaggeredSW, ModeStaggeredHW} {
+		m, ab, sLoad, sStore := counterProgram(t)
+		cfgM := htm.DefaultConfig()
+		cfgM.Cores = 4
+		cfgM.HardwareCPC = mode != ModeStaggeredSW
+		mach := htm.New(cfgM)
+		comp := anchor.Compile(m, anchor.DefaultOptions())
+		rt := New(mach, comp, HardenedConfig(mode))
+		addr := mach.Alloc.AllocLines(1)
+		bodies := make([]func(*htm.Core), 4)
+		for i := range bodies {
+			bodies[i] = func(c *htm.Core) {
+				th := rt.Thread(c.ID())
+				for k := 0; k < 30; k++ {
+					th.Atomic(c, ab, func(tc *TxCtx) {
+						v := tc.Load(sLoad, addr)
+						tc.Compute(300)
+						tc.Store(sStore, addr, v+1)
+					})
+				}
+			}
+		}
+		mach.Run(bodies)
+		if got := mach.Mem.Load(addr); got != 120 {
+			t.Fatalf("%v: counter = %d, want 120", mode, got)
+		}
+	}
+}
+
+// TestPollJitterDiffersFromFlatSpin: jittered polling must change the
+// wait pattern (different poll cadence) while keeping the run correct.
+func TestPollJitterDiffersFromFlatSpin(t *testing.T) {
+	run := func(jitter bool) uint64 {
+		cfg := DefaultConfig(ModeStaggeredHW)
+		cfg.LockPollJitter = jitter
+		m, ab, sLoad, sStore := counterProgram(t)
+		cfgM := htm.DefaultConfig()
+		cfgM.Cores = 4
+		mach := htm.New(cfgM)
+		comp := anchor.Compile(m, anchor.DefaultOptions())
+		rt := New(mach, comp, cfg)
+		addr := mach.Alloc.AllocLines(1)
+		for tid := 0; tid < 4; tid++ {
+			abc := rt.Thread(tid).ctx(ab)
+			abc.activeAnchor = sLoad.ID
+			abc.blockAddr = mem.LineOf(addr)
+		}
+		bodies := make([]func(*htm.Core), 4)
+		for i := range bodies {
+			bodies[i] = func(c *htm.Core) {
+				th := rt.Thread(c.ID())
+				for k := 0; k < 20; k++ {
+					th.Atomic(c, ab, func(tc *TxCtx) {
+						v := tc.Load(sLoad, addr)
+						tc.Compute(400)
+						tc.Store(sStore, addr, v+1)
+					})
+				}
+			}
+		}
+		mach.Run(bodies)
+		if got := mach.Mem.Load(addr); got != 80 {
+			t.Fatalf("jitter=%v: counter = %d, want 80", jitter, got)
+		}
+		return mach.Stats().Makespan
+	}
+	flat := run(false)
+	jit := run(true)
+	if flat == jit {
+		t.Fatal("poll jitter produced an identical schedule to flat spin")
+	}
+}

@@ -9,8 +9,32 @@ import (
 // touched with nontransactional loads and stores, so acquiring, spinning
 // on, or releasing one never joins any transaction's speculative set —
 // the isolation escape the paper requires from the hardware. Each lock
-// record occupies its own cache line: word 0 is the owner (core+1, or 0
-// when free), word 1 is a contention flag set by waiters.
+// record occupies its own cache line: word 0 is the owner word, word 1 is
+// a contention flag set by waiters.
+//
+// Two owner-word layouts exist. The paper-faithful default stores owner+1
+// (or 0 when free). With Config.LockLease set, the word instead packs a
+// lease: (expiry << lockOwnerBits) | owner+1, written by the acquiring
+// CAS in one shot so a waiter never observes an owner without its lease.
+// A waiter that finds the lease expired may reclaim the lock by CAS,
+// so a lock word orphaned by a dead holder costs each waiter at most one
+// lease period once — instead of serializing every later transaction
+// behind a full LockTimeout spin. Because the locks are advisory, a
+// reclamation that races a slow-but-alive holder is still correct: the
+// old holder's release CAS fails harmlessly and both transactions fall
+// back on the HTM's own conflict detection.
+
+// lockOwnerBits is the width of the owner field in a leased lock word.
+// Cores are capped at 32, so owner+1 fits with room to spare.
+const lockOwnerBits = 6
+
+// packLock builds a leased owner word.
+func packLock(tid int, expiry uint64) uint64 {
+	return expiry<<lockOwnerBits | uint64(tid) + 1
+}
+
+// lockExpiry extracts the lease expiry from a leased owner word.
+func lockExpiry(w uint64) uint64 { return w >> lockOwnerBits }
 
 // lockFor maps a data address to its advisory lock word (a static set of
 // pre-allocated locks selected by address hash, as in AcquireLockFor).
@@ -34,11 +58,32 @@ func (t *TxCtx) acquireLockFor(addr mem.Addr) {
 	}
 	deadline := t.c.Now() + rt.cfg.LockTimeout
 	announced := false
+	polls := 0
 	for {
-		if t.c.NTLoad(lock) == 0 && t.c.NTCas(lock, 0, uint64(t.th.tid)+1) {
-			t.locks = append(t.locks, lock)
-			rt.Metrics.LocksAcquired++
-			return
+		w := t.c.NTLoad(lock)
+		switch {
+		case w == 0:
+			var stamp uint64
+			if rt.cfg.LockLease != 0 {
+				stamp = packLock(t.th.tid, t.c.Now()+rt.cfg.LockLease)
+			} else {
+				stamp = uint64(t.th.tid) + 1
+			}
+			if t.c.NTCas(lock, 0, stamp) {
+				t.noteAcquired(lock, stamp)
+				return
+			}
+		case rt.cfg.LockLease != 0 && t.c.Now() >= lockExpiry(w):
+			// The holder's lease expired without a release: it is dead or
+			// stalled past any useful holding period. Reclaim by CAS on
+			// the exact stale word so concurrent reclaimers cannot both
+			// win.
+			stamp := packLock(t.th.tid, t.c.Now()+rt.cfg.LockLease)
+			if t.c.NTCas(lock, w, stamp) {
+				rt.Metrics.LocksReclaimed++
+				t.noteAcquired(lock, stamp)
+				return
+			}
 		}
 		if !announced {
 			// Tell the holder someone waited, so its commit knows the
@@ -50,8 +95,32 @@ func (t *TxCtx) acquireLockFor(addr mem.Addr) {
 			rt.Metrics.LockTimeouts++
 			return // proceed without the lock (purely advisory)
 		}
-		t.c.SpinWait(rt.cfg.LockSpin, htm.WaitLock)
+		t.c.SpinWait(t.pollWait(lock, polls), htm.WaitLock)
+		polls++
 	}
+}
+
+// noteAcquired records a held lock and the exact word it was stamped
+// with, so release can check ownership under the lease scheme.
+func (t *TxCtx) noteAcquired(lock mem.Addr, stamp uint64) {
+	t.locks = append(t.locks, lock)
+	t.lockVals = append(t.lockVals, stamp)
+	t.th.rt.Metrics.LocksAcquired++
+}
+
+// pollWait returns the next poll interval: the fixed LockSpin of the
+// paper's unfair flat spinlock by default, or LockSpin plus deterministic
+// capped-exponential jitter when LockPollJitter is set, so a releasing
+// thread cannot re-acquire ahead of every waiter's identical poll cadence
+// indefinitely (the monopolization noted in DESIGN.md).
+func (t *TxCtx) pollWait(lock mem.Addr, polls int) uint64 {
+	spin := t.th.rt.cfg.LockSpin
+	if !t.th.rt.cfg.LockPollJitter {
+		return spin
+	}
+	window := spin << uint(min(polls, 4))
+	j := hash64(uint64(lock) ^ uint64(t.th.tid)<<40 ^ uint64(polls)<<20)
+	return spin + j%window
 }
 
 // lockContended reports whether any thread waited on a held lock.
@@ -65,11 +134,28 @@ func (t *TxCtx) lockContended() bool {
 }
 
 // releaseLock frees all held advisory locks, clearing the contention
-// flags for the next holding periods.
+// flags for the next holding periods. Under an installed LockFaults hook
+// a release may be lost ("the holder died"), leaving the stale word for
+// lease reclamation — or, without leases, for every waiter to time out
+// against.
 func (t *TxCtx) releaseLock() {
-	for _, lock := range t.locks {
+	rt := t.th.rt
+	for i, lock := range t.locks {
+		if rt.cfg.LockFaults != nil && rt.cfg.LockFaults.DropLockRelease(t.th.tid) {
+			continue
+		}
+		if rt.cfg.LockLease != 0 {
+			// Ownership-checked release: free the word only if it still
+			// carries our stamp. A failed CAS means a waiter reclaimed an
+			// expired lease from us; the lock is theirs now.
+			if t.c.NTCas(lock, t.lockVals[i], 0) {
+				t.c.NTStore(lock+mem.WordSize, 0)
+			}
+			continue
+		}
 		t.c.NTStore(lock+mem.WordSize, 0)
 		t.c.NTStore(lock, 0)
 	}
 	t.locks = t.locks[:0]
+	t.lockVals = t.lockVals[:0]
 }

@@ -69,6 +69,12 @@ type Metrics struct {
 	LocksAcquired uint64
 	// LockTimeouts counts acquisitions abandoned after LockTimeout.
 	LockTimeouts uint64
+	// LocksReclaimed counts stale advisory locks taken over after their
+	// holder's lease expired without a release (LockLease mode).
+	LocksReclaimed uint64
+	// LivelockEscapes counts per-atomic-block escapes to fast irrevocable
+	// promotion after repeated retry-budget exhaustion.
+	LivelockEscapes uint64
 	// Activations counts policy decisions by Figure 6 case.
 	ActPrecise, ActCoarse, ActPromote, ActTraining uint64
 	// AccHits/AccTotal measure anchor identification accuracy: how often
@@ -185,6 +191,13 @@ type ABContext struct {
 	// contention aborts", Section 2). Both halve when commitsW reaches
 	// the window size.
 	commitsW, confAbortsW int
+
+	// irrevW counts irrevocable fallbacks in the current window; when it
+	// crosses Config.EscapeThreshold the block enters livelock escape.
+	irrevW int
+	// escapeLeft is the remaining instances to run in escape mode (a
+	// single speculative attempt, then irrevocable promotion).
+	escapeLeft int
 }
 
 // noteCommit updates the contention-rate window.
@@ -194,6 +207,7 @@ func (c *ABContext) noteCommit(window int) {
 		c.commitsW /= 2
 		c.confAbortsW /= 2
 		c.deepW /= 2
+		c.irrevW /= 2
 	}
 }
 
@@ -254,7 +268,17 @@ func (th *Thread) Atomic(c *htm.Core, ab *prog.AtomicBlock, body func(tc *TxCtx)
 	opts := htm.AtomicOpts{
 		MaxRetries:  th.rt.cfg.MaxRetries,
 		BackoffBase: th.rt.cfg.BackoffBase,
+		BackoffExp:  th.rt.cfg.BackoffExp,
+		BackoffCap:  th.rt.cfg.BackoffCap,
 		RuntimePC:   0xFFFF0,
+	}
+	if abc.escapeLeft > 0 {
+		// Livelock escape: this block has been exhausting its retry
+		// budget (typically under injected faults); spend one speculative
+		// attempt, then promote straight to irrevocable mode, whose
+		// global-lock serialization guarantees progress.
+		opts.MaxRetries = 1
+		abc.escapeLeft--
 	}
 	hooks := htm.TxHooks{
 		OnBegin: func(attempt int) {
@@ -263,6 +287,7 @@ func (th *Thread) Atomic(c *htm.Core, ab *prog.AtomicBlock, body func(tc *TxCtx)
 			// and restores it at the next begin).
 			tc.armedAnchor = abc.activeAnchor
 			tc.locks = tc.locks[:0]
+			tc.lockVals = tc.lockVals[:0]
 			if th.rt.cfg.Mode == ModeAddrOnly && abc.blockAddr != 0 {
 				// AddrOnly: one fixed ALP at the start of the block,
 				// precise mode only.
@@ -306,6 +331,13 @@ func (th *Thread) Atomic(c *htm.Core, ab *prog.AtomicBlock, body func(tc *TxCtx)
 			// Irrevocable mode is already globally serialized; drop any
 			// advisory lock state for this instance.
 			tc.armedAnchor = 0
+			abc.irrevW++
+			if thr := th.rt.cfg.EscapeThreshold; thr > 0 &&
+				abc.escapeLeft == 0 && abc.irrevW >= thr {
+				abc.escapeLeft = th.rt.cfg.EscapeCooldown
+				abc.irrevW = 0
+				th.rt.Metrics.LivelockEscapes++
+			}
 		},
 	}
 	c.Atomic(opts, hooks, func(core *htm.Core) {

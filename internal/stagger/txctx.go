@@ -18,8 +18,11 @@ type TxCtx struct {
 	// armedAnchor is this instance's pending ALP (site ID); cleared once
 	// the transaction's lock budget (MaxLocksPerTx) is spent.
 	armedAnchor uint32
-	// locks are the advisory lock words currently held.
-	locks []mem.Addr
+	// locks are the advisory lock words currently held; lockVals holds
+	// the exact stamp each was acquired with (for ownership-checked
+	// release under the lease scheme).
+	locks    []mem.Addr
+	lockVals []uint64
 }
 
 // Core returns the simulated core, for nontransactional side channels
