@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: ci vet build test smoke paper
+.PHONY: ci vet build test smoke explore-smoke paper
 
-# ci is the gate: static checks, full build, full test suite, then the
-# chaos smoke (fault injection + verification on a representative cell).
-ci: vet build test smoke
+# ci is the gate: static checks, full build, full test suite, the chaos
+# smoke (fault injection + verification on a representative cell), and a
+# bounded schedule-exploration smoke (adversarial scheduler + oracle).
+ci: vet build test smoke explore-smoke
 
 vet:
 	$(GO) vet ./...
@@ -17,6 +18,12 @@ test:
 
 smoke:
 	$(GO) test ./internal/harness -run TestChaosSmoke -count=1
+
+# explore-smoke runs 25 PCT(d=3) schedules per workload through the
+# serializability oracle on two representative cells; any violation fails.
+explore-smoke:
+	$(GO) run ./cmd/staggersim -bench list-hi,kmeans -mode staggered -threads 4 \
+		-ops 160 -explore -explore-runs 25 -sched pct:3
 
 paper:
 	$(GO) run ./cmd/paper

@@ -11,6 +11,12 @@
 //
 //	staggersim -bench list-hi -chaos 0.01 -hardened
 //	staggersim -chaos-campaign -chaos-rates 0,0.002,0.01,0.05 -ops 240
+//
+// Schedule exploration (adversarial scheduling + serializability oracle):
+//
+//	staggersim -bench intruder -explore -explore-runs 100 -sched pct:3 -minimize
+//	staggersim -bench list-hi -sched random -sched-seed 7 -oracle -record fail.trace
+//	staggersim -sched replay:fail.trace -oracle
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/harness"
 	"repro/internal/htm"
+	"repro/internal/sched"
 	"repro/internal/stagger"
 	"repro/internal/workloads"
 )
@@ -62,11 +69,67 @@ func main() {
 	watchdog := flag.Uint64("watchdog", 0, "fail loudly past this many virtual cycles (0 = none)")
 	campaign := flag.Bool("chaos-campaign", false, "sweep fault rates across benchmarks and print degradation curves")
 	rates := flag.String("chaos-rates", "", "comma-separated fault rates for -chaos-campaign")
+	schedSpec := flag.String("sched", "", "adversarial scheduler: random | pct:<d> | replay:<file> (optionally @<window>)")
+	schedSeed := flag.Int64("sched-seed", 0, "scheduler seed (0 = workload seed)")
+	oracleOn := flag.Bool("oracle", false, "check every commit against the serializability oracle")
+	record := flag.String("record", "", "write the run's schedule trace to this file (needs -sched)")
+	explore := flag.Bool("explore", false, "run a schedule-exploration campaign (many seeds of -sched, oracle on)")
+	exploreRuns := flag.Int("explore-runs", 100, "schedules per benchmark for -explore")
+	minimize := flag.Bool("minimize", false, "delta-debug each failing schedule found by -explore")
+	exploreOut := flag.String("explore-out", "", "directory for failing-schedule trace files (empty: don't write)")
+	unsafeEarly := flag.Bool("unsafe-early-release", false, "enable the test-only broken irrevocable fallback (demo: -explore catches it)")
 	flag.Parse()
 
 	if *campaign {
 		runCampaign(*bench, *mode, *threads, *seed, *ops, *watchdog, *rates)
 		return
+	}
+	ccfg := chaos.Scaled(*chaosRate, *seed)
+	if *chaosAbort > 0 {
+		ccfg.AbortRate = *chaosAbort
+	}
+	if *chaosNT > 0 {
+		ccfg.NTDelayRate = *chaosNT
+	}
+	if *chaosDrop > 0 {
+		ccfg.LockDropRate = *chaosDrop
+	}
+	if *chaosJit > 0 {
+		ccfg.JitterRate = *chaosJit
+	}
+	var cp *chaos.Config
+	if ccfg.Enabled() {
+		cp = &ccfg
+	}
+
+	if *explore {
+		runExplore(*bench, *mode, *threads, *seed, *ops, *schedSpec,
+			*exploreRuns, *minimize, *exploreOut, *unsafeEarly, *hardened, cp)
+		return
+	}
+
+	// Replaying a trace file reproduces its run: the header supplies the
+	// benchmark, mode, thread count, and seeds unless flags override them.
+	if spec, err := sched.Parse(*schedSpec); *schedSpec != "" && err == nil && spec.Kind == "replay" {
+		if tr, err := sched.ReadTraceFile(spec.File); err == nil {
+			set := map[string]bool{}
+			flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+			if !set["bench"] {
+				*bench = tr.Bench
+			}
+			if !set["mode"] {
+				*mode = tr.Mode
+			}
+			if !set["threads"] {
+				*threads = tr.Threads
+			}
+			if !set["seed"] {
+				*seed = tr.WlSeed
+			}
+			if !set["ops"] {
+				*ops = tr.Ops
+			}
+		}
 	}
 
 	if *bench == "" {
@@ -83,32 +146,26 @@ func main() {
 		os.Exit(2)
 	}
 	rc := harness.RunConfig{
-		Benchmark: *bench,
-		Mode:      m,
-		Threads:   *threads,
-		Seed:      *seed,
-		TotalOps:  *ops,
-		Naive:     *naive,
-		Lazy:      *lazy,
-		TraceN:    *trace,
-		Watchdog:  *watchdog,
+		Benchmark:          *bench,
+		Mode:               m,
+		Threads:            *threads,
+		Seed:               *seed,
+		TotalOps:           *ops,
+		Naive:              *naive,
+		Lazy:               *lazy,
+		TraceN:             *trace,
+		Watchdog:           *watchdog,
+		Sched:              *schedSpec,
+		SchedSeed:          *schedSeed,
+		Record:             *record != "",
+		Oracle:             *oracleOn,
+		UnsafeEarlyRelease: *unsafeEarly,
 	}
-	ccfg := chaos.Scaled(*chaosRate, *seed)
-	if *chaosAbort > 0 {
-		ccfg.AbortRate = *chaosAbort
+	if *record != "" && *schedSpec == "" {
+		fmt.Fprintln(os.Stderr, "staggersim: -record needs -sched (there is no schedule to record otherwise)")
+		os.Exit(2)
 	}
-	if *chaosNT > 0 {
-		ccfg.NTDelayRate = *chaosNT
-	}
-	if *chaosDrop > 0 {
-		ccfg.LockDropRate = *chaosDrop
-	}
-	if *chaosJit > 0 {
-		ccfg.JitterRate = *chaosJit
-	}
-	if ccfg.Enabled() {
-		rc.Chaos = &ccfg
-	}
+	rc.Chaos = cp
 	if *hardened {
 		scfg := stagger.HardenedConfig(m)
 		rc.Stagger = &scfg
@@ -130,8 +187,103 @@ func main() {
 	if len(res.Trace) > 0 {
 		fmt.Printf("\ntrace (first %d events):\n%s", len(res.Trace), htm.FormatTrace(res.Trace))
 	}
+	if *record != "" {
+		spec, _ := sched.Parse(*schedSpec)
+		ss := *schedSeed
+		if ss == 0 {
+			ss = *seed
+		}
+		tr := &sched.Trace{
+			Version: sched.TraceVersion,
+			Spec:    *schedSpec,
+			Seed:    ss,
+			Bench:   *bench,
+			Mode:    m.String(),
+			Threads: *threads,
+			WlSeed:  *seed,
+			Ops:     *ops,
+			Window:  spec.Window,
+			Picks:   res.SchedPicks,
+		}
+		if err := tr.WriteFile(*record); err != nil {
+			fmt.Fprintln(os.Stderr, "staggersim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded    %d scheduler decisions -> %s\n", len(res.SchedPicks), *record)
+	}
+	failed := false
 	if res.VerifyErr != nil {
 		fmt.Fprintln(os.Stderr, "VERIFY FAILED:", res.VerifyErr)
+		failed = true
+	}
+	if res.OracleErr != nil {
+		fmt.Fprintln(os.Stderr, "ORACLE FAILED:", res.OracleErr)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runExplore drives a schedule-exploration campaign over one or more
+// benchmarks (comma-separated), printing a per-benchmark summary and
+// exiting nonzero if any schedule produced a violation.
+func runExplore(benchList, mode string, threads int, seed int64, ops int,
+	spec string, runs int, minimize bool, outDir string, unsafeEarly, hardened bool,
+	ccfg *chaos.Config) {
+	m, err := parseMode(mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "staggersim:", err)
+		os.Exit(2)
+	}
+	if benchList == "" {
+		fmt.Fprintln(os.Stderr, "staggersim: -explore needs -bench (comma-separated list accepted)")
+		os.Exit(2)
+	}
+	anyFail := false
+	for _, bench := range strings.Split(benchList, ",") {
+		bench = strings.TrimSpace(bench)
+		ec := harness.ExploreConfig{
+			Benchmark:          bench,
+			Mode:               m,
+			Threads:            threads,
+			Seed:               seed,
+			TotalOps:           ops,
+			Chaos:              ccfg,
+			Spec:               spec,
+			Runs:               runs,
+			Minimize:           minimize,
+			UnsafeEarlyRelease: unsafeEarly,
+		}
+		if hardened {
+			scfg := stagger.HardenedConfig(m)
+			ec.Stagger = &scfg
+		}
+		rep, err := harness.Explore(ec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "staggersim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-10s %s %2d threads: %d schedules, %d commits validated, %d failures\n",
+			bench, m, threads, rep.Runs, rep.Commits, len(rep.Failures))
+		for i, f := range rep.Failures {
+			anyFail = true
+			fmt.Printf("  failure %d (sched seed %d, %d decisions", i, f.SchedSeed, len(f.Picks))
+			if f.Minimized != nil {
+				fmt.Printf(", minimized to %d in %d probes", len(f.Minimized), f.Probes)
+			}
+			fmt.Printf("): %v\n", f.Err)
+			if outDir != "" {
+				path := fmt.Sprintf("%s/%s-fail-%d.trace", outDir, bench, i)
+				if err := f.Trace(ec).WriteFile(path); err != nil {
+					fmt.Fprintln(os.Stderr, "staggersim:", err)
+				} else {
+					fmt.Printf("    trace -> %s (replay with -sched replay:%s)\n", path, path)
+				}
+			}
+		}
+	}
+	if anyFail {
 		os.Exit(1)
 	}
 }
@@ -223,5 +375,8 @@ func printResult(r *harness.Result) {
 	}
 	if r.VerifyErr == nil {
 		fmt.Println("verify      OK")
+	}
+	if r.Config.Oracle && r.OracleErr == nil {
+		fmt.Printf("oracle      OK (%d commits serializable)\n", r.OracleCommits)
 	}
 }

@@ -7,13 +7,16 @@ import "sync"
 // deterministic in its RunConfig, results can be memoized safely.
 
 type cacheKey struct {
-	bench    string
-	mode     int
-	threads  int
-	seed     int64
-	totalOps int
-	naive    bool
-	lazy     bool
+	bench     string
+	mode      int
+	threads   int
+	seed      int64
+	totalOps  int
+	naive     bool
+	lazy      bool
+	sched     string
+	schedSeed int64
+	oracle    bool
 }
 
 var (
@@ -25,13 +28,15 @@ var (
 // configurations. Configs with overrides bypass the cache.
 func RunCached(rc RunConfig) (*Result, error) {
 	if rc.Machine != nil || rc.Stagger != nil || rc.TraceN > 0 ||
-		rc.Chaos != nil || rc.Watchdog != 0 {
+		rc.Chaos != nil || rc.Watchdog != 0 || rc.WatchdogTrace != 0 ||
+		rc.Record || rc.ReplayPicks != nil || rc.UnsafeEarlyRelease {
 		return Run(rc)
 	}
 	if rc.Seed == 0 {
 		rc.Seed = 42 // match Run's default so keys are canonical
 	}
-	key := cacheKey{rc.Benchmark, int(rc.Mode), rc.Threads, rc.Seed, rc.TotalOps, rc.Naive, rc.Lazy}
+	key := cacheKey{rc.Benchmark, int(rc.Mode), rc.Threads, rc.Seed, rc.TotalOps, rc.Naive, rc.Lazy,
+		rc.Sched, rc.SchedSeed, rc.Oracle}
 	cacheMu.Lock()
 	r, ok := cache[key]
 	cacheMu.Unlock()

@@ -1,0 +1,200 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/chaos"
+	"repro/internal/sched"
+	"repro/internal/stagger"
+)
+
+// ExploreConfig describes a schedule-exploration campaign: many runs of
+// one experiment cell under an adversarial scheduler, each with a fresh
+// scheduler seed, each recorded and checked by the serializability oracle.
+type ExploreConfig struct {
+	// Benchmark / Mode / Threads / Seed / TotalOps select the cell, as in
+	// RunConfig. Seed fixes the workload; only the schedule varies.
+	Benchmark string
+	Mode      stagger.Mode
+	Threads   int
+	Seed      int64
+	TotalOps  int
+	// Stagger optionally overrides the runtime configuration (nil = the
+	// paper's defaults for Mode), e.g. a tiny retry budget to provoke
+	// irrevocable fallbacks.
+	Stagger *stagger.Config
+	// Chaos composes fault injection with schedule exploration: every
+	// explored schedule also runs under the given deterministic fault
+	// config, so fault x schedule sweeps are one campaign.
+	Chaos *chaos.Config
+
+	// Spec is the scheduler specification ("" = "pct:3"); replay specs make
+	// no sense here and are rejected.
+	Spec string
+	// Runs is the number of schedules to explore (0 = 100).
+	Runs int
+
+	// Minimize shrinks each failing schedule to a short decision prefix by
+	// delta debugging (re-running the cell per probe).
+	Minimize bool
+	// MinimizeBudget caps replay probes per failure (0 = 512).
+	MinimizeBudget int
+
+	// UnsafeEarlyRelease plumbs the test-only broken irrevocable fallback
+	// through to the runtime, so tests can prove campaigns catch it.
+	UnsafeEarlyRelease bool
+	// WatchdogTrace sizes the watchdog event ring (0 = 256: exploration
+	// keeps a deeper tail than the htm default because adversarial
+	// schedules are exactly the runs whose ends are worth reading).
+	WatchdogTrace int
+
+	// Progress, if non-nil, is called after every run.
+	Progress func(run int, failed bool)
+}
+
+// ExploreFailure is one failing schedule, with enough to reproduce it.
+type ExploreFailure struct {
+	// SchedSeed reproduces the schedule generatively (same Spec + seed).
+	SchedSeed int64
+	// Err is the oracle violation or workload verification failure.
+	Err error
+	// Picks is the recorded decision sequence (replays the failure).
+	Picks []uint32
+	// Minimized is the shortest failing prefix found (nil if minimization
+	// was off or the failure stopped reproducing under replay).
+	Minimized []uint32
+	// Probes is how many replay runs minimization spent.
+	Probes int
+}
+
+// Trace packages the failure as a writable trace for `-sched=replay:`.
+func (f *ExploreFailure) Trace(ec ExploreConfig) *sched.Trace {
+	spec, _ := sched.Parse(exploreSpec(ec))
+	picks := f.Picks
+	if f.Minimized != nil {
+		picks = f.Minimized
+	}
+	return &sched.Trace{
+		Version: sched.TraceVersion,
+		Spec:    exploreSpec(ec),
+		Seed:    f.SchedSeed,
+		Bench:   ec.Benchmark,
+		Mode:    ec.Mode.String(),
+		Threads: ec.Threads,
+		WlSeed:  ec.Seed,
+		Ops:     ec.TotalOps,
+		Window:  spec.Window,
+		Picks:   picks,
+	}
+}
+
+// ExploreReport aggregates one campaign.
+type ExploreReport struct {
+	Config   ExploreConfig
+	Runs     int
+	Commits  int // oracle-validated commits across all runs
+	Failures []ExploreFailure
+}
+
+func exploreSpec(ec ExploreConfig) string {
+	if ec.Spec == "" {
+		return "pct:3"
+	}
+	return ec.Spec
+}
+
+// Explore runs a schedule-exploration campaign. Infrastructure errors
+// (unknown benchmark, watchdog timeout) abort the campaign; serializability
+// violations and workload verification failures are collected as findings.
+func Explore(ec ExploreConfig) (*ExploreReport, error) {
+	spec, err := sched.Parse(exploreSpec(ec))
+	if err != nil {
+		return nil, err
+	}
+	if spec.Kind == "replay" {
+		return nil, fmt.Errorf("harness: explore needs a generative scheduler, not %q", ec.Spec)
+	}
+	if ec.Runs <= 0 {
+		ec.Runs = 100
+	}
+	if ec.Seed == 0 {
+		ec.Seed = 42
+	}
+	wt := ec.WatchdogTrace
+	if wt == 0 {
+		wt = 256
+	}
+
+	rep := &ExploreReport{Config: ec}
+	for i := 0; i < ec.Runs; i++ {
+		// Distinct, nonzero scheduler seeds; the workload seed stays fixed
+		// so every run explores the same program.
+		ss := ec.Seed + int64(i)*1_000_003 + 1
+		rc := RunConfig{
+			Benchmark:          ec.Benchmark,
+			Mode:               ec.Mode,
+			Threads:            ec.Threads,
+			Seed:               ec.Seed,
+			TotalOps:           ec.TotalOps,
+			Stagger:            ec.Stagger,
+			Chaos:              ec.Chaos,
+			Sched:              exploreSpec(ec),
+			SchedSeed:          ss,
+			Record:             true,
+			Oracle:             true,
+			UnsafeEarlyRelease: ec.UnsafeEarlyRelease,
+			WatchdogTrace:      wt,
+		}
+		res, err := Run(rc)
+		if err != nil {
+			return nil, fmt.Errorf("harness: explore run %d (sched seed %d): %w", i, ss, err)
+		}
+		rep.Runs++
+		rep.Commits += res.OracleCommits
+		ferr := res.OracleErr
+		if ferr == nil {
+			ferr = res.VerifyErr
+		}
+		if ferr != nil {
+			f := ExploreFailure{SchedSeed: ss, Err: ferr, Picks: res.SchedPicks}
+			if ec.Minimize {
+				f.Minimized, f.Probes = minimizeFailure(rc, f.Picks, ec.MinimizeBudget)
+			}
+			rep.Failures = append(rep.Failures, f)
+		}
+		if ec.Progress != nil {
+			ec.Progress(i, ferr != nil)
+		}
+	}
+	return rep, nil
+}
+
+// minimizeFailure delta-debugs a failing decision sequence: a candidate
+// subsequence "fails" if replaying it (falling back to the deterministic
+// rule once exhausted) still produces an oracle or verification failure.
+func minimizeFailure(rc RunConfig, picks []uint32, budget int) ([]uint32, int) {
+	if budget <= 0 {
+		budget = 512
+	}
+	probe := rc
+	probe.Record = false
+	probes := 0
+	fail := func(p []uint32) bool {
+		probes++
+		if p == nil {
+			p = []uint32{}
+		}
+		probe.ReplayPicks = p
+		res, err := Run(probe)
+		if err != nil {
+			return false // infra error: treat the candidate as passing
+		}
+		return res.OracleErr != nil || res.VerifyErr != nil
+	}
+	// The full sequence must reproduce under replay at all, or there is
+	// nothing sound to minimize.
+	if !fail(picks) {
+		return nil, probes
+	}
+	return sched.Minimize(picks, fail, budget), probes
+}

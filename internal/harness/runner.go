@@ -10,6 +10,8 @@ import (
 	"repro/internal/anchor"
 	"repro/internal/chaos"
 	"repro/internal/htm"
+	"repro/internal/oracle"
+	"repro/internal/sched"
 	"repro/internal/stagger"
 	"repro/internal/workloads"
 )
@@ -51,6 +53,35 @@ type RunConfig struct {
 	// loudly with the last trace events instead of hanging (0 = no
 	// bound). Overrides Machine.WatchdogCycles when nonzero.
 	Watchdog uint64
+	// WatchdogTrace sizes the watchdog's last-events ring (0 = the htm
+	// default). Exploration campaigns raise it so a timed-out adversarial
+	// schedule leaves a useful tail.
+	WatchdogTrace int
+
+	// Sched selects an adversarial scheduler replacing the engine's
+	// deterministic minimum-time tie-break ("" = baseline; see sched.Parse
+	// for the grammar: "random", "pct:<d>", "replay:<file>", "...@<window>").
+	Sched string
+	// SchedSeed seeds the random and PCT schedulers (0 = use Seed). Each
+	// exploration run varies SchedSeed while Seed keeps the workload fixed.
+	SchedSeed int64
+	// Record captures every scheduler decision; the sequence is returned in
+	// Result.SchedPicks and replays the run bit-identically.
+	Record bool
+	// ReplayPicks, when non-nil (even empty), replays an in-memory decision
+	// sequence, overriding Sched's strategy but keeping its window. The
+	// trace minimizer probes candidate prefixes this way.
+	ReplayPicks []uint32
+
+	// Oracle installs the serializability checker: committed read sets are
+	// validated against a shadow memory in commit order, operation tags are
+	// re-executed on the workload's sequential reference model, and final
+	// memory must match the shadow. Results land in Result.OracleErr.
+	Oracle bool
+	// UnsafeEarlyRelease enables the test-only broken irrevocable fallback
+	// (global lock released before the body); it exists so tests can prove
+	// the oracle catches a real atomicity violation end to end.
+	UnsafeEarlyRelease bool
 }
 
 // Result is everything one run produces.
@@ -79,6 +110,14 @@ type Result struct {
 
 	// Faults counts injected faults by class (all zero without chaos).
 	Faults chaos.Counts
+
+	// SchedPicks is the recorded scheduler decision sequence (Record).
+	SchedPicks []uint32
+	// OracleCommits is how many atomic sections the oracle validated.
+	OracleCommits int
+	// OracleErr is non-nil if the serializability oracle found a violation
+	// (including a final reference-model mismatch).
+	OracleErr error
 }
 
 // Makespan returns the simulated duration in cycles.
@@ -148,6 +187,9 @@ func Run(rc RunConfig) (*Result, error) {
 	if rc.Watchdog != 0 {
 		mcfg.WatchdogCycles = rc.Watchdog
 	}
+	if rc.WatchdogTrace != 0 {
+		mcfg.WatchdogTrace = rc.WatchdogTrace
+	}
 
 	aopts := anchor.DefaultOptions()
 	aopts.PCBits = mcfg.PCTagBits
@@ -158,11 +200,26 @@ func Run(rc RunConfig) (*Result, error) {
 	if rc.TraceN > 0 {
 		mach.EnableTrace(rc.TraceN)
 	}
+
+	var recorder *sched.Recorder
+	scheduler, err := buildScheduler(rc, mcfg.Cores)
+	if err != nil {
+		return nil, err
+	}
+	if scheduler != nil {
+		if rc.Record {
+			recorder = sched.NewRecorder(scheduler)
+			scheduler = recorder
+		}
+		mach.SetScheduler(scheduler)
+	}
+
 	scfg := stagger.DefaultConfig(rc.Mode)
 	if rc.Stagger != nil {
 		scfg = *rc.Stagger
 		scfg.Mode = rc.Mode
 	}
+	scfg.UnsafeEarlyGlobalRelease = scfg.UnsafeEarlyGlobalRelease || rc.UnsafeEarlyRelease
 	var inj *chaos.Injector
 	if rc.Chaos != nil && rc.Chaos.Enabled() {
 		inj = chaos.NewInjector(*rc.Chaos, mcfg.Cores)
@@ -172,6 +229,20 @@ func Run(rc RunConfig) (*Result, error) {
 	rt := stagger.New(mach, comp, scfg)
 
 	w.Setup(mach, rc.Seed)
+
+	// The oracle snapshots memory after setup so the shadow starts from the
+	// seeded data, and builds the reference model afterwards so it can
+	// capture post-setup addresses.
+	var chk *oracle.Checker
+	var model oracle.RefModel
+	if rc.Oracle {
+		if w.RefModel != nil {
+			model = w.RefModel(mach, rc.Seed)
+		}
+		chk = oracle.New(mach.Mem.Snapshot(), model)
+		mach.SetObserver(chk)
+	}
+
 	bodies := make([]func(*htm.Core), rc.Threads)
 	for tid := 0; tid < rc.Threads; tid++ {
 		n := splitOps(rc.TotalOps, rc.Threads, tid)
@@ -198,7 +269,50 @@ func Run(rc RunConfig) (*Result, error) {
 	if inj != nil {
 		res.Faults = inj.Counts()
 	}
+	if recorder != nil {
+		res.SchedPicks = recorder.Picks()
+	}
+	if chk != nil {
+		chk.FinalCheck(mach.Mem)
+		res.OracleCommits = chk.Commits()
+		res.OracleErr = chk.Err()
+		if res.OracleErr == nil {
+			if f, ok := model.(oracle.Finisher); ok {
+				if ferr := f.Finish(); ferr != nil {
+					res.OracleErr = fmt.Errorf("oracle: final model check: %w", ferr)
+				}
+			}
+		}
+	}
 	return res, nil
+}
+
+// buildScheduler resolves the RunConfig's scheduling fields into an htm
+// scheduler (nil = the engine's deterministic baseline).
+func buildScheduler(rc RunConfig, cores int) (htm.Scheduler, error) {
+	window := uint64(sched.DefaultWindow)
+	var spec sched.Spec
+	haveSpec := false
+	if rc.Sched != "" {
+		var err error
+		spec, err = sched.Parse(rc.Sched)
+		if err != nil {
+			return nil, err
+		}
+		window = spec.Window
+		haveSpec = true
+	}
+	if rc.ReplayPicks != nil {
+		return sched.NewReplay(rc.ReplayPicks, window), nil
+	}
+	if !haveSpec {
+		return nil, nil
+	}
+	seed := rc.SchedSeed
+	if seed == 0 {
+		seed = rc.Seed
+	}
+	return spec.New(seed, cores)
 }
 
 func splitOps(total, threads, tid int) int {

@@ -78,6 +78,11 @@ type Config struct {
 	// 0 (the default) disables the watchdog.
 	WatchdogCycles uint64
 
+	// WatchdogTrace sizes the trailing-event ring attached to watchdog
+	// failure reports (0 = the built-in default of 32). Exploration
+	// campaigns raise it so minimized repros carry enough context.
+	WatchdogTrace int
+
 	// Seed feeds the per-core PRNGs used for backoff jitter.
 	Seed int64
 

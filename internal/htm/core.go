@@ -31,11 +31,19 @@ type Core struct {
 
 	inTx         bool
 	inAttempt    bool
+	inIrrev      bool
 	pendingAbort *AbortInfo
 	writeBuf     map[mem.Addr]uint64
 	txLines      map[mem.Addr]*txLine
 	attemptStart uint64
 	attemptWait  uint64
+
+	// Observer state (nil unless a TxObserver is installed and an atomic
+	// section is active): first-external-read and write logs per word,
+	// plus the workload's opaque operation tag for the current section.
+	obsReads  map[mem.Addr]uint64
+	obsWrites map[mem.Addr]uint64
+	opTag     any
 }
 
 func newCore(m *Machine, id int) *Core {
@@ -151,6 +159,7 @@ func (c *Core) TxBegin() {
 	c.inAttempt = true
 	c.attemptStart = c.clock
 	c.attemptWait = 0
+	c.obsBeginSection()
 	c.recordBegin()
 	c.clock += c.m.cfg.TxBeginCost
 }
@@ -173,6 +182,13 @@ func (c *Core) TxCommit() {
 	c.stats.Commits++
 	c.stats.UsefulTxCycles += c.clock - c.attemptStart - c.attemptWait
 	c.recordCommit()
+	if c.m.observer != nil {
+		writes := make(map[mem.Addr]uint64, len(c.writeBuf))
+		for a, v := range c.writeBuf {
+			writes[a] = v
+		}
+		c.obsEndSection(false, writes)
+	}
 	c.clearTx()
 }
 
@@ -196,6 +212,7 @@ func (c *Core) finishAbort(info AbortInfo) {
 	c.stats.Aborts[info.Reason]++
 	c.stats.WastedTxCycles += c.clock - c.attemptStart - c.attemptWait
 	c.recordAbort(info)
+	c.obsAbortSection()
 	c.clearTx()
 }
 
@@ -291,12 +308,17 @@ func (c *Core) Load(pc uint64, site uint32, a mem.Addr) uint64 {
 		c.record(line, pc, site, false)
 	}
 	c.clock += c.m.lookupLatency(c, line)
+	word := mem.WordOf(a)
 	if c.inTx {
-		if v, ok := c.writeBuf[mem.WordOf(a)]; ok {
+		if v, ok := c.writeBuf[word]; ok {
 			return v
 		}
 	}
-	return c.m.Mem.Load(a)
+	v := c.m.Mem.Load(a)
+	if c.obsReads != nil {
+		c.obsRead(word, v)
+	}
+	return v
 }
 
 // Store performs a store at program counter pc from static site, writing
@@ -326,6 +348,21 @@ func (c *Core) Store(pc uint64, site uint32, a mem.Addr, v uint64) {
 		return
 	}
 	c.m.Mem.Store(a, v)
+	c.obsStore(mem.WordOf(a), v)
+}
+
+// obsStore routes a committed (non-speculative) store to the observer:
+// inside an irrevocable section the write joins the section's deferred
+// write set; otherwise it is reported immediately.
+func (c *Core) obsStore(word mem.Addr, v uint64) {
+	if c.m.observer == nil {
+		return
+	}
+	if c.inIrrev {
+		c.obsWrites[word] = v
+		return
+	}
+	c.m.observer.OnStore(c.id, word, v)
 }
 
 // NTLoad performs a nontransactional load: it reads committed memory and
@@ -356,6 +393,7 @@ func (c *Core) NTStore(a mem.Addr, v uint64) {
 	c.m.invalidateOthers(mem.LineOf(a), c.id)
 	c.clock += c.m.lookupLatency(c, mem.LineOf(a))
 	c.m.Mem.Store(a, v)
+	c.obsStore(mem.WordOf(a), v)
 }
 
 // NTCas performs a nontransactional compare-and-swap as a single memory
@@ -373,6 +411,7 @@ func (c *Core) NTCas(a mem.Addr, old, new uint64) bool {
 		return false
 	}
 	c.m.Mem.Store(a, new)
+	c.obsStore(mem.WordOf(a), new)
 	return true
 }
 

@@ -17,15 +17,23 @@ type engine struct {
 	wake    []chan struct{}
 	pending int
 	allDone chan struct{}
+
+	// sched, when non-nil, replaces the smallest-virtual-time rule with an
+	// adversarial choice among the runnable cores inside the scheduler's
+	// virtual-time window (see sched.go). cand/candT are reused scratch.
+	sched Scheduler
+	cand  []int
+	candT []uint64
 }
 
-func newEngine(n int) *engine {
+func newEngine(n int, sched Scheduler) *engine {
 	e := &engine{
 		time:    make([]uint64, n),
 		done:    make([]bool, n),
 		wake:    make([]chan struct{}, n),
 		pending: n,
 		allDone: make(chan struct{}),
+		sched:   sched,
 	}
 	for i := range e.wake {
 		e.wake[i] = make(chan struct{}, 1)
@@ -47,13 +55,42 @@ func (e *engine) min() int {
 	return best
 }
 
+// next returns the core to hand the token to: the minimum-time runnable
+// core by default, or the installed scheduler's choice among the cores
+// within its virtual-time window of the minimum.
+func (e *engine) next() int {
+	best := e.min()
+	if e.sched == nil || best == -1 {
+		return best
+	}
+	e.cand, e.candT = e.cand[:0], e.candT[:0]
+	window := e.sched.Window()
+	for i := range e.time {
+		if e.done[i] {
+			continue
+		}
+		if window == 0 || e.time[i] <= e.time[best]+window {
+			e.cand = append(e.cand, i)
+			e.candT = append(e.candT, e.time[i])
+		}
+	}
+	if len(e.cand) == 1 {
+		return e.cand[0]
+	}
+	k := e.sched.Pick(e.cand, e.candT)
+	if k < 0 || k >= len(e.cand) {
+		k = ((k % len(e.cand)) + len(e.cand)) % len(e.cand)
+	}
+	return e.cand[k]
+}
+
 // sync is called by core id (the token holder) when its clock has reached
 // t and it is about to perform a globally visible event. It returns when
-// the core is again the minimum-time runnable core, possibly after handing
-// the token around; on return the caller may perform its event atomically.
+// the core is again the chosen runnable core, possibly after handing the
+// token around; on return the caller may perform its event atomically.
 func (e *engine) sync(id int, t uint64) {
 	e.time[id] = t
-	next := e.min()
+	next := e.next()
 	if next == id {
 		return
 	}
@@ -71,13 +108,13 @@ func (e *engine) finish(id int, t uint64) {
 		close(e.allDone)
 		return
 	}
-	e.wake[e.min()] <- struct{}{}
+	e.wake[e.next()] <- struct{}{}
 }
 
-// start launches the simulation by granting the token to the minimum-time
+// start launches the simulation by granting the token to the chosen
 // core. Call after every core goroutine is blocked on its wake channel.
 func (e *engine) start() {
-	e.wake[e.min()] <- struct{}{}
+	e.wake[e.next()] <- struct{}{}
 }
 
 // waitAll blocks until every registered core has finished.

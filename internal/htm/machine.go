@@ -45,7 +45,12 @@ type Machine struct {
 	lastEvents *traceRing
 	// chaos is the installed fault injector (nil = fault-free).
 	chaos FaultInjector
-	ran   bool
+	// sched is the installed adversarial scheduler (nil = baseline
+	// smallest-virtual-time order).
+	sched Scheduler
+	// observer is the installed correctness oracle (nil = no logging).
+	observer TxObserver
+	ran      bool
 }
 
 // New builds a machine from cfg.
@@ -59,7 +64,11 @@ func New(cfg Config) *Machine {
 	}
 	m.Alloc = mem.NewAllocator(mem.Addr(cfg.HeapBase), cfg.HeapSize)
 	if cfg.WatchdogCycles != 0 {
-		m.lastEvents = newTraceRing(watchdogTraceN)
+		n := cfg.WatchdogTrace
+		if n <= 0 {
+			n = watchdogTraceN
+		}
+		m.lastEvents = newTraceRing(n)
 	}
 	m.memBusy = make([]uint64, cfg.MemChannels)
 	// The global lock lives on its own line so subscribing to it never
@@ -112,7 +121,7 @@ func (m *Machine) RunChecked(bodies []func(c *Core)) error {
 	if len(bodies) > len(m.cores) {
 		panic(fmt.Sprintf("htm: %d thread bodies for %d cores", len(bodies), len(m.cores)))
 	}
-	m.eng = newEngine(len(bodies))
+	m.eng = newEngine(len(bodies), m.sched)
 	panics := make([]any, len(bodies))
 	for i, body := range bodies {
 		c := m.cores[i]

@@ -1,0 +1,92 @@
+package htm
+
+import "repro/internal/mem"
+
+// TxObserver is the hook surface for correctness oracles (implemented by
+// internal/oracle). A machine with no observer takes none of these calls
+// and logs nothing, so the hooks are zero-impact by default.
+//
+// All calls happen under the engine's token discipline, so the call order
+// is the global serialization order of the simulated execution:
+//
+//   - OnCommit fires once per atomic section, at its atomicity point — a
+//     hardware transaction's commit instruction, or the end of an
+//     irrevocable section's body. reads maps each word the section read
+//     before writing it to the value observed (first read wins; later
+//     reads cannot differ under eager conflict detection). writes maps
+//     each word written to its committed value. Both maps are owned by
+//     the observer after the call.
+//   - OnStore fires for every other committed-memory mutation: a
+//     nontransactional store or CAS (including those issued from inside a
+//     transaction — they are immediate and survive aborts) and plain
+//     stores outside any atomic section.
+//
+// Note that an irrevocable section's plain stores reach simulated memory
+// immediately but are reported atomically at the section's end: a
+// serializability checker that applies them to its shadow copy at the
+// OnCommit point will observe exactly the divergence a broken fallback
+// lock protocol creates, which is the point.
+type TxObserver interface {
+	OnCommit(core int, irrevocable bool, tag any, reads, writes map[mem.Addr]uint64)
+	OnStore(core int, addr mem.Addr, val uint64)
+}
+
+// SetObserver installs a transaction observer. Call before Run; nil (the
+// default) disables all logging.
+func (m *Machine) SetObserver(o TxObserver) {
+	if m.ran {
+		panic("htm: SetObserver after Run")
+	}
+	m.observer = o
+}
+
+// SetOpTag attaches an opaque operation descriptor to the core's current
+// atomic section; it is handed to the observer's OnCommit and then
+// cleared. Workload bodies use it to tell the serializability oracle
+// which logical operation each commit performed. Setting a tag with no
+// observer installed is a cheap no-op.
+func (c *Core) SetOpTag(tag any) {
+	if c.m.observer != nil {
+		c.opTag = tag
+	}
+}
+
+// obsRead logs the first external read of a word by the active atomic
+// section (transactional or irrevocable). Words the section has already
+// written are internal reads and never logged.
+func (c *Core) obsRead(word mem.Addr, val uint64) {
+	if _, wrote := c.obsWrites[word]; wrote {
+		return
+	}
+	if _, seen := c.obsReads[word]; seen {
+		return
+	}
+	c.obsReads[word] = val
+}
+
+// obsBeginSection resets the read/write logs for a new atomic section.
+func (c *Core) obsBeginSection() {
+	if c.m.observer == nil {
+		return
+	}
+	c.obsReads = make(map[mem.Addr]uint64)
+	c.obsWrites = make(map[mem.Addr]uint64)
+}
+
+// obsEndSection reports the section's atomicity point and clears the
+// logs. For hardware transactions the write set is the commit-published
+// write buffer; irrevocable sections accumulated obsWrites as their plain
+// stores executed.
+func (c *Core) obsEndSection(irrevocable bool, writes map[mem.Addr]uint64) {
+	reads := c.obsReads
+	tag := c.opTag
+	c.obsReads, c.obsWrites, c.opTag = nil, nil, nil
+	c.m.observer.OnCommit(c.id, irrevocable, tag, reads, writes)
+}
+
+// obsAbortSection discards the logs of an aborted attempt. The op tag
+// survives: the retry re-runs the same logical operation (and overwrites
+// the tag anyway when the body re-declares it).
+func (c *Core) obsAbortSection() {
+	c.obsReads, c.obsWrites = nil, nil
+}

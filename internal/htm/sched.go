@@ -1,0 +1,62 @@
+package htm
+
+// This file defines the pluggable scheduling hook of the engine. The
+// baseline engine always runs the runnable core with the smallest virtual
+// clock (ties by core ID) — one fixed interleaving per (program, seed).
+// A Scheduler widens that to an adversarially chosen interleaving: at
+// every globally visible event the engine collects the candidate cores
+// and asks the scheduler which one runs next.
+//
+// Candidates are bounded by the scheduler's virtual-time window W: a core
+// is eligible only while its clock is within W cycles of the minimum
+// runnable clock. The window is what keeps every schedule live — a core
+// spinning on a never-released lock advances its own clock with each
+// poll, drifts past min+W, and drops out of the candidate set, forcing
+// the engine to run the starved lock holder. With W = 0 (unbounded) a
+// priority scheduler could starve a lock holder forever and turn a
+// correct program into a spurious watchdog trip.
+//
+// Every Pick call is a decision point. Given the same decisions (and the
+// same workload seed and configuration), the simulation replays
+// bit-identically: candidate sets are a pure function of the decision
+// prefix, so a recorded decision sequence is a complete, portable
+// schedule (see internal/sched for recording, replay, and minimization).
+
+// Scheduler chooses the next core to run at each engine decision point.
+// Implementations must be deterministic functions of their own state and
+// the Pick arguments; the engine serializes all calls.
+type Scheduler interface {
+	// Pick returns an index into runnable (candidate core IDs, ascending).
+	// times[i] is the virtual clock of runnable[i]. Pick is only called
+	// with len(runnable) >= 2; out-of-range returns are reduced modulo
+	// len(runnable) (deliberately forgiving, so a minimized or truncated
+	// replay still yields a valid schedule).
+	Pick(runnable []int, times []uint64) int
+
+	// Window is the maximum virtual-time skew, in cycles, a candidate may
+	// have over the minimum runnable clock (0 = unbounded; see the
+	// liveness note above before using it).
+	Window() uint64
+}
+
+// SetScheduler installs a scheduler. Call before Run; nil (the default)
+// keeps the baseline smallest-virtual-time order, bit-identical to
+// machines that never heard of schedulers.
+func (m *Machine) SetScheduler(s Scheduler) {
+	if m.ran {
+		panic("htm: SetScheduler after Run")
+	}
+	m.sched = s
+}
+
+// SchedPoint marks a pure scheduling decision point: with a scheduler
+// installed it synchronizes with the engine (giving the scheduler a
+// chance to preempt) without advancing the clock or touching memory.
+// Without one it is a no-op, so baseline runs are unaffected. The
+// staggered runtime calls it around advisory-lock acquisition and
+// release, making lock-order races directly explorable.
+func (c *Core) SchedPoint() {
+	if c.m.sched != nil {
+		c.event()
+	}
+}

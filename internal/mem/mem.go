@@ -64,6 +64,60 @@ func (m *Memory) Store(a Addr, v uint64) {
 // Footprint returns the number of simulated pages that have been touched.
 func (m *Memory) Footprint() int { return len(m.pages) }
 
+// Snapshot returns an independent deep copy of the memory's current
+// contents. Oracles snapshot the post-setup state and replay committed
+// effects against the copy.
+func (m *Memory) Snapshot() *Memory {
+	s := &Memory{pages: make(map[Addr][]uint64, len(m.pages))}
+	for key, p := range m.pages {
+		cp := make([]uint64, len(p))
+		copy(cp, p)
+		s.pages[key] = cp
+	}
+	return s
+}
+
+// Diff returns up to max word addresses at which m and o hold different
+// values, in ascending order. Untouched pages compare as all-zero.
+func (m *Memory) Diff(o *Memory, max int) []Addr {
+	keys := make(map[Addr]bool, len(m.pages)+len(o.pages))
+	for k := range m.pages {
+		keys[k] = true
+	}
+	for k := range o.pages {
+		keys[k] = true
+	}
+	ordered := make([]Addr, 0, len(keys))
+	for k := range keys {
+		ordered = append(ordered, k)
+	}
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && ordered[j] < ordered[j-1]; j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+	var zero [pageWords]uint64
+	var out []Addr
+	for _, k := range ordered {
+		a, b := m.pages[k], o.pages[k]
+		if a == nil {
+			a = zero[:]
+		}
+		if b == nil {
+			b = zero[:]
+		}
+		for w := 0; w < pageWords; w++ {
+			if a[w] != b[w] {
+				out = append(out, k<<pageBits|Addr(w*WordSize))
+				if len(out) >= max {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
 // Allocator is a bump-pointer allocator over a region of simulated memory.
 // Allocations never overlap and are never freed; workloads are sized so
 // that this is not a limitation. The zero Addr is reserved as a nil

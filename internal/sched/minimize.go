@@ -1,0 +1,67 @@
+package sched
+
+// Minimize shrinks a failing decision sequence while preserving the
+// failure, in two phases:
+//
+//  1. Prefix binary search: replay falls back to the deterministic
+//     minimum-time rule once the recorded picks run out, so every prefix
+//     of the sequence is itself a complete schedule. A binary search finds
+//     a short failing prefix in O(log n) probes. (Failure need not be
+//     monotone in prefix length, so this is a heuristic — but the search
+//     only ever commits to prefixes that verifiably fail.)
+//  2. Bounded ddmin: repeatedly try deleting chunks from the surviving
+//     prefix, halving the chunk size when a whole pass removes nothing,
+//     until single-decision granularity is reached or the probe budget is
+//     exhausted.
+//
+// fail must re-run the system under Replay(picks) and report whether the
+// original failure reproduces; it is the expensive part, so budget caps
+// the total number of fail calls. The input sequence must itself fail.
+func Minimize(picks []uint32, fail func([]uint32) bool, budget int) []uint32 {
+	probes := 0
+	try := func(c []uint32) bool {
+		if probes >= budget {
+			return false
+		}
+		probes++
+		return fail(c)
+	}
+
+	// Phase 1: smallest failing prefix by binary search. Invariant:
+	// picks[:hi] fails; picks[:lo] is not known to fail.
+	lo, hi := 0, len(picks)
+	for lo < hi && probes < budget {
+		mid := lo + (hi-lo)/2
+		if try(picks[:mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	// Always non-nil, even for an empty prefix: callers distinguish "the
+	// minimum is the empty schedule" from "minimization never ran".
+	cur := make([]uint32, hi)
+	copy(cur, picks[:hi])
+
+	// Phase 2: ddmin-style chunk deletion.
+	chunk := len(cur) / 2
+	for chunk >= 1 && probes < budget {
+		removed := false
+		for start := 0; start+chunk <= len(cur) && probes < budget; {
+			cand := make([]uint32, 0, len(cur)-chunk)
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[start+chunk:]...)
+			if try(cand) {
+				cur = cand
+				removed = true
+				// Do not advance: the next chunk has shifted into place.
+			} else {
+				start += chunk
+			}
+		}
+		if !removed {
+			chunk /= 2
+		}
+	}
+	return cur
+}

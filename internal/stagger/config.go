@@ -121,6 +121,12 @@ type Config struct {
 	// LockFaults optionally injects advisory-lock faults (lost releases);
 	// the chaos package's Injector implements it. Nil injects nothing.
 	LockFaults LockFaults
+
+	// UnsafeEarlyGlobalRelease, test-only, releases the irrevocable global
+	// lock before the fallback body runs (see htm.AtomicOpts). It breaks
+	// atomicity on purpose so the serializability oracle's detection can be
+	// tested end to end. Never set outside a test.
+	UnsafeEarlyGlobalRelease bool
 }
 
 // LockFaults is the advisory-lock fault hook: DropLockRelease reports

@@ -50,6 +50,11 @@ func (rt *Runtime) lockFor(a mem.Addr) mem.Addr {
 // owner cannot abort us.
 func (t *TxCtx) acquireLockFor(addr mem.Addr) {
 	rt := t.th.rt
+	// Lock-acquire ordering is a pure scheduling decision point: under an
+	// adversarial scheduler the engine may hand the token to a competing
+	// core right here, exploring acquisition races the fixed
+	// minimum-virtual-time order can never produce.
+	t.c.SchedPoint()
 	lock := rt.lockFor(addr)
 	for _, held := range t.locks {
 		if held == lock {
@@ -140,6 +145,11 @@ func (t *TxCtx) lockContended() bool {
 // against.
 func (t *TxCtx) releaseLock() {
 	rt := t.th.rt
+	if len(t.locks) != 0 {
+		// Release ordering is a decision point too: who runs between a
+		// release and the next acquisition decides which waiter wins.
+		t.c.SchedPoint()
+	}
 	for i, lock := range t.locks {
 		if rt.cfg.LockFaults != nil && rt.cfg.LockFaults.DropLockRelease(t.th.tid) {
 			continue

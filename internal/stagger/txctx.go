@@ -29,6 +29,11 @@ type TxCtx struct {
 // (e.g. labyrinth's privatizing grid snapshot).
 func (t *TxCtx) Core() *htm.Core { return t.c }
 
+// Op attaches an opaque operation descriptor to the current atomic-block
+// instance for the serializability oracle (see htm.Core.SetOpTag). A
+// cheap no-op when no oracle is installed.
+func (t *TxCtx) Op(tag any) { t.c.SetOpTag(tag) }
+
 // Compute models n µ-ops of non-memory work inside the atomic block.
 func (t *TxCtx) Compute(uops int) { t.c.Compute(uops) }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/htm"
 	"repro/internal/mem"
+	"repro/internal/oracle"
 	"repro/internal/prog"
 	"repro/internal/simds"
 	"repro/internal/stagger"
@@ -60,11 +61,13 @@ func buildGenome() *Workload {
 						segs[j] = uint64(rng.Intn(genDistinct) + 1)
 						nodes[j] = al.AllocLines(1)
 					}
+					inserted := make([]bool, genChunk)
 					th.Atomic(c, ab, func(tc *stagger.TxCtx) {
 						for j, s := range segs {
-							ht.Insert(tc, table, s, s, nodes[j])
+							inserted[j] = ht.Insert(tc, table, s, s, nodes[j])
 							tc.Compute(30)
 						}
+						tc.Op(genOp{segs: segs, inserted: inserted})
 					})
 					c.Compute(1200) // segment extraction outside the tx
 				}
@@ -77,5 +80,53 @@ func buildGenome() *Workload {
 			}
 			return nil
 		},
+		RefModel: func(m *htm.Machine, seed int64) oracle.RefModel {
+			return &genModel{m: m, table: table, set: make(map[uint64]bool, genDistinct)}
+		},
 	}
+}
+
+// genOp tags one committed chunk insert: inserted[j] reports whether
+// segs[j] was new to the table at this transaction's serialization point.
+// A duplicate segment *within* one chunk must report inserted=false for
+// its second occurrence — the sequential model checks per element.
+type genOp struct {
+	segs     []uint64
+	inserted []bool
+}
+
+// genModel is the sequential dedup set.
+type genModel struct {
+	m     *htm.Machine
+	table mem.Addr
+	set   map[uint64]bool
+}
+
+func (md *genModel) Step(tag any) error {
+	op, ok := tag.(genOp)
+	if !ok {
+		return fmt.Errorf("genome: unexpected tag %T", tag)
+	}
+	if len(op.segs) != len(op.inserted) {
+		return fmt.Errorf("genome: malformed tag: %d segments, %d results", len(op.segs), len(op.inserted))
+	}
+	for j, s := range op.segs {
+		if present := md.set[s]; op.inserted[j] != !present {
+			return fmt.Errorf("insert(%d) = %v, sequential set says %v", s, op.inserted[j], !present)
+		}
+		md.set[s] = true
+	}
+	return nil
+}
+
+func (md *genModel) Finish() error {
+	if n := simds.HTCount(md.m, md.table); n != len(md.set) {
+		return fmt.Errorf("final table has %d segments, model has %d", n, len(md.set))
+	}
+	for s := range md.set {
+		if got := chainFind(md.m, md.table, s); got != s {
+			return fmt.Errorf("final table[%d] = %d, model expects the key itself", s, got)
+		}
+	}
+	return nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/htm"
 	"repro/internal/mem"
+	"repro/internal/oracle"
 	"repro/internal/prog"
 	"repro/internal/simds"
 	"repro/internal/stagger"
@@ -81,6 +82,7 @@ func buildIntruder() *Workload {
 					var ok bool
 					th.Atomic(c, abPop, func(tc *stagger.TxCtx) {
 						frag, ok = q.Pop(tc, packetQ)
+						tc.Op(itPop{frag: frag, ok: ok})
 					})
 					if !ok {
 						break
@@ -99,12 +101,14 @@ func buildIntruder() *Workload {
 						// transaction is intruder's dominant conflict
 						// (Section 6.2 of the paper).
 						q.Push(tc, resultQ, frag, resNode)
+						tc.Op(itDec{flow: flow, cnt: cnt, frag: frag})
 					})
 					th.Atomic(c, abDet, func(tc *stagger.TxCtx) {
-						if f2, ok2 := q.Pop(tc, resultQ); ok2 {
-							_ = f2
+						f2, ok2 := q.Pop(tc, resultQ)
+						if ok2 {
 							tc.Compute(200) // signature scan
 						}
+						tc.Op(itDet{frag: f2, ok: ok2})
 					})
 					c.Compute(50)
 				}
@@ -123,7 +127,105 @@ func buildIntruder() *Workload {
 			}
 			return nil
 		},
+		RefModel: func(m *htm.Machine, seed int64) oracle.RefModel {
+			// Rebuild the shuffled packet queue exactly as Setup did.
+			rng := threadRNG(seed, 888)
+			frags := make([]uint64, 0, intrFlows*intrFragsPer)
+			for f := 0; f < intrFragsPer; f++ {
+				for fl := 0; fl < intrFlows; fl++ {
+					frags = append(frags, uint64(fl)<<8|uint64(f))
+				}
+			}
+			rng.Shuffle(len(frags), func(i, j int) { frags[i], frags[j] = frags[j], frags[i] })
+			return &itModel{
+				m: m, fragMap: fragMap, resultQ: resultQ,
+				packets: frags,
+				counts:  make(map[uint64]uint64, intrFlows),
+			}
+		},
 	}
+}
+
+// Tags for the three intruder atomic blocks.
+type itPop struct { // packet-queue pop
+	frag uint64
+	ok   bool
+}
+type itDec struct { // decoder: cnt is the fragment count the tx observed
+	flow uint64
+	cnt  uint64
+	frag uint64
+}
+type itDet struct { // detector: result-queue pop
+	frag uint64
+	ok   bool
+}
+
+// itModel is the sequential pipeline: a FIFO packet queue (rebuilt from
+// the setup seed), the fragment-count map, and a FIFO result queue.
+// Duplicate pops of one fragment, lost map updates, or reordered result
+// queues all diverge from it.
+type itModel struct {
+	m                *htm.Machine
+	fragMap, resultQ mem.Addr
+	packets          []uint64
+	counts           map[uint64]uint64
+	results          []uint64
+}
+
+func (md *itModel) Step(tag any) error {
+	switch op := tag.(type) {
+	case itPop:
+		if !op.ok {
+			if len(md.packets) != 0 {
+				return fmt.Errorf("packet pop returned empty with %d fragments queued", len(md.packets))
+			}
+			return nil
+		}
+		if len(md.packets) == 0 {
+			return fmt.Errorf("packet pop returned %#x from an empty queue", op.frag)
+		}
+		if md.packets[0] != op.frag {
+			return fmt.Errorf("packet pop = %#x, sequential queue head is %#x", op.frag, md.packets[0])
+		}
+		md.packets = md.packets[1:]
+	case itDec:
+		if got := md.counts[op.flow+1]; got != op.cnt {
+			return fmt.Errorf("decoder observed flow %d count %d, sequential map says %d",
+				op.flow, op.cnt, got)
+		}
+		md.counts[op.flow+1] = op.cnt + 1
+		md.results = append(md.results, op.frag)
+	case itDet:
+		if !op.ok {
+			if len(md.results) != 0 {
+				return fmt.Errorf("detector pop returned empty with %d flows queued", len(md.results))
+			}
+			return nil
+		}
+		if len(md.results) == 0 {
+			return fmt.Errorf("detector pop returned %#x from an empty queue", op.frag)
+		}
+		if md.results[0] != op.frag {
+			return fmt.Errorf("detector pop = %#x, sequential queue head is %#x", op.frag, md.results[0])
+		}
+		md.results = md.results[1:]
+	default:
+		return fmt.Errorf("intruder: unexpected tag %T", tag)
+	}
+	return nil
+}
+
+func (md *itModel) Finish() error {
+	if n := simds.QueueLen(md.m, md.resultQ); n != len(md.results) {
+		return fmt.Errorf("final result queue has %d entries, model has %d", n, len(md.results))
+	}
+	for flow, want := range md.counts {
+		if got := chainFind(md.m, md.fragMap, flow); got != want {
+			return fmt.Errorf("final fragment count[%d] = %d, model has %d", flow, got, want)
+		}
+	}
+	return nil
 }
 
 // chainFind reads a hash-table value directly from memory.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/htm"
 	"repro/internal/mem"
+	"repro/internal/oracle"
 	"repro/internal/prog"
 	"repro/internal/simds"
 	"repro/internal/stagger"
@@ -59,8 +60,12 @@ func buildKmeans() *Workload {
 					// Real cluster sizes are skewed; popular clusters are
 					// where the paper's kmeans contention comes from.
 					k := skewedCluster(rng.Intn(100))
+					// The point slice is reused across iterations; the tag
+					// must carry its own copy.
+					tagged := append([]uint64(nil), point...)
 					th.Atomic(c, ab, func(tc *stagger.TxCtx) {
 						cs.Update(tc, base, k, point)
+						tc.Op(kmOp{k: k, point: tagged})
 					})
 				}
 			}
@@ -75,7 +80,57 @@ func buildKmeans() *Workload {
 			}
 			return nil
 		},
+		RefModel: func(m *htm.Machine, seed int64) oracle.RefModel {
+			return &kmModel{m: m, cs: cs, base: base}
+		},
 	}
+}
+
+// kmOp tags one committed accumulator update (point is a private copy).
+type kmOp struct {
+	k     int
+	point []uint64
+}
+
+// kmModel re-accumulates the cluster sums sequentially in commit order;
+// Finish demands the real accumulators match word for word, which a lost
+// update (e.g. two transactions folding over the same count) would break.
+type kmModel struct {
+	m     *htm.Machine
+	cs    *simds.Centers
+	base  mem.Addr
+	count [kmClusters]uint64
+	sums  [kmClusters][kmDims]uint64
+}
+
+func (md *kmModel) Step(tag any) error {
+	op, ok := tag.(kmOp)
+	if !ok {
+		return fmt.Errorf("kmeans: unexpected tag %T", tag)
+	}
+	if op.k < 0 || op.k >= kmClusters || len(op.point) != kmDims {
+		return fmt.Errorf("kmeans: malformed update tag %+v", op)
+	}
+	md.count[op.k]++
+	for d, v := range op.point {
+		md.sums[op.k][d] += v
+	}
+	return nil
+}
+
+func (md *kmModel) Finish() error {
+	for k := 0; k < kmClusters; k++ {
+		if got := md.cs.Count(md.m, md.base, k); got != md.count[k] {
+			return fmt.Errorf("cluster %d count = %d, sequential model says %d", k, got, md.count[k])
+		}
+		for d := 0; d < kmDims; d++ {
+			if got := md.cs.Sum(md.m, md.base, k, d); got != md.sums[k][d] {
+				return fmt.Errorf("cluster %d dim %d sum = %d, sequential model says %d",
+					k, d, got, md.sums[k][d])
+			}
+		}
+	}
+	return nil
 }
 
 // skewedCluster maps a uniform percentile to a cluster with a skewed

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/htm"
 	"repro/internal/mem"
+	"repro/internal/oracle"
 	"repro/internal/prog"
 	"repro/internal/simds"
 	"repro/internal/stagger"
@@ -64,6 +65,7 @@ func buildLabyrinth() *Workload {
 						prev := held
 						th.Atomic(c, abRel, func(tc *stagger.TxCtx) {
 							g.ReleasePath(tc, base, prev)
+							tc.Op(labRel{path: prev, owner: owner})
 						})
 						held = nil
 					}
@@ -80,11 +82,13 @@ func buildLabyrinth() *Workload {
 							path = bfsPath(g, cells, buf, 0, sy, labX-1, dy, z)
 							tc.Compute(800) // wavefront expansion
 							if path == nil {
+								tc.Op(labClaim{owner: owner})
 								return
 							}
 							// Validation holds the path in the read set
 							// through the traceback (the conflict window).
 							ok = g.ClaimPath(tc, base, path, owner, 2500)
+							tc.Op(labClaim{path: path, owner: owner, ok: ok})
 						})
 						if !ok {
 							c.Compute(300)
@@ -124,7 +128,88 @@ func buildLabyrinth() *Workload {
 			}
 			return nil
 		},
+		RefModel: func(m *htm.Machine, seed int64) oracle.RefModel {
+			return &labModel{m: m, g: g, base: base, owners: make(map[mem.Addr]uint64)}
+		},
 	}
+}
+
+// Tags for the two labyrinth atomic blocks. A nil path with ok=false
+// means the BFS found no route on the (nontransactional) snapshot — the
+// snapshot may be stale, so the model does not second-guess it.
+type labClaim struct {
+	path  []mem.Addr
+	owner uint64
+	ok    bool
+}
+type labRel struct {
+	path  []mem.Addr
+	owner uint64
+}
+
+// labModel tracks sequential grid ownership. A successful claim must have
+// found every path cell free at its serialization point; a failed claim
+// with a path must have hit at least one occupied cell; a release must
+// free only cells the releasing wire owns.
+type labModel struct {
+	m      *htm.Machine
+	g      *simds.Grid
+	base   mem.Addr
+	owners map[mem.Addr]uint64
+}
+
+func (md *labModel) Step(tag any) error {
+	switch op := tag.(type) {
+	case labClaim:
+		if op.ok {
+			for _, cell := range op.path {
+				if o := md.owners[cell]; o != 0 {
+					return fmt.Errorf("claim by %d succeeded over cell %#x owned by %d",
+						op.owner, uint64(cell), o)
+				}
+			}
+			for _, cell := range op.path {
+				md.owners[cell] = op.owner
+			}
+			return nil
+		}
+		if op.path != nil {
+			for _, cell := range op.path {
+				if md.owners[cell] != 0 {
+					return nil
+				}
+			}
+			return fmt.Errorf("claim by %d failed though every path cell is free", op.owner)
+		}
+	case labRel:
+		for _, cell := range op.path {
+			if o := md.owners[cell]; o != op.owner {
+				return fmt.Errorf("release by %d of cell %#x owned by %d", op.owner, uint64(cell), o)
+			}
+		}
+		for _, cell := range op.path {
+			md.owners[cell] = 0
+		}
+	default:
+		return fmt.Errorf("labyrinth: unexpected tag %T", tag)
+	}
+	return nil
+}
+
+func (md *labModel) Finish() error {
+	for z := 0; z < labZ; z++ {
+		for y := 0; y < labY; y++ {
+			for x := 0; x < labX; x++ {
+				got := md.g.CellOwner(md.m, md.base, x, y, z)
+				want := md.owners[md.g.CellAddr(simds.Cells(md.m, md.base), x, y, z)]
+				if got != want {
+					return fmt.Errorf("final cell (%d,%d,%d) owner = %d, sequential model says %d",
+						x, y, z, got, want)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // bfsPath finds a free path from (sx,sy) to (dx,dy) on layer z of the

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/htm"
 	"repro/internal/mem"
+	"repro/internal/oracle"
 	"repro/internal/prog"
 	"repro/internal/simds"
 	"repro/internal/stagger"
@@ -63,23 +64,27 @@ func buildList(name string, lookupPct, insertPct, totalOps int) *Workload {
 					switch {
 					case r < lookupPct:
 						th.Atomic(c, abLookup, func(tc *stagger.TxCtx) {
-							l.Lookup(tc, list, k)
+							found := l.Lookup(tc, list, k)
+							tc.Op(listOp{kind: listLookup, key: k, result: found})
 						})
 					case r < lookupPct+insertPct:
 						node := pool.AllocObject(2)
 						th.Atomic(c, abInsert, func(tc *stagger.TxCtx) {
-							l.Insert(tc, list, k, node)
+							ins := l.Insert(tc, list, k, node)
+							tc.Op(listOp{kind: listInsert, key: k, result: ins})
 						})
 					default:
 						th.Atomic(c, abDelete, func(tc *stagger.TxCtx) {
-							l.Delete(tc, list, k)
+							del := l.Delete(tc, list, k)
+							tc.Op(listOp{kind: listDelete, key: k, result: del})
 						})
 					}
 					c.Compute(10) // non-transactional think time
 					if i%64 == 63 {
 						// Occasional longer read-only scan (4th atomic block).
 						th.Atomic(c, abSize, func(tc *stagger.TxCtx) {
-							l.Lookup(tc, list, uint64(4*listNodes))
+							found := l.Lookup(tc, list, uint64(4*listNodes))
+							tc.Op(listOp{kind: listLookup, key: uint64(4 * listNodes), result: found})
 						})
 					}
 				}
@@ -99,7 +104,74 @@ func buildList(name string, lookupPct, insertPct, totalOps int) *Workload {
 			}
 			return nil
 		},
+		RefModel: func(m *htm.Machine, seed int64) oracle.RefModel {
+			set := make(map[uint64]bool, listNodes)
+			for k := uint64(2); len(set) < listNodes; k += 4 {
+				set[k] = true
+			}
+			return &listModel{m: m, list: list, set: set}
+		},
 	}
+}
+
+// listOp tags one committed IntSet operation with its observed result.
+type listOp struct {
+	kind   uint8
+	key    uint64
+	result bool
+}
+
+const (
+	listLookup uint8 = iota
+	listInsert
+	listDelete
+)
+
+// listModel is the sequential IntSet: a plain Go set stepped in commit
+// order; every committed result must match what the sequential set says.
+type listModel struct {
+	m    *htm.Machine
+	list mem.Addr
+	set  map[uint64]bool
+}
+
+func (md *listModel) Step(tag any) error {
+	op, ok := tag.(listOp)
+	if !ok {
+		return fmt.Errorf("list: unexpected tag %T", tag)
+	}
+	present := md.set[op.key]
+	switch op.kind {
+	case listLookup:
+		if op.result != present {
+			return fmt.Errorf("lookup(%d) = %v, sequential set says %v", op.key, op.result, present)
+		}
+	case listInsert:
+		if op.result != !present {
+			return fmt.Errorf("insert(%d) = %v, sequential set says %v", op.key, op.result, !present)
+		}
+		md.set[op.key] = true
+	case listDelete:
+		if op.result != present {
+			return fmt.Errorf("delete(%d) = %v, sequential set says %v", op.key, op.result, present)
+		}
+		delete(md.set, op.key)
+	}
+	return nil
+}
+
+// Finish compares the final list contents against the model set.
+func (md *listModel) Finish() error {
+	keys := simds.Keys(md.m, md.list)
+	if len(keys) != len(md.set) {
+		return fmt.Errorf("final list has %d keys, model has %d", len(keys), len(md.set))
+	}
+	for _, k := range keys {
+		if !md.set[k] {
+			return fmt.Errorf("final list holds key %d the model does not", k)
+		}
+	}
+	return nil
 }
 
 // atomicWrap declares an atomic block that calls fn with the enclosing

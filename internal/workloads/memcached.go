@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/htm"
 	"repro/internal/mem"
+	"repro/internal/oracle"
 	"repro/internal/prog"
 	"repro/internal/simds"
 	"repro/internal/stagger"
@@ -75,7 +76,7 @@ func buildMemcached() *Workload {
 					if rng.Intn(100) < 90 {
 						th.Atomic(c, abGet, func(tc *stagger.TxCtx) {
 							tc.Compute(60) // request parsing
-							_, hit := ht.Lookup(tc, table, k)
+							val, hit := ht.Lookup(tc, table, k)
 							tc.Compute(40)
 							sb.Bump(tc, stats, statGets, 1)
 							if hit {
@@ -84,14 +85,16 @@ func buildMemcached() *Workload {
 								sb.Bump(tc, stats, statMisses, 1)
 							}
 							tc.Compute(40) // response formatting
+							tc.Op(mcOp{key: k, val: val, hit: hit})
 						})
 					} else {
 						node := c.Machine().Alloc.AllocLines(1)
 						th.Atomic(c, abSet, func(tc *stagger.TxCtx) {
 							tc.Compute(200)
-							ht.Insert(tc, table, k, k*7, node)
+							isNew := ht.Insert(tc, table, k, k*7, node)
 							sb.Bump(tc, stats, statSets, 1)
 							tc.Compute(100)
+							tc.Op(mcOp{set: true, key: k, val: k * 7, hit: !isNew})
 						})
 					}
 					c.Compute(500)
@@ -114,7 +117,88 @@ func buildMemcached() *Workload {
 			}
 			return nil
 		},
+		RefModel: func(m *htm.Machine, seed int64) oracle.RefModel {
+			// Re-derive the seeded contents exactly as Setup did.
+			kv := make(map[uint64]uint64, mcInitKeys)
+			rng := threadRNG(seed, 999)
+			for i := 0; i < mcInitKeys; i++ {
+				k := uint64(rng.Intn(mcKeySpace) + 1)
+				kv[k] = k * 3
+			}
+			return &mcModel{m: m, table: table, stats: stats, kv: kv}
+		},
 	}
+}
+
+// mcOp tags one committed cache request with its observed result. For a
+// GET, hit/val are the lookup's outcome; for a SET, hit records whether
+// the key already existed (in-place update) and val the stored value.
+type mcOp struct {
+	set bool
+	key uint64
+	val uint64
+	hit bool
+}
+
+// mcModel is the sequential cache: a Go map plus the four statistics
+// counters, stepped in commit order.
+type mcModel struct {
+	m            *htm.Machine
+	table, stats mem.Addr
+	kv           map[uint64]uint64
+
+	gets, sets, hits, misses uint64
+}
+
+func (md *mcModel) Step(tag any) error {
+	op, ok := tag.(mcOp)
+	if !ok {
+		return fmt.Errorf("memcached: unexpected tag %T", tag)
+	}
+	val, present := md.kv[op.key]
+	if op.set {
+		md.sets++
+		if op.hit != present {
+			return fmt.Errorf("set(%d) existing = %v, sequential cache says %v", op.key, op.hit, present)
+		}
+		md.kv[op.key] = op.val
+		return nil
+	}
+	md.gets++
+	if op.hit != present {
+		return fmt.Errorf("get(%d) hit = %v, sequential cache says %v", op.key, op.hit, present)
+	}
+	if present {
+		md.hits++
+		if op.val != val {
+			return fmt.Errorf("get(%d) = %d, sequential cache says %d", op.key, op.val, val)
+		}
+	} else {
+		md.misses++
+	}
+	return nil
+}
+
+func (md *mcModel) Finish() error {
+	for name, pair := range map[string][2]uint64{
+		"gets":   {simds.Counter(md.m.Mem, md.stats, statGets), md.gets},
+		"sets":   {simds.Counter(md.m.Mem, md.stats, statSets), md.sets},
+		"hits":   {simds.Counter(md.m.Mem, md.stats, statHits), md.hits},
+		"misses": {simds.Counter(md.m.Mem, md.stats, statMisses), md.misses},
+	} {
+		if pair[0] != pair[1] {
+			return fmt.Errorf("stat %s = %d, sequential model says %d", name, pair[0], pair[1])
+		}
+	}
+	if n := simds.HTCount(md.m, md.table); n != len(md.kv) {
+		return fmt.Errorf("final table has %d keys, model has %d", n, len(md.kv))
+	}
+	for k, v := range md.kv {
+		if got := chainFind(md.m, md.table, k); got != v {
+			return fmt.Errorf("final table[%d] = %d, model has %d", k, got, v)
+		}
+	}
+	return nil
 }
 
 // seedHTInsert populates the hash table directly in memory (setup only).

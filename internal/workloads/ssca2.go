@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/htm"
 	"repro/internal/mem"
+	"repro/internal/oracle"
 	"repro/internal/prog"
 	"repro/internal/stagger"
 )
@@ -63,6 +64,7 @@ func buildSSCA2() *Workload {
 							tc.Store(sEdge, na+mem.Addr(8*(1+cnt)), v)
 							tc.Store(sStore, na, cnt+1)
 						}
+						tc.Op(ssOp{node: u, val: v, cnt: cnt})
 					})
 				}
 			}
@@ -81,5 +83,57 @@ func buildSSCA2() *Workload {
 			}
 			return nil
 		},
+		RefModel: func(m *htm.Machine, seed int64) oracle.RefModel {
+			return &ssModel{m: m, nodeAddr: nodeAddr, edges: make([][]uint64, ssNodes)}
+		},
 	}
+}
+
+// ssOp tags one committed add_edge attempt: cnt is the adjacency count
+// the transaction observed (cnt >= ssEdgeCap means it dropped the edge).
+type ssOp struct {
+	node int
+	val  uint64
+	cnt  uint64
+}
+
+// ssModel replays edge appends sequentially; each committed transaction
+// must have observed exactly the count the commit-order prefix produced.
+type ssModel struct {
+	m        *htm.Machine
+	nodeAddr func(int) mem.Addr
+	edges    [][]uint64
+}
+
+func (md *ssModel) Step(tag any) error {
+	op, ok := tag.(ssOp)
+	if !ok {
+		return fmt.Errorf("ssca2: unexpected tag %T", tag)
+	}
+	if op.node < 0 || op.node >= ssNodes {
+		return fmt.Errorf("ssca2: node %d out of range", op.node)
+	}
+	if got := uint64(len(md.edges[op.node])); got != op.cnt {
+		return fmt.Errorf("add_edge(%d) observed count %d, sequential model says %d",
+			op.node, op.cnt, got)
+	}
+	if op.cnt < ssEdgeCap {
+		md.edges[op.node] = append(md.edges[op.node], op.val)
+	}
+	return nil
+}
+
+func (md *ssModel) Finish() error {
+	for i := 0; i < ssNodes; i++ {
+		na := md.nodeAddr(i)
+		if got, want := md.m.Mem.Load(na), uint64(len(md.edges[i])); got != want {
+			return fmt.Errorf("node %d final count = %d, sequential model says %d", i, got, want)
+		}
+		for j, v := range md.edges[i] {
+			if got := md.m.Mem.Load(na + mem.Addr(8*(1+j))); got != v {
+				return fmt.Errorf("node %d edge %d = %d, sequential model says %d", i, j, got, v)
+			}
+		}
+	}
+	return nil
 }

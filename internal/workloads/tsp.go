@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/htm"
 	"repro/internal/mem"
+	"repro/internal/oracle"
 	"repro/internal/prog"
 	"repro/internal/simds"
 	"repro/internal/stagger"
@@ -91,6 +92,7 @@ func buildTsp() *Workload {
 					var ok bool
 					th.Atomic(c, abPop, func(tc *stagger.TxCtx) {
 						task, ok = bt.PopMin(tc, pq)
+						tc.Op(tspPop{task: task, ok: ok})
 					})
 					if !ok {
 						// The queue may be momentarily empty while other
@@ -113,6 +115,7 @@ func buildTsp() *Workload {
 							child := (bound+delta)<<16 | (depth + 1)
 							th.Atomic(c, abPush, func(tc *stagger.TxCtx) {
 								bt.Insert(tc, pq, child, al)
+								tc.Op(tspPush{task: child})
 							})
 						}
 					} else {
@@ -122,6 +125,7 @@ func buildTsp() *Workload {
 							if bound < cur {
 								tc.Store(sBestSt, best, bound)
 							}
+							tc.Op(tspBest{bound: bound, cur: cur})
 						})
 					}
 				}
@@ -141,7 +145,96 @@ func buildTsp() *Workload {
 			}
 			return nil
 		},
+		RefModel: func(m *htm.Machine, seed int64) oracle.RefModel {
+			md := &tspModel{m: m, pq: pq, bestAddr: best,
+				queue: make(map[uint64]int, tspSeeds), best: ^uint64(0)}
+			// Rebuild the seed tasks exactly as Setup did.
+			rng := threadRNG(seed, 777)
+			for i := 0; i < tspSeeds; i++ {
+				bound := uint64(rng.Intn(1 << 12))
+				md.queue[bound<<16]++
+				md.size++
+			}
+			return md
+		},
 	}
+}
+
+// Tags for the three tsp atomic blocks. The best-update tag carries the
+// bound the transaction read so a lost best-improvement is detectable.
+type tspPop struct {
+	task uint64
+	ok   bool
+}
+type tspPush struct {
+	task uint64
+}
+type tspBest struct {
+	bound uint64
+	cur   uint64
+}
+
+// tspModel is the sequential priority queue (a multiset — child keys can
+// collide) plus the best-bound cell. Every committed pop must return the
+// global minimum at its serialization point.
+type tspModel struct {
+	m        *htm.Machine
+	pq       mem.Addr
+	bestAddr mem.Addr
+	queue    map[uint64]int
+	size     int
+	best     uint64
+}
+
+func (md *tspModel) Step(tag any) error {
+	switch op := tag.(type) {
+	case tspPop:
+		if !op.ok {
+			if md.size != 0 {
+				return fmt.Errorf("pop returned empty with %d tasks queued", md.size)
+			}
+			return nil
+		}
+		if md.size == 0 {
+			return fmt.Errorf("pop returned %#x from an empty queue", op.task)
+		}
+		min := ^uint64(0)
+		for k := range md.queue {
+			if k < min {
+				min = k
+			}
+		}
+		if op.task != min {
+			return fmt.Errorf("pop = %#x, sequential queue minimum is %#x", op.task, min)
+		}
+		if md.queue[min]--; md.queue[min] == 0 {
+			delete(md.queue, min)
+		}
+		md.size--
+	case tspPush:
+		md.queue[op.task]++
+		md.size++
+	case tspBest:
+		if op.cur != md.best {
+			return fmt.Errorf("best-update read %#x, sequential model says %#x", op.cur, md.best)
+		}
+		if op.bound < md.best {
+			md.best = op.bound
+		}
+	default:
+		return fmt.Errorf("tsp: unexpected tag %T", tag)
+	}
+	return nil
+}
+
+func (md *tspModel) Finish() error {
+	if rem := simds.BPTCount(md.m, md.pq); rem != md.size {
+		return fmt.Errorf("final queue has %d tasks, model has %d", rem, md.size)
+	}
+	if got := md.m.Mem.Load(md.bestAddr); got != md.best {
+		return fmt.Errorf("final best = %#x, sequential model says %#x", got, md.best)
+	}
+	return nil
 }
 
 // seedBPTInsert inserts into the B+ tree directly (setup only): since the

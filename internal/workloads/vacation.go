@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/htm"
 	"repro/internal/mem"
+	"repro/internal/oracle"
 	"repro/internal/prog"
 	"repro/internal/simds"
 	"repro/internal/stagger"
@@ -77,28 +78,33 @@ func buildVacation() *Workload {
 					r := rng.Intn(100)
 					switch {
 					case r < 80: // make a reservation
-						tb := tables[rng.Intn(vacTables)]
+						ti := rng.Intn(vacTables)
+						tb := tables[ti]
 						k1 := uint64(rng.Intn(vacRelations))*2 + 2
 						k2 := uint64(rng.Intn(vacRelations))*2 + 2
 						th.Atomic(c, abReserve, func(tc *stagger.TxCtx) {
-							rb.Lookup(tc, tb, k1)
+							v1, _ := rb.Lookup(tc, tb, k1)
 							tc.Compute(120)
 							rb.Lookup(tc, tb, k2)
 							tc.Compute(120)
 							rb.Update(tc, tb, k1, ^uint64(0)) // -1 seat/room
+							tc.Op(vacRes{table: ti, key: k1, before: v1})
 						})
 					case r < 90: // register a customer
 						node := al.AllocLines(1)
 						key := uint64(1000 + rng.Intn(100000))
 						th.Atomic(c, abCustomer, func(tc *stagger.TxCtx) {
-							rb.Insert(tc, customers, key, uint64(tid), node)
+							ins := rb.Insert(tc, customers, key, uint64(tid), node)
+							tc.Op(vacCust{key: key, tid: uint64(tid), inserted: ins})
 						})
 					default: // price queries
-						tb := tables[rng.Intn(vacTables)]
+						ti := rng.Intn(vacTables)
+						tb := tables[ti]
 						k := uint64(rng.Intn(vacRelations))*2 + 2
 						th.Atomic(c, abQuery, func(tc *stagger.TxCtx) {
-							rb.Lookup(tc, tb, k)
+							v, found := rb.Lookup(tc, tb, k)
 							tc.Compute(200)
+							tc.Op(vacQry{table: ti, key: k, val: v, found: found})
 						})
 					}
 					c.Compute(150)
@@ -119,5 +125,115 @@ func buildVacation() *Workload {
 			}
 			return nil
 		},
+		RefModel: func(m *htm.Machine, seed int64) oracle.RefModel {
+			md := &vacModel{m: m, rtables: tables, rcustomers: customers,
+				customers: make(map[uint64]uint64, 512)}
+			for t := range md.tables {
+				md.tables[t] = make(map[uint64]uint64, vacRelations)
+				for i := 0; i < vacRelations; i++ {
+					md.tables[t][uint64(i*2+2)] = 100
+				}
+			}
+			for i := 0; i < 256; i++ {
+				md.customers[uint64(1000+i*400)] = 0
+			}
+			return md
+		},
 	}
+}
+
+// Tags for the three vacation atomic blocks. The reservation tag carries
+// the quantity the transaction read before decrementing — lost updates
+// between two reservations of the same slot surface as a skewed before.
+type vacRes struct {
+	table  int
+	key    uint64
+	before uint64
+}
+type vacCust struct {
+	key      uint64
+	tid      uint64
+	inserted bool
+}
+type vacQry struct {
+	table int
+	key   uint64
+	val   uint64
+	found bool
+}
+
+// vacModel is the sequential reservation system: one Go map per
+// reservation table plus the customer map.
+type vacModel struct {
+	m          *htm.Machine
+	rtables    [vacTables]mem.Addr
+	rcustomers mem.Addr
+	tables     [vacTables]map[uint64]uint64
+	customers  map[uint64]uint64
+}
+
+func (md *vacModel) Step(tag any) error {
+	switch op := tag.(type) {
+	case vacRes:
+		want, present := md.tables[op.table][op.key]
+		if !present {
+			return fmt.Errorf("reservation touched key %d absent from table %d", op.key, op.table)
+		}
+		if op.before != want {
+			return fmt.Errorf("reservation of table %d key %d read quantity %d, sequential model says %d",
+				op.table, op.key, op.before, want)
+		}
+		md.tables[op.table][op.key] = want - 1
+	case vacCust:
+		_, present := md.customers[op.key]
+		if op.inserted != !present {
+			return fmt.Errorf("add_customer(%d) = %v, sequential model says %v", op.key, op.inserted, !present)
+		}
+		if op.inserted {
+			md.customers[op.key] = op.tid
+		}
+	case vacQry:
+		val, present := md.tables[op.table][op.key]
+		if op.found != present {
+			return fmt.Errorf("query of table %d key %d found = %v, sequential model says %v",
+				op.table, op.key, op.found, present)
+		}
+		if present && op.val != val {
+			return fmt.Errorf("query of table %d key %d = %d, sequential model says %d",
+				op.table, op.key, op.val, val)
+		}
+	default:
+		return fmt.Errorf("vacation: unexpected tag %T", tag)
+	}
+	return nil
+}
+
+func (md *vacModel) Finish() error {
+	for t := range md.tables {
+		if err := rbMatches(md.m, md.rtables[t], md.tables[t]); err != nil {
+			return fmt.Errorf("table %d: %w", t, err)
+		}
+	}
+	if err := rbMatches(md.m, md.rcustomers, md.customers); err != nil {
+		return fmt.Errorf("customers: %w", err)
+	}
+	return nil
+}
+
+// rbMatches compares a real red-black tree against a model map.
+func rbMatches(m *htm.Machine, tree mem.Addr, want map[uint64]uint64) error {
+	keys := simds.RBKeys(m, tree)
+	if len(keys) != len(want) {
+		return fmt.Errorf("final tree has %d keys, model has %d", len(keys), len(want))
+	}
+	for _, k := range keys {
+		wv, ok := want[k]
+		if !ok {
+			return fmt.Errorf("final tree holds key %d the model does not", k)
+		}
+		if gv, _ := simds.RBFind(m, tree, k); gv != wv {
+			return fmt.Errorf("final tree[%d] = %d, model has %d", k, gv, wv)
+		}
+	}
+	return nil
 }

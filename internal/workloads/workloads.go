@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"repro/internal/htm"
+	"repro/internal/oracle"
 	"repro/internal/prog"
 	"repro/internal/stagger"
 )
@@ -44,6 +45,15 @@ type Workload struct {
 	Body func(rt *stagger.Runtime, tid, threads, ops int, seed int64) func(*htm.Core)
 	// Verify checks post-run invariants against the expected totals.
 	Verify func(m *htm.Machine, threads, totalOps int) error
+
+	// RefModel builds the benchmark's sequential reference model for the
+	// serializability oracle (nil = read-validation and final-state checks
+	// only). It is called after Setup, with the same machine and seed, so
+	// closures may capture post-setup addresses; the returned model is
+	// stepped once per committed operation tag, in commit order. Bodies
+	// declare their tags with TxCtx.Op; when no oracle is installed the
+	// tags cost one nil check each.
+	RefModel func(m *htm.Machine, seed int64) oracle.RefModel
 }
 
 // Builder constructs a fresh workload instance (fresh module and state).
