@@ -1,14 +1,26 @@
 GO ?= go
 
-.PHONY: ci vet build test smoke explore-smoke paper
+.PHONY: ci vet verify-static build test smoke explore-smoke paper
 
 # ci is the gate: static checks, full build, full test suite, the chaos
-# smoke (fault injection + verification on a representative cell), and a
-# bounded schedule-exploration smoke (adversarial scheduler + oracle).
-ci: vet build test smoke explore-smoke
+# smoke (fault injection + verification on a representative cell), a
+# bounded schedule-exploration smoke (adversarial scheduler + oracle),
+# and the IR-level static verification of every workload.
+ci: vet build test smoke explore-smoke verify-static
 
+# vet layers three static gates: formatting, the standard go vet, and
+# the repo's own staggervet analyzers (determinism, ntstore, siteattr).
+# Any staggervet diagnostic exits nonzero and fails the build.
 vet:
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	$(GO) vet ./...
+	$(GO) run ./cmd/staggervet
+
+# verify-static proves the four IR invariants (anchor scope, lock
+# order, coverage, static/dynamic conformance) on all ten workloads.
+verify-static:
+	$(GO) run ./cmd/staggersim -verify-static
 
 build:
 	$(GO) build ./...

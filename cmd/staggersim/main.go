@@ -17,6 +17,11 @@
 //	staggersim -bench intruder -explore -explore-runs 100 -sched pct:3 -minimize
 //	staggersim -bench list-hi -sched random -sched-seed 7 -oracle -record fail.trace
 //	staggersim -sched replay:fail.trace -oracle
+//
+// Static verification (IR-level invariants + static/dynamic conformance):
+//
+//	staggersim -verify-static
+//	staggersim -verify-static -bench vacation,tsp -naive
 package main
 
 import (
@@ -78,7 +83,20 @@ func main() {
 	minimize := flag.Bool("minimize", false, "delta-debug each failing schedule found by -explore")
 	exploreOut := flag.String("explore-out", "", "directory for failing-schedule trace files (empty: don't write)")
 	unsafeEarly := flag.Bool("unsafe-early-release", false, "enable the test-only broken irrevocable fallback (demo: -explore catches it)")
+	verifyStatic := flag.Bool("verify-static", false, "verify anchor-scope, lock-order, coverage, and static/dynamic conformance (all benchmarks unless -bench)")
+	injectDrift := flag.Bool("inject-drift", false, "enable the test-only vacation IR-drift mutation (demo: -verify-static catches it)")
 	flag.Parse()
+
+	workloads.DriftVacationKind = *injectDrift
+	if *verifyStatic {
+		m, err := parseMode(*mode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "staggersim:", err)
+			os.Exit(2)
+		}
+		runVerifyStatic(*bench, m, *threads, *seed, *ops, *naive)
+		return
+	}
 
 	if *campaign {
 		runCampaign(*bench, *mode, *threads, *seed, *ops, *watchdog, *rates)

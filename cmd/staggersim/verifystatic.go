@@ -1,0 +1,78 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/anchor"
+	"repro/internal/harness"
+	"repro/internal/stagger"
+	"repro/internal/staticcheck"
+	"repro/internal/workloads"
+)
+
+// runVerifyStatic is the -verify-static phase: for every selected
+// benchmark it proves the three IR-level invariants (anchor-scope
+// well-formedness, global lock-acquisition order, access coverage) on
+// the compiled anchor tables, then executes a short instrumented run
+// with a site recorder installed and checks static/dynamic conformance
+// — every dynamically attributed site must exist in the IR with the
+// declared access kind and DSA coverage. Any violation prints with
+// block/site identity (and a minimal counterexample path for scope
+// violations) and the process exits nonzero.
+func runVerifyStatic(benchList string, m stagger.Mode, threads int, seed int64, ops int, naive bool) {
+	names := workloads.Names()
+	if benchList != "" {
+		names = strings.Split(benchList, ",")
+	}
+	bad := 0
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		w, err := workloads.Get(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "staggersim:", err)
+			os.Exit(2)
+		}
+		opts := anchor.DefaultOptions()
+		opts.Naive = naive
+		comp := anchor.Compile(w.Mod, opts)
+		static := staticcheck.Verify(comp)
+
+		rec := staticcheck.NewConformance()
+		runOps := ops
+		if runOps == 0 {
+			// A slice of the benchmark is enough to exercise every
+			// atomic block; the full default would just repeat sites.
+			runOps = 200
+		}
+		res, err := harness.Run(harness.RunConfig{
+			Benchmark:    name,
+			Mode:         m,
+			Threads:      threads,
+			Seed:         seed,
+			TotalOps:     runOps,
+			Naive:        naive,
+			SiteRecorder: rec,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "staggersim:", err)
+			os.Exit(1)
+		}
+		dynamic := rec.Check(res.Compiled)
+
+		if len(static)+len(dynamic) == 0 {
+			fmt.Printf("verify-static %-10s OK: anchor-scope, lock-order, coverage, conformance (%d blocks, %d dynamic site obs)\n",
+				name, len(w.Mod.Atomics), rec.Observations())
+			continue
+		}
+		for _, v := range append(static, dynamic...) {
+			bad++
+			fmt.Printf("verify-static %s: %s\n", name, v)
+		}
+	}
+	if bad > 0 {
+		fmt.Printf("verify-static: %d violation(s)\n", bad)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The staggervet mini-framework. golang.org/x/tools is not vendored, so
+// this is a stdlib-only reimplementation of the slice of analysis.Pass
+// the three analyzers need: typed ASTs in, position-tagged diagnostics
+// out, with //staggervet:allow suppression comments honored.
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string // suppression key and diagnostic tag
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass hands one package's typed syntax to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	PkgPath  string
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Msg:      fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, printed as file:line:col: [name] msg.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Msg      string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Msg)
+}
+
+// allowKey marks "file:line suppresses analyzer name" ("*" = all).
+type allowKey struct {
+	file string
+	line int
+	name string
+}
+
+// collectAllows scans a file's comments for //staggervet:allow <name>
+// directives. A directive suppresses matching diagnostics on its own
+// line and on the line directly below it (so it can sit above the
+// flagged statement).
+func collectAllows(fset *token.FileSet, f *ast.File, into map[allowKey]bool) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			if !strings.HasPrefix(text, "staggervet:allow") {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, "staggervet:allow"))
+			name := "*"
+			if fields := strings.Fields(rest); len(fields) > 0 {
+				name = fields[0]
+			}
+			pos := fset.Position(c.Pos())
+			into[allowKey{pos.Filename, pos.Line, name}] = true
+			into[allowKey{pos.Filename, pos.Line + 1, name}] = true
+		}
+	}
+}
+
+func suppressed(allows map[allowKey]bool, d Diagnostic) bool {
+	return allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
+		allows[allowKey{d.Pos.Filename, d.Pos.Line, "*"}]
+}
+
+// runAnalyzers applies every analyzer to one loaded package and returns
+// the unsuppressed diagnostics.
+func runAnalyzers(analyzers []*Analyzer, p *pkgInfo) []Diagnostic {
+	allows := make(map[allowKey]bool)
+	for _, f := range p.files {
+		collectAllows(p.fset, f, allows)
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     p.fset,
+			Files:    p.files,
+			PkgPath:  p.path,
+			Pkg:      p.pkg,
+			Info:     p.info,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !suppressed(allows, d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// loader type-checks repo packages with the standard library only.
+// golang.org/x/tools/go/packages is not available in this module, so the
+// loader is its own types.Importer: import paths under the module path
+// resolve to repo directories (parsed and checked recursively, memoized),
+// everything else is delegated to the compiler's source importer.
+type loader struct {
+	fset    *token.FileSet
+	root    string // module root (directory holding go.mod)
+	modPath string // module path from go.mod, e.g. "repro"
+	std     types.Importer
+	pkgs    map[string]*pkgInfo
+}
+
+type pkgInfo struct {
+	path  string
+	dir   string
+	fset  *token.FileSet
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+func newLoader(root string) (*loader, error) {
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		root:    root,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*pkgInfo),
+	}, nil
+}
+
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks one module-local package (memoized).
+func (l *loader) load(path string) (*pkgInfo, error) {
+	if p, ok := l.pkgs[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		return p, nil
+	}
+	l.pkgs[path] = nil // cycle guard
+	dir := filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.modPath+"/")))
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	p, err := l.check(path, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// parseDir parses every non-test .go file of a directory. Test files are
+// deliberately excluded: the analyzers verify the simulator, not its
+// tests (which legitimately poke nontransactional state).
+func (l *loader) parseDir(dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%s: no Go files", dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check type-checks a parsed package under this loader's importer.
+func (l *loader) check(path, dir string, files []*ast.File) (*pkgInfo, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	cfg := &types.Config{Importer: l}
+	pkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return &pkgInfo{path: path, dir: dir, fset: l.fset, files: files, pkg: pkg, info: info}, nil
+}
+
+// modulePackages returns the import paths of every package under the
+// given module-relative roots (e.g. "internal", "cmd"), sorted.
+func (l *loader) modulePackages(rels ...string) ([]string, error) {
+	var out []string
+	for _, rel := range rels {
+		base := filepath.Join(l.root, rel)
+		if _, err := os.Stat(base); os.IsNotExist(err) {
+			continue
+		}
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if strings.HasPrefix(d.Name(), ".") || d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			ents, err := os.ReadDir(p)
+			if err != nil {
+				return err
+			}
+			for _, e := range ents {
+				n := e.Name()
+				if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+					relp, err := filepath.Rel(l.root, p)
+					if err != nil {
+						return err
+					}
+					out = append(out, l.modPath+"/"+filepath.ToSlash(relp))
+					break
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

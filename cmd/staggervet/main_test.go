@@ -1,0 +1,234 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a throwaway module from path→source pairs and
+// returns its root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module repro\n\ngo 1.22\n"
+	for p, src := range files {
+		full := filepath.Join(root, filepath.FromSlash(p))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// vet runs the full staggervet driver over a fixture module and returns
+// (exit code, output).
+func vet(t *testing.T, files map[string]string) (int, string) {
+	t.Helper()
+	root := writeTree(t, files)
+	var sb strings.Builder
+	code := run(root, nil, &sb)
+	return code, sb.String()
+}
+
+// The acceptance scenario: an injected time.Now in internal/htm must
+// fail the build with a file:line diagnostic.
+func TestDeterminismFlagsInjectedTimeNow(t *testing.T) {
+	code, out := vet(t, map[string]string{
+		"internal/htm/clock.go": `package htm
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	})
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "clock.go:5:") || !strings.Contains(out, "[determinism]") ||
+		!strings.Contains(out, "time.Now") {
+		t.Fatalf("missing file:line time.Now diagnostic:\n%s", out)
+	}
+}
+
+func TestDeterminismFlagsGlobalRandAndMapRange(t *testing.T) {
+	code, out := vet(t, map[string]string{
+		"internal/sched/pick.go": `package sched
+
+import "math/rand"
+
+func Pick(m map[int]int) int {
+	for k := range m { // result-affecting package: flagged
+		if k > 10 {
+			return k
+		}
+	}
+	return rand.Intn(8)
+}
+
+func Seeded(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+`,
+		"internal/harness/ok.go": `package harness
+
+// Map iteration outside the deterministic core is not flagged.
+func Sum(m map[int]int) (s int) {
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+`,
+	})
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "rand.Intn") || !strings.Contains(out, "map iteration order") {
+		t.Fatalf("missing rand/map diagnostics:\n%s", out)
+	}
+	if strings.Contains(out, "ok.go") || strings.Contains(out, "rand.New") {
+		t.Fatalf("false positive on seeded rand or out-of-scope map range:\n%s", out)
+	}
+	if got := strings.Count(out, "[determinism]"); got != 2 {
+		t.Fatalf("want exactly 2 determinism findings, got %d:\n%s", got, out)
+	}
+}
+
+// fakeHTM is a miniature internal/htm with the nontransactional API
+// shape the ntstore and siteattr analyzers match on.
+const fakeHTM = `package htm
+
+type Core struct{ mem map[uint64]uint64 }
+
+func (c *Core) Load(pc uint64, site uint32, a uint64) uint64 { return c.mem[a] }
+func (c *Core) Store(pc uint64, site uint32, a uint64, v uint64) { c.mem[a] = v }
+func (c *Core) NTLoad(a uint64) uint64                 { return c.mem[a] }
+func (c *Core) NTStore(a uint64, v uint64)             { c.mem[a] = v }
+func (c *Core) NTCas(a, old, new uint64) bool          { return true }
+`
+
+func TestNTStoreRestrictedToLockWordAPI(t *testing.T) {
+	code, out := vet(t, map[string]string{
+		"internal/htm/core.go": fakeHTM,
+		"internal/stagger/locks.go": `package stagger
+
+import "repro/internal/htm"
+
+// The lock-word API may write nontransactionally.
+func Release(c *htm.Core, lock uint64) { c.NTStore(lock, 0) }
+`,
+		"internal/chaos/inject.go": `package chaos
+
+import "repro/internal/htm"
+
+func Corrupt(c *htm.Core, a uint64) {
+	c.NTStore(a, 0xdead) // outside the API: flagged
+	if !c.NTCas(a, 0xdead, 0) { // flagged
+		_ = c.NTLoad(a) // reads are fine
+	}
+}
+`,
+	})
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "inject.go:6:") || !strings.Contains(out, "[ntstore]") {
+		t.Fatalf("missing NTStore diagnostic:\n%s", out)
+	}
+	if !strings.Contains(out, "inject.go:7:") {
+		t.Fatalf("missing NTCas diagnostic:\n%s", out)
+	}
+	if strings.Contains(out, "locks.go") || strings.Contains(out, "NTLoad") {
+		t.Fatalf("false positive on lock-word API or NTLoad:\n%s", out)
+	}
+}
+
+func TestSiteAttrFlagsUnattributedAccesses(t *testing.T) {
+	code, out := vet(t, map[string]string{
+		"internal/htm/core.go": fakeHTM,
+		"internal/stagger/txctx.go": `package stagger
+
+import "repro/internal/htm"
+
+type Site struct{ ID uint32 }
+
+type TxCtx struct{ c *htm.Core }
+
+func (t *TxCtx) Load(s *Site, a uint64) uint64  { return t.c.Load(0, s.ID, a) }
+func (t *TxCtx) Store(s *Site, a uint64, v uint64) { t.c.Store(0, s.ID, a, v) }
+`,
+		"internal/workloads/body.go": `package workloads
+
+import (
+	"repro/internal/htm"
+	"repro/internal/stagger"
+)
+
+func Body(tc *stagger.TxCtx, c *htm.Core, a uint64) {
+	tc.Load(nil, a)     // nil site: flagged
+	c.Store(0, 0, a, 1) // site 0 outside htm: flagged
+	tc.Store(&stagger.Site{ID: 3}, a, 1)
+	c.Load(0, 7, a)
+}
+`,
+	})
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "body.go:9:") || !strings.Contains(out, "nil site") {
+		t.Fatalf("missing nil-site diagnostic:\n%s", out)
+	}
+	if !strings.Contains(out, "body.go:10:") || !strings.Contains(out, "site 0") {
+		t.Fatalf("missing site-0 diagnostic:\n%s", out)
+	}
+	if got := strings.Count(out, "[siteattr]"); got != 2 {
+		t.Fatalf("want exactly 2 siteattr findings, got %d:\n%s", got, out)
+	}
+}
+
+func TestAllowCommentSuppresses(t *testing.T) {
+	code, out := vet(t, map[string]string{
+		"internal/oracle/emit.go": `package oracle
+
+func Apply(m map[uint64]uint64, store func(uint64, uint64)) {
+	//staggervet:allow determinism distinct words; order-independent
+	for k, v := range m {
+		store(k, v)
+	}
+}
+
+func Bad(m map[uint64]uint64) (s uint64) {
+	for _, v := range m {
+		s ^= s<<1 + v // order-sensitive, unannotated
+	}
+	return s
+}
+`,
+	})
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if strings.Contains(out, "emit.go:5:") {
+		t.Fatalf("allow comment did not suppress:\n%s", out)
+	}
+	if !strings.Contains(out, "emit.go:11:") {
+		t.Fatalf("unannotated map range not flagged:\n%s", out)
+	}
+}
+
+// TestRepoIsVetClean runs the real analyzers over the real repository:
+// the tree must stay free of determinism, ntstore, and siteattr
+// violations (this is `make vet` in test form).
+func TestRepoIsVetClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if code := run(root, nil, &sb); code != 0 {
+		t.Fatalf("staggervet on the repo exited %d:\n%s", code, sb.String())
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ntstore enforces the paper's nontransactional-store discipline:
+// NTStore/NTCas bypass conflict detection, so the only production code
+// allowed to issue them is the simulator itself (internal/htm) and the
+// stagger runtime's advisory lock-word and software-map API
+// (internal/stagger). A workload or scheduler mutating memory
+// nontransactionally would corrupt the serializability oracle's shadow
+// without tripping any hardware check — exactly the bug class this
+// analyzer makes impossible. NTLoad is unrestricted: reads cannot lose
+// updates.
+var ntstoreAnalyzer = &Analyzer{
+	Name: "ntstore",
+	Doc:  "restricts nontransactional stores to the htm simulator and the stagger lock-word API",
+	Run:  runNTStore,
+}
+
+var ntstoreAllowedPkgs = map[string]bool{
+	"internal/htm":     true,
+	"internal/stagger": true,
+}
+
+func runNTStore(pass *Pass) {
+	if ntstoreAllowedPkgs[pkgRel(pass.PkgPath)] {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if name != "NTStore" && name != "NTCas" {
+				return true
+			}
+			if m := methodOn(pass, sel, "internal/htm", "Core"); m != nil {
+				pass.Reportf(sel.Sel.Pos(),
+					"nontransactional %s outside the stagger lock-word API; route the write through a transaction or the runtime", name)
+			}
+			return true
+		})
+	}
+}
+
+// methodOn resolves sel as a method of the named type pkgRel.typeName
+// (value or pointer receiver) and returns the method object, else nil.
+func methodOn(pass *Pass, sel *ast.SelectorExpr, pkg, typeName string) types.Object {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal && s.Kind() != types.MethodExpr {
+		return nil
+	}
+	obj := s.Obj()
+	if obj.Pkg() == nil || pkgRel(obj.Pkg().Path()) != pkg {
+		return nil
+	}
+	recv := s.Recv()
+	if p, isPtr := recv.(*types.Pointer); isPtr {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != typeName {
+		return nil
+	}
+	return obj
+}

@@ -157,18 +157,23 @@ func (a *analysis) analyzeBottomUp(f *prog.Func) {
 				return c
 			}
 			// Globals are shared, not cloned.
+			//staggervet:allow determinism membership test; every match returns the same n
 			for _, gn := range a.globals {
 				if gn.find() == n {
 					return n
 				}
 			}
 			c := a.u.newNode("")
+			//staggervet:allow determinism set copy; insertion order cannot matter
 			for l := range n.labels {
 				c.labels[l] = struct{}{}
 			}
 			clones[n] = c
-			for fld, t := range n.fields {
-				c.fields[fld] = cloneNode(t)
+			// Clone fields in sorted order: each recursive cloneNode call
+			// allocates fresh ids, so visiting the map directly would
+			// number the cloned subgraph differently from run to run.
+			for _, fld := range sortedFields(n.fields) {
+				c.fields[fld] = cloneNode(n.fields[fld])
 			}
 			return c
 		}
@@ -206,6 +211,7 @@ func (g *Graph) ValueNode(v *prog.Value) *Node { return g.a.nodeOf(v) }
 func (g *Graph) Nodes() []*Node {
 	seen := make(map[*Node]bool)
 	var out []*Node
+	//staggervet:allow determinism dedup collection; sorted by id before use
 	for _, n := range g.a.sites {
 		n = n.find()
 		if !seen[n] {

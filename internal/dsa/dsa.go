@@ -54,6 +54,7 @@ func (n *Node) ID() int { return n.find().id }
 func (n *Node) Label() string {
 	n = n.find()
 	names := make([]string, 0, len(n.labels))
+	//staggervet:allow determinism key collection; sorted before use
 	for s := range n.labels {
 		names = append(names, s)
 	}
@@ -97,6 +98,7 @@ func (n *Node) Edges() []*Node {
 	n = n.find()
 	seen := make(map[*Node]bool)
 	var out []*Node
+	//staggervet:allow determinism dedup collection; sorted by id before use
 	for _, t := range n.fields {
 		t = t.find()
 		if !seen[t] {
@@ -146,14 +148,18 @@ func (u *universe) unify(a, b *Node) *Node {
 		a, b = b, a
 	}
 	b.parent = a
+	//staggervet:allow determinism set union; insertion order cannot matter
 	for l := range b.labels {
 		a.labels[l] = struct{}{}
 	}
 	// Merge field maps; colliding fields unify recursively. Collect the
-	// collisions first: unify may re-enter and rewrite the maps.
+	// collisions first: unify may re-enter and rewrite the maps. Field
+	// names are sorted so the recursive unification order — and with it
+	// the id every merged class ends up with — is reproducible.
 	type pair struct{ x, y *Node }
 	var todo []pair
-	for f, t := range b.fields {
+	for _, f := range sortedFields(b.fields) {
+		t := b.fields[f]
 		if cur, ok := a.fields[f]; ok {
 			todo = append(todo, pair{cur, t})
 		} else {
@@ -165,6 +171,18 @@ func (u *universe) unify(a, b *Node) *Node {
 		u.unify(p.x, p.y)
 	}
 	return a.find()
+}
+
+// sortedFields returns a field map's keys in sorted order, so callers
+// can visit entries deterministically.
+func sortedFields(m map[string]*Node) []string {
+	names := make([]string, 0, len(m))
+	//staggervet:allow determinism key collection; sorted before use
+	for f := range m {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // fieldNode returns (creating if needed) the target node of n.field.

@@ -82,6 +82,11 @@ type RunConfig struct {
 	// (global lock released before the body); it exists so tests can prove
 	// the oracle catches a real atomicity violation end to end.
 	UnsafeEarlyRelease bool
+
+	// SiteRecorder observes every transactional site access (the
+	// static/dynamic conformance checker of -verify-static); nil disables
+	// recording.
+	SiteRecorder stagger.SiteRecorder
 }
 
 // Result is everything one run produces.
@@ -118,6 +123,10 @@ type Result struct {
 	// OracleErr is non-nil if the serializability oracle found a violation
 	// (including a final reference-model mismatch).
 	OracleErr error
+
+	// Compiled is the compiler-pass output the run executed under, for
+	// post-run static/dynamic conformance checking.
+	Compiled *anchor.Compiled
 }
 
 // Makespan returns the simulated duration in cycles.
@@ -227,6 +236,9 @@ func Run(rc RunConfig) (*Result, error) {
 		scfg.LockFaults = inj
 	}
 	rt := stagger.New(mach, comp, scfg)
+	if rc.SiteRecorder != nil {
+		rt.SetSiteRecorder(rc.SiteRecorder)
+	}
 
 	w.Setup(mach, rc.Seed)
 
@@ -262,6 +274,7 @@ func Run(rc RunConfig) (*Result, error) {
 		StaticAccesses: comp.StaticAccesses,
 		StaticAnchors:  comp.StaticAnchors,
 		VerifyErr:      w.Verify(mach, rc.Threads, rc.TotalOps),
+		Compiled:       comp,
 	}
 	res.LA, res.LP = rt.Locality()
 	res.PerAB = rt.PerAB()

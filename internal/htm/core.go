@@ -175,6 +175,7 @@ func (c *Core) TxCommit() {
 	if c.m.cfg.Lazy {
 		c.lazyResolve()
 	}
+	//staggervet:allow determinism distinct addresses; final memory is order-independent
 	for a, v := range c.writeBuf {
 		c.m.Mem.Store(a, v)
 	}
@@ -184,6 +185,7 @@ func (c *Core) TxCommit() {
 	c.recordCommit()
 	if c.m.observer != nil {
 		writes := make(map[mem.Addr]uint64, len(c.writeBuf))
+		//staggervet:allow determinism map copy; insertion order cannot matter
 		for a, v := range c.writeBuf {
 			writes[a] = v
 		}
@@ -218,6 +220,7 @@ func (c *Core) finishAbort(info AbortInfo) {
 
 // clearTx discards speculative state and releases directory presence.
 func (c *Core) clearTx() {
+	//staggervet:allow determinism independent bit clears; order cannot matter
 	for line := range c.txLines {
 		if e, ok := c.m.dir[line]; ok {
 			e.readers &^= 1 << uint(c.id)
@@ -257,6 +260,7 @@ func (c *Core) abortRemote(v *Core, line mem.Addr) {
 
 // stripDir removes core v's speculative presence from the directory.
 func (c *Core) stripDir(v *Core) {
+	//staggervet:allow determinism independent bit clears; order cannot matter
 	for line := range v.txLines {
 		if e, ok := c.m.dir[line]; ok {
 			e.readers &^= 1 << uint(v.id)
@@ -449,6 +453,7 @@ func (c *Core) ntStoreConflicts(a mem.Addr) {
 // simulation — stays deterministic.
 func (c *Core) lazyResolve() {
 	var written []mem.Addr
+	//staggervet:allow determinism key collection; sorted before victim selection
 	for line, tl := range c.txLines {
 		if tl.wrote {
 			written = append(written, line)

@@ -139,6 +139,7 @@ func (k *Checker) OnStore(core int, addr mem.Addr, val uint64) {
 func (k *Checker) OnCommit(core int, irrevocable bool, tag any, reads, writes map[mem.Addr]uint64) {
 	k.commits++
 	k.readScratch = k.readScratch[:0]
+	//staggervet:allow determinism key collection; sorted before validation
 	for w := range reads {
 		k.readScratch = append(k.readScratch, w)
 	}
@@ -148,6 +149,7 @@ func (k *Checker) OnCommit(core int, irrevocable bool, tag any, reads, writes ma
 			k.report(Violation{Kind: ReadDivergence, Commit: k.commits, Core: core, Word: w, Got: got, Want: want})
 		}
 	}
+	//staggervet:allow determinism distinct words; shadow state is order-independent
 	for w, v := range writes {
 		k.shadow.Store(w, v)
 	}

@@ -37,6 +37,19 @@ type Runtime struct {
 
 	// perAB aggregates policy behaviour per atomic block (diagnostics).
 	perAB map[int]*ABMetrics
+
+	// recorder observes every transactional site access (conformance
+	// checking); nil costs one branch per access.
+	recorder SiteRecorder
+}
+
+// SiteRecorder observes dynamic site attribution: every TxCtx.Load or
+// TxCtx.Store reports the executing atomic block, the static site the
+// workload attributed the access to, and the dynamic access kind. The
+// static/dynamic conformance checker implements this to detect IR drift
+// (package staticcheck).
+type SiteRecorder interface {
+	RecordAccess(ab *prog.AtomicBlock, s *prog.Site, isStore bool)
 }
 
 // ABMetrics summarizes one atomic block's behaviour across all threads.
@@ -125,6 +138,10 @@ func (rt *Runtime) Config() Config { return rt.cfg }
 
 // Compiled returns the compiler output backing this runtime (may be nil).
 func (rt *Runtime) Compiled() *anchor.Compiled { return rt.comp }
+
+// SetSiteRecorder installs a dynamic site-attribution observer. Must be
+// set before the run starts; nil disables recording.
+func (rt *Runtime) SetSiteRecorder(r SiteRecorder) { rt.recorder = r }
 
 // Thread returns the runtime context for core tid, creating it on first
 // use. Each thread body must use only its own Thread.

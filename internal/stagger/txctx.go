@@ -40,6 +40,9 @@ func (t *TxCtx) Compute(uops int) { t.c.Compute(uops) }
 // Load performs the transactional load of site s at address a, running
 // the site's ALPoint first when the compiler instrumented it.
 func (t *TxCtx) Load(s *prog.Site, a mem.Addr) uint64 {
+	if r := t.th.rt.recorder; r != nil {
+		r.RecordAccess(t.abc.ab, s, false)
+	}
 	if t.th.rt.cfg.Mode.Instrumented() && t.th.rt.comp.IsALP[s.ID] {
 		t.alpoint(s, a)
 	}
@@ -48,6 +51,9 @@ func (t *TxCtx) Load(s *prog.Site, a mem.Addr) uint64 {
 
 // Store performs the transactional store of site s.
 func (t *TxCtx) Store(s *prog.Site, a mem.Addr, v uint64) {
+	if r := t.th.rt.recorder; r != nil {
+		r.RecordAccess(t.abc.ab, s, true)
+	}
 	if t.th.rt.cfg.Mode.Instrumented() && t.th.rt.comp.IsALP[s.ID] {
 		t.alpoint(s, a)
 	}

@@ -1,0 +1,44 @@
+package staticcheck
+
+import (
+	"fmt"
+
+	"repro/internal/anchor"
+	"repro/internal/prog"
+)
+
+// checkCoverage is check (c): total coverage of the atomic blocks'
+// access sites. Every load/store site of every function reachable from
+// an atomic block's root must (1) have a row in the block's unified
+// table, (2) be covered by the block's DSA universe, and (3) resolve to
+// an anchor — either itself or its pioneer. A site whose DSNode has
+// zero anchors would execute with no advisory lock ever staggering its
+// structure's conflicts, silently losing the mechanism of the paper.
+func checkCoverage(c *anchor.Compiled) []Violation {
+	var out []Violation
+	for _, ab := range c.Mod.Atomics {
+		u := c.Unified[ab]
+		if u == nil {
+			continue // already reported by checkScope
+		}
+		for _, f := range prog.ReachableFuncs(ab.Root) {
+			for _, s := range f.Sites() {
+				e := u.EntryForSite(s.ID)
+				if e == nil {
+					out = append(out, Violation{Check: CheckCoverage, AB: ab.ID, Site: s.ID,
+						Msg: fmt.Sprintf("site (%s) reachable from atomic block %q has no unified-table row", s, ab.Name)})
+					continue
+				}
+				if !u.Graph.Covers(s) {
+					out = append(out, Violation{Check: CheckCoverage, AB: ab.ID, Site: s.ID,
+						Msg: fmt.Sprintf("site (%s) is outside the DSA universe of atomic block %q", s, ab.Name)})
+				}
+				if u.AnchorFor(e) == nil {
+					out = append(out, Violation{Check: CheckCoverage, AB: ab.ID, Site: s.ID,
+						Msg: fmt.Sprintf("site (%s) maps to DSNode %s with zero anchors: no advisory lock covers it", s, e.Node.Label())})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,293 @@
+package staticcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/anchor"
+	"repro/internal/prog"
+)
+
+// checkLockOrder is check (b): a consistent global advisory-lock
+// acquisition order must exist across all atomic blocks. Lock classes
+// are DSNodes in each atomic block's unified universe, identified
+// across blocks through shared sites (two blocks that reach the same
+// static load/store necessarily lock the same structure there).
+//
+// The runtime holds advisory locks until commit/abort and re-acquiring
+// a held lock is a no-op, so the deadlock-relevant relation is the
+// FIRST-acquisition order: class A is acquired-before class B in a
+// block when an execution still holds A's lock at the point it first
+// locks B. Statically, an edge A -> B needs a B occurrence oB that (1)
+// no other B occurrence is forced before on all paths — oB can be B's
+// first acquisition — and (2) some A occurrence must-precede, so A is
+// provably held there. Must-precede is dominance through the inlined
+// call chains; path-correlated orderings below dominance granularity
+// are deliberately not edges, because the path-insensitive IR would
+// turn impossible paths (e.g. a B+ tree whose height-0 bypass never
+// touches inner nodes) into false cycles. If the resulting directed
+// graph over lock classes has a cycle, two transactions can wait on
+// each other's advisory locks; acyclicity means a topological order
+// exists and the locks are deadlock-free by construction, independent
+// of the runtime's LockTimeout escape hatch (Section 3.4 of the paper).
+func checkLockOrder(c *anchor.Compiled) []Violation {
+	// Global lock classes: union-find over (atomic block, DSNode id)
+	// pairs, unified whenever the same site appears in two blocks.
+	uf := newUnionFind()
+	siteClass := make(map[uint32]string) // site ID -> class key of first AB seen
+	classLabel := make(map[string]string)
+	for _, ab := range c.Mod.Atomics {
+		u := c.Unified[ab]
+		if u == nil {
+			continue
+		}
+		for _, e := range u.Entries {
+			key := fmt.Sprintf("ab%d/ds%d", ab.ID, e.Node.ID())
+			if _, ok := classLabel[key]; !ok {
+				classLabel[key] = e.Node.Label()
+			}
+			if prev, ok := siteClass[e.Site.ID]; ok {
+				uf.union(prev, key)
+			} else {
+				siteClass[e.Site.ID] = key
+			}
+		}
+	}
+
+	// Build the acquired-before edge set with one witness per edge.
+	edges := make(map[[2]string]edgeT)
+	for _, ab := range c.Mod.Atomics {
+		u := c.Unified[ab]
+		if u == nil {
+			continue
+		}
+		occs := alpOccurrences(c, ab, u)
+		class := make([]string, len(occs))
+		for i, o := range occs {
+			class[i] = uf.find(fmt.Sprintf("ab%d/ds%d", ab.ID, nodeOf(u, o.site).ID()))
+		}
+		for j, oB := range occs {
+			kB := class[j]
+			// If another occurrence of the same class is forced before
+			// oB, the class's lock is already held here and oB acquires
+			// nothing — it cannot witness an ordering.
+			held := false
+			for m, om := range occs {
+				if m != j && class[m] == kB && mustPrecede(om, oB) {
+					held = true
+					break
+				}
+			}
+			if held {
+				continue
+			}
+			for i, oA := range occs {
+				if class[i] == kB || !mustPrecede(oA, oB) {
+					continue
+				}
+				ek := [2]string{class[i], kB}
+				if _, dup := edges[ek]; !dup {
+					edges[ek] = edgeT{from: class[i], to: kB, ab: ab.ID,
+						sa: oA.site.ID, sb: oB.site.ID}
+				}
+			}
+		}
+	}
+
+	// Cycle detection: BFS from every class along the edge relation
+	// looking for the shortest path back to itself.
+	adj := make(map[string][]edgeT)
+	keys := make([]string, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, fmt.Sprintf("%s\x00%s", k[0], k[1]))
+	}
+	sort.Strings(keys)
+	for _, flat := range keys {
+		var a, b string
+		for i := 0; i < len(flat); i++ {
+			if flat[i] == 0 {
+				a, b = flat[:i], flat[i+1:]
+				break
+			}
+		}
+		e := edges[[2]string{a, b}]
+		adj[e.from] = append(adj[e.from], e)
+	}
+	starts := make([]string, 0, len(adj))
+	for k := range adj {
+		starts = append(starts, k)
+	}
+	sort.Strings(starts)
+	var best []edgeT
+	for _, start := range starts {
+		if cyc := shortestCycle(start, adj); cyc != nil && (best == nil || len(cyc) < len(best)) {
+			best = cyc
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	v := Violation{Check: CheckLockOrder, AB: best[0].ab, Site: best[0].sa,
+		Msg: fmt.Sprintf("no global advisory-lock acquisition order exists: %d lock classes form a cycle", len(best))}
+	for _, e := range best {
+		v.Path = append(v.Path, fmt.Sprintf("%s before %s (ab %d: anchor %d then %d)",
+			classDesc(classLabel, e.from), classDesc(classLabel, e.to), e.ab, e.sa, e.sb))
+	}
+	return []Violation{v}
+}
+
+func classDesc(labels map[string]string, key string) string {
+	if l, ok := labels[key]; ok {
+		return l
+	}
+	return key
+}
+
+func nodeOf(u *anchor.Unified, s *prog.Site) interface{ ID() int } {
+	return u.EntryForSite(s.ID).Node
+}
+
+// edgeT is one acquired-before edge between lock classes, with its
+// witnessing atomic block and anchor pair.
+type edgeT struct {
+	from, to string
+	ab       int
+	sa, sb   uint32
+}
+
+// occurrence is one inlined appearance of a site in an atomic block's
+// call tree: the chain of call instructions leading to its function.
+type occurrence struct {
+	chain []*prog.Instr
+	site  *prog.Site
+}
+
+// alpOccurrences enumerates the inlined occurrences of every
+// ALP-instrumented anchor of the block.
+func alpOccurrences(c *anchor.Compiled, ab *prog.AtomicBlock, u *anchor.Unified) []occurrence {
+	var out []occurrence
+	var walk func(f *prog.Func, chain []*prog.Instr)
+	walk = func(f *prog.Func, chain []*prog.Instr) {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Kind {
+				case prog.InstrAccess:
+					s := in.Site
+					e := u.EntryForSite(s.ID)
+					if e != nil && int(s.ID) < len(c.IsALP) && c.IsALP[s.ID] {
+						out = append(out, occurrence{chain: append([]*prog.Instr(nil), chain...), site: s})
+					}
+				case prog.InstrCall:
+					walk(in.Callee, append(chain, in))
+				}
+			}
+		}
+	}
+	walk(ab.Root, nil)
+	return out
+}
+
+// mustPrecede reports whether occurrence o1 executes before o2 on EVERY
+// path that reaches o2. At the first differing call-chain frame, o1's
+// instruction must dominate o2's (both frames belong to the same
+// function because the shared prefix pins the same inlined context);
+// deeper frames of o1's chain must be unavoidable within their callee,
+// else entering the call does not imply reaching o1.
+func mustPrecede(o1, o2 occurrence) bool {
+	s1 := append(append([]*prog.Instr(nil), o1.chain...), o1.site.Instr)
+	s2 := append(append([]*prog.Instr(nil), o2.chain...), o2.site.Instr)
+	i := 0
+	for i < len(s1) && i < len(s2) && s1[i] == s2[i] {
+		i++
+	}
+	if i >= len(s1) || i >= len(s2) {
+		return false
+	}
+	x, y := s1[i], s2[i]
+	if x.Block.Fn != y.Block.Fn {
+		return false
+	}
+	if !prog.InstrDominates(x, y) {
+		return false
+	}
+	for k := i + 1; k < len(s1); k++ {
+		if !alwaysExecutes(s1[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// alwaysExecutes reports whether in runs on every invocation of its
+// function: its block dominates every sink (no-successor) block, so all
+// terminating paths pass through it.
+func alwaysExecutes(in *prog.Instr) bool {
+	f := in.Block.Fn
+	sinks := 0
+	for _, b := range f.Blocks {
+		if len(b.Succs) != 0 {
+			continue
+		}
+		sinks++
+		if !in.Block.Dominates(b) {
+			return false
+		}
+	}
+	// A function with no sink block never returns; only its entry block
+	// is certain to run.
+	return sinks > 0 || in.Block == f.Entry()
+}
+
+// unionFind over string keys.
+type unionFind struct{ parent map[string]string }
+
+func newUnionFind() *unionFind { return &unionFind{parent: make(map[string]string)} }
+
+func (u *unionFind) find(k string) string {
+	p, ok := u.parent[k]
+	if !ok || p == k {
+		return k
+	}
+	root := u.find(p)
+	u.parent[k] = root
+	return root
+}
+
+// union merges two classes; the lexicographically smaller root wins so
+// class identity is deterministic.
+func (u *unionFind) union(a, b string) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if rb < ra {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+}
+
+// shortestCycle returns the shortest edge path from start back to
+// start, or nil.
+func shortestCycle(start string, adj map[string][]edgeT) []edgeT {
+	type state struct {
+		node string
+		path []edgeT
+	}
+	queue := []state{{node: start}}
+	visited := map[string]bool{}
+	for len(queue) > 0 {
+		st := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[st.node] {
+			path := append(append([]edgeT(nil), st.path...), e)
+			if e.to == start {
+				return path
+			}
+			if !visited[e.to] {
+				visited[e.to] = true
+				queue = append(queue, state{node: e.to, path: path})
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package staticcheck
+
+import (
+	"fmt"
+
+	"repro/internal/anchor"
+	"repro/internal/prog"
+)
+
+// checkScope is check (a): anchor-scope well-formedness per atomic
+// block. For every unified-table row it proves that a non-anchor's
+// pioneer exists, is an anchor, covers the same DSNode, and dominates
+// the site on all CFG paths (if the pioneer can be skipped, the ALP may
+// never fire for the site's structure — the "conditionally skipped
+// anchor" defect). Anchors' parent links must resolve to anchors in the
+// same table. Finally, every ALP-instrumented site must lie inside at
+// least one atomic block: the runtime releases advisory locks only at
+// the commit/abort hooks of the enclosing block, so an ALP outside any
+// block would acquire a lock with no static release point.
+func checkScope(c *anchor.Compiled) []Violation {
+	var out []Violation
+	for _, ab := range c.Mod.Atomics {
+		u := c.Unified[ab]
+		if u == nil {
+			out = append(out, Violation{Check: CheckScope, AB: ab.ID,
+				Msg: fmt.Sprintf("atomic block %q has no unified anchor table", ab.Name)})
+			continue
+		}
+		for _, e := range u.Entries {
+			if e.IsAnchor {
+				out = append(out, checkParent(u, ab.ID, e)...)
+				continue
+			}
+			out = append(out, checkPioneer(u, ab.ID, e)...)
+		}
+	}
+	out = append(out, checkALPScope(c)...)
+	return out
+}
+
+// checkPioneer validates one non-anchor row: pioneer presence, anchor
+// status, node agreement, and dominance with a counterexample path.
+func checkPioneer(u *anchor.Unified, abID int, e *anchor.UEntry) []Violation {
+	id := e.Site.ID
+	if e.PioneerID == 0 {
+		return []Violation{{Check: CheckScope, AB: abID, Site: id,
+			Msg: "non-anchor site has no pioneer: its DSNode's initial access is unprotected"}}
+	}
+	p := u.EntryForSite(e.PioneerID)
+	if p == nil {
+		return []Violation{{Check: CheckScope, AB: abID, Site: id,
+			Msg: fmt.Sprintf("pioneer %d is not in the unified table", e.PioneerID)}}
+	}
+	var out []Violation
+	if !p.IsAnchor {
+		out = append(out, Violation{Check: CheckScope, AB: abID, Site: id,
+			Msg: fmt.Sprintf("pioneer %d is not an anchor", e.PioneerID)})
+	}
+	if !p.Node.Same(e.Node) {
+		out = append(out, Violation{Check: CheckScope, AB: abID, Site: id,
+			Msg: fmt.Sprintf("pioneer %d covers %s, not the site's %s",
+				e.PioneerID, p.Node.Label(), e.Node.Label())})
+	}
+	if p.Site.Fn != e.Site.Fn {
+		out = append(out, Violation{Check: CheckScope, AB: abID, Site: id,
+			Msg: fmt.Sprintf("pioneer %d lives in function %q, site in %q: cross-function pioneers cannot dominate",
+				e.PioneerID, p.Site.Fn.Name, e.Site.Fn.Name)})
+		return out
+	}
+	if !prog.InstrDominates(p.Site.Instr, e.Site.Instr) {
+		v := Violation{Check: CheckScope, AB: abID, Site: id,
+			Msg: fmt.Sprintf("pioneer %d does not dominate the site: a path reaches site %d with its anchor skipped",
+				e.PioneerID, id)}
+		v.Path = pathAvoiding(e.Site.Fn, p.Site.Instr.Block, e.Site.Instr.Block)
+		out = append(out, v)
+	}
+	return out
+}
+
+// checkParent validates one anchor row's parent link.
+func checkParent(u *anchor.Unified, abID int, e *anchor.UEntry) []Violation {
+	if e.ParentID == 0 {
+		return nil
+	}
+	id := e.Site.ID
+	if e.ParentID == id {
+		return []Violation{{Check: CheckScope, AB: abID, Site: id,
+			Msg: "anchor is its own parent"}}
+	}
+	p := u.EntryForSite(e.ParentID)
+	if p == nil {
+		return []Violation{{Check: CheckScope, AB: abID, Site: id,
+			Msg: fmt.Sprintf("parent %d is not in the unified table", e.ParentID)}}
+	}
+	if !p.IsAnchor {
+		return []Violation{{Check: CheckScope, AB: abID, Site: id,
+			Msg: fmt.Sprintf("parent %d is not an anchor", e.ParentID)}}
+	}
+	return nil
+}
+
+// checkALPScope verifies that each ALP-instrumented site appears in the
+// unified table of at least one atomic block (its lock's release scope).
+func checkALPScope(c *anchor.Compiled) []Violation {
+	var out []Violation
+	for id := 1; id < len(c.IsALP); id++ {
+		if !c.IsALP[id] {
+			continue
+		}
+		covered := false
+		for _, ab := range c.Mod.Atomics {
+			if u := c.Unified[ab]; u != nil && u.EntryForSite(uint32(id)) != nil {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			out = append(out, Violation{Check: CheckScope, Site: uint32(id),
+				Msg: "ALP site is outside every atomic block: its advisory lock has no release scope"})
+		}
+	}
+	return out
+}
+
+// pathAvoiding returns the block names of a shortest CFG path from f's
+// entry to target that never enters avoid — the witness that avoid does
+// not dominate target. Empty when no such path exists (then avoid does
+// dominate and the caller's dominance test was failed for another
+// reason, e.g. same-block ordering).
+func pathAvoiding(f *prog.Func, avoid, target *prog.Block) []string {
+	if avoid == target {
+		// Same-block failure: the pioneer sits after the site.
+		return []string{target.Name + " (pioneer follows the site in its own block)"}
+	}
+	prev := map[*prog.Block]*prog.Block{f.Entry(): nil}
+	queue := []*prog.Block{f.Entry()}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		if b == target {
+			var names []string
+			for x := target; x != nil; x = prev[x] {
+				names = append(names, x.Name)
+			}
+			// Reverse into entry-to-target order.
+			for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+				names[i], names[j] = names[j], names[i]
+			}
+			return names
+		}
+		for _, s := range b.Succs {
+			if s == avoid {
+				continue
+			}
+			if _, seen := prev[s]; !seen {
+				prev[s] = b
+				queue = append(queue, s)
+			}
+		}
+	}
+	return nil
+}

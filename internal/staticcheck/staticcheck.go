@@ -1,0 +1,95 @@
+// Package staticcheck is the IR verification layer in front of the
+// dynamic machinery: it re-checks, on the compiler pass's own output,
+// the invariants the staggered-transactions runtime silently relies on
+// but never validates at run time.
+//
+// Four checks run per module (the first three are purely static, the
+// fourth executes each workload once under the harness):
+//
+//	(a) anchor-scope   — every non-anchor's pioneer exists, is an anchor
+//	                     on the same DSNode, and dominates the site on
+//	                     all CFG paths; parents are well-formed; every
+//	                     ALP site lies inside at least one atomic block,
+//	                     so its advisory lock has a release scope (the
+//	                     runtime releases unconditionally at the
+//	                     commit/abort hooks of the enclosing block).
+//	(b) lock-order     — a consistent global acquisition order exists
+//	                     across the ALP anchors of all atomic blocks: the
+//	                     may-precede relation over lock classes (DSNodes,
+//	                     unified across blocks through shared sites) must
+//	                     be acyclic. A topological order implies the
+//	                     advisory locks are deadlock-free even without
+//	                     the runtime's timeout (Section 3.4).
+//	(c) coverage       — no load/store site reachable from an atomic
+//	                     block maps to a DSNode with zero anchors, and
+//	                     every such site has a row in the block's unified
+//	                     table.
+//	(d) conformance    — dynamic execution attributes only sites that
+//	                     exist in the IR, with matching access kind, and
+//	                     that the executed atomic block's table covers
+//	                     (see Conformance).
+//
+// Violations carry block/site IDs and, where a path property failed, a
+// minimal counterexample path through the CFG (or the offending lock-
+// order cycle).
+package staticcheck
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/anchor"
+)
+
+// Check names, used in Violation.Check.
+const (
+	CheckScope       = "anchor-scope"
+	CheckLockOrder   = "lock-order"
+	CheckCoverage    = "coverage"
+	CheckConformance = "conformance"
+)
+
+// Violation is one verification failure, locatable by atomic block and
+// site ID, with an optional minimal counterexample path.
+type Violation struct {
+	// Check is the failed check (CheckScope, CheckLockOrder,
+	// CheckCoverage, CheckConformance).
+	Check string
+	// AB is the atomic block ID (1-based; 0 = module-level).
+	AB int
+	// Site is the offending static site ID (0 = none in particular).
+	Site uint32
+	// Msg states the broken invariant.
+	Msg string
+	// Path is the minimal counterexample: CFG block names for a
+	// dominance failure, lock-class descriptions for an order cycle.
+	Path []string
+}
+
+func (v Violation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s]", v.Check)
+	if v.AB != 0 {
+		fmt.Fprintf(&b, " ab=%d", v.AB)
+	}
+	if v.Site != 0 {
+		fmt.Fprintf(&b, " site=%d", v.Site)
+	}
+	b.WriteString(": ")
+	b.WriteString(v.Msg)
+	if len(v.Path) > 0 {
+		fmt.Fprintf(&b, " [counterexample: %s]", strings.Join(v.Path, " -> "))
+	}
+	return b.String()
+}
+
+// Verify runs the three static checks (a)-(c) over one compiled module
+// and returns every violation found, in deterministic order. An empty
+// result means the anchor tables uphold all three invariants.
+func Verify(c *anchor.Compiled) []Violation {
+	var out []Violation
+	out = append(out, checkScope(c)...)
+	out = append(out, checkLockOrder(c)...)
+	out = append(out, checkCoverage(c)...)
+	return out
+}

@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/htm"
 	"repro/internal/mem"
@@ -37,10 +38,14 @@ func buildIntruder() *Workload {
 	popRoot.Entry().Call(q.FnPop, popRoot.Param(0))
 	abPop := mod.Atomic("get_packet", popRoot)
 
-	// AB 2: the decoder: update the fragment map, and when the flow is
-	// complete, enqueue it on the result queue at the END of the
-	// transaction.
+	// AB 2: the decoder: look up the flow's fragment count, update the
+	// fragment map, and when the flow is complete, enqueue it on the
+	// result queue at the END of the transaction. The lookup call was
+	// missing from the IR until the static/dynamic conformance checker
+	// flagged the body's ht.Lookup sites as absent from this block's
+	// unified table.
 	decRoot := mod.NewFunc("decoder_process", "mapPtr", "resultQ", "frag")
+	decRoot.Entry().Call(ht.FnLookup, decRoot.Param(0))
 	decRoot.Entry().Call(ht.FnInsert, decRoot.Param(0), decRoot.Param(2))
 	decRoot.Entry().Call(q.FnPush, decRoot.Param(1), decRoot.Param(2))
 	abDec := mod.Atomic("decoder_process", decRoot)
@@ -220,8 +225,15 @@ func (md *itModel) Finish() error {
 	if n := simds.QueueLen(md.m, md.resultQ); n != len(md.results) {
 		return fmt.Errorf("final result queue has %d entries, model has %d", n, len(md.results))
 	}
-	for flow, want := range md.counts {
-		if got := chainFind(md.m, md.fragMap, flow); got != want {
+	// Visit flows in sorted order so a multi-flow divergence always
+	// reports the same flow (map iteration would pick one at random).
+	flows := make([]uint64, 0, len(md.counts))
+	for flow := range md.counts {
+		flows = append(flows, flow)
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i] < flows[j] })
+	for _, flow := range flows {
+		if got, want := chainFind(md.m, md.fragMap, flow), md.counts[flow]; got != want {
 			return fmt.Errorf("final fragment count[%d] = %d, model has %d", flow, got, want)
 		}
 	}

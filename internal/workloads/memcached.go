@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/htm"
 	"repro/internal/mem"
@@ -180,22 +181,33 @@ func (md *mcModel) Step(tag any) error {
 }
 
 func (md *mcModel) Finish() error {
-	for name, pair := range map[string][2]uint64{
-		"gets":   {simds.Counter(md.m.Mem, md.stats, statGets), md.gets},
-		"sets":   {simds.Counter(md.m.Mem, md.stats, statSets), md.sets},
-		"hits":   {simds.Counter(md.m.Mem, md.stats, statHits), md.hits},
-		"misses": {simds.Counter(md.m.Mem, md.stats, statMisses), md.misses},
-	} {
-		if pair[0] != pair[1] {
-			return fmt.Errorf("stat %s = %d, sequential model says %d", name, pair[0], pair[1])
+	// Fixed check order: map iteration would report a random stat (or
+	// key) when several diverge at once.
+	stats := []struct {
+		name      string
+		got, want uint64
+	}{
+		{"gets", simds.Counter(md.m.Mem, md.stats, statGets), md.gets},
+		{"sets", simds.Counter(md.m.Mem, md.stats, statSets), md.sets},
+		{"hits", simds.Counter(md.m.Mem, md.stats, statHits), md.hits},
+		{"misses", simds.Counter(md.m.Mem, md.stats, statMisses), md.misses},
+	}
+	for _, s := range stats {
+		if s.got != s.want {
+			return fmt.Errorf("stat %s = %d, sequential model says %d", s.name, s.got, s.want)
 		}
 	}
 	if n := simds.HTCount(md.m, md.table); n != len(md.kv) {
 		return fmt.Errorf("final table has %d keys, model has %d", n, len(md.kv))
 	}
-	for k, v := range md.kv {
-		if got := chainFind(md.m, md.table, k); got != v {
-			return fmt.Errorf("final table[%d] = %d, model has %d", k, got, v)
+	keys := make([]uint64, 0, len(md.kv))
+	for k := range md.kv {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		if got := chainFind(md.m, md.table, k); got != md.kv[k] {
+			return fmt.Errorf("final table[%d] = %d, model has %d", k, got, md.kv[k])
 		}
 	}
 	return nil
