@@ -1,12 +1,14 @@
 GO ?= go
 
-.PHONY: ci vet verify-static build test smoke explore-smoke paper
+.PHONY: ci vet verify-static build test smoke explore-smoke paper \
+	race-equivalence bench bench-full bench-baseline
 
 # ci is the gate: static checks, full build, full test suite, the chaos
 # smoke (fault injection + verification on a representative cell), a
 # bounded schedule-exploration smoke (adversarial scheduler + oracle),
-# and the IR-level static verification of every workload.
-ci: vet build test smoke explore-smoke verify-static
+# the IR-level static verification of every workload, and the race-mode
+# parallel-sweep equivalence suite.
+ci: vet build test smoke explore-smoke verify-static race-equivalence
 
 # vet layers three static gates: formatting, the standard go vet, and
 # the repo's own staggervet analyzers (determinism, ntstore, siteattr).
@@ -36,6 +38,28 @@ smoke:
 explore-smoke:
 	$(GO) run ./cmd/staggersim -bench list-hi,kmeans -mode staggered -threads 4 \
 		-ops 160 -explore -explore-runs 25 -sched pct:3
+
+# race-equivalence runs the determinism-equivalence suite (same results
+# and bytes at workers=1 and workers=4) under the race detector, so the
+# parallel sweep runner is checked for data races on every CI run.
+race-equivalence:
+	$(GO) test -race ./internal/harness -count=1 \
+		-run 'TestDeterminism|TestTableOutputIdentical|TestChaosSweepIdentical|TestExploreIdentical|TestCacheShared|TestRunAllOrdering'
+
+# bench is the performance regression gate: the quick matrix plus the
+# paper table set, compared against the committed baseline; any timed
+# metric more than 25% slower (or allocs/event more than 10% higher)
+# fails. bench-full runs the full matrix without a gate; bench-baseline
+# re-records the committed baseline (do this deliberately, on a quiet
+# machine, when the simulation itself changes).
+bench:
+	$(GO) run ./cmd/staggerbench -quick -baseline bench_baseline.json
+
+bench-full:
+	$(GO) run ./cmd/staggerbench
+
+bench-baseline:
+	$(GO) run ./cmd/staggerbench -quick -out bench_baseline.json
 
 paper:
 	$(GO) run ./cmd/paper

@@ -8,12 +8,14 @@
 //	paper -figure 7        # one figure (7, 8)
 //	paper -claims          # headline claim summary
 //	paper -seed 7          # change the experiment seed
+//	paper -workers 1       # strictly sequential runs (same output bytes)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/harness"
 )
@@ -26,7 +28,10 @@ func main() {
 	scaling := flag.String("scaling", "", "thread-scaling curve for one benchmark")
 	csvDir := flag.String("csv", "", "write all experiments as CSV files into this directory")
 	seed := flag.Int64("seed", 42, "experiment seed")
+	workers := flag.Int("workers", runtime.NumCPU(),
+		"max concurrent simulation runs (1 = sequential; output is identical either way)")
 	flag.Parse()
+	harness.SetWorkers(*workers)
 
 	all := *table == 0 && *figure == 0 && !*claims && !*lazy && *scaling == "" && *csvDir == ""
 	fail := func(err error) {

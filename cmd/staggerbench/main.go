@@ -1,0 +1,302 @@
+// Command staggerbench measures the simulator's host-side performance on
+// a fixed workload matrix and writes the results as JSON, so engine and
+// harness optimizations are gated by numbers instead of folklore.
+//
+// Three metric families:
+//
+//   - per-cell simulation cost: wall ns/run, simulated memory events per
+//     host second, and host allocations per simulated event;
+//   - sweep throughput: wall-clock for the paper's table/figure set run
+//     strictly sequentially (-workers 1) and with the parallel sweep
+//     runner, plus the resulting speedup;
+//   - a regression gate: -baseline compares against a committed report
+//     and exits nonzero past the tolerances.
+//
+// Usage:
+//
+//	staggerbench                           # full matrix -> BENCH_paper.json
+//	staggerbench -quick                    # CI smoke matrix (seconds, not minutes)
+//	staggerbench -quick -baseline bench_baseline.json
+//
+// Host timing is intentionally nondeterministic; every simulated number
+// in the report (events, stats) is still exactly reproducible.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/stagger"
+)
+
+// Cell is one benchmark configuration's measured cost.
+type Cell struct {
+	Name           string  `json:"name"`
+	Runs           int     `json:"runs"`
+	Events         uint64  `json:"events"`
+	NsPerRun       float64 `json:"ns_per_run"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+}
+
+// TableSet reports the paper table/figure sweep, sequential vs parallel.
+type TableSet struct {
+	Workers      int     `json:"workers"`
+	SequentialNs float64 `json:"sequential_ns"`
+	ParallelNs   float64 `json:"parallel_ns"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// Report is the BENCH_paper.json schema.
+type Report struct {
+	Quick      bool      `json:"quick"`
+	GoMaxProcs int       `json:"go_max_procs"`
+	Cells      []Cell    `json:"cells"`
+	Tables     *TableSet `json:"tables,omitempty"`
+}
+
+type cellSpec struct {
+	bench   string
+	mode    stagger.Mode
+	threads int
+	ops     int
+}
+
+func (s cellSpec) name() string {
+	return fmt.Sprintf("%s/%s/t%d/ops%d", s.bench, s.mode, s.threads, s.ops)
+}
+
+// matrix returns the fixed workload matrix. The full matrix covers the
+// paper's six representative benchmarks on both the baseline HTM and the
+// full staggered system at 1 and 16 threads; -quick keeps two benchmarks
+// at 4 threads so the CI smoke job finishes in seconds.
+func matrix(quick bool) []cellSpec {
+	if quick {
+		var cells []cellSpec
+		for _, b := range []string{"list-hi", "kmeans"} {
+			for _, m := range []stagger.Mode{stagger.ModeHTM, stagger.ModeStaggeredHW} {
+				cells = append(cells, cellSpec{b, m, 4, 400})
+			}
+		}
+		return cells
+	}
+	var cells []cellSpec
+	for _, b := range []string{"list-hi", "tsp", "memcached", "intruder", "kmeans", "vacation"} {
+		for _, m := range []stagger.Mode{stagger.ModeHTM, stagger.ModeStaggeredHW} {
+			for _, th := range []int{1, 16} {
+				cells = append(cells, cellSpec{b, m, th, 2000})
+			}
+		}
+	}
+	return cells
+}
+
+// events counts the simulated memory events of one run — the unit the
+// engine hot path pays for.
+func events(res *harness.Result) uint64 {
+	s := res.Stats
+	return s.Loads + s.Stores + s.NTLoads + s.NTStores
+}
+
+// measureCell runs one cell reps times (plus an untimed warmup) and
+// reports the fastest wall time and the fewest host allocations observed;
+// minima are the standard noise filter for both.
+func measureCell(spec cellSpec, seed int64, reps int) (Cell, error) {
+	rc := harness.RunConfig{
+		Benchmark: spec.bench, Mode: spec.mode, Threads: spec.threads,
+		Seed: seed, TotalOps: spec.ops,
+	}
+	if _, err := harness.Run(rc); err != nil { // warmup, untimed
+		return Cell{}, err
+	}
+	var ev uint64
+	bestNs := float64(0)
+	bestAllocs := float64(0)
+	var ms0, ms1 runtime.MemStats
+	for r := 0; r < reps; r++ {
+		runtime.ReadMemStats(&ms0)
+		//staggervet:allow determinism host-side benchmark timing, not simulation state
+		t0 := time.Now()
+		res, err := harness.Run(rc)
+		//staggervet:allow determinism host-side benchmark timing, not simulation state
+		ns := float64(time.Since(t0).Nanoseconds())
+		runtime.ReadMemStats(&ms1)
+		if err != nil {
+			return Cell{}, err
+		}
+		ev = events(res)
+		allocs := float64(ms1.Mallocs - ms0.Mallocs)
+		if r == 0 || ns < bestNs {
+			bestNs = ns
+		}
+		if r == 0 || allocs < bestAllocs {
+			bestAllocs = allocs
+		}
+	}
+	c := Cell{Name: spec.name(), Runs: reps, Events: ev, NsPerRun: bestNs}
+	if ev > 0 {
+		c.EventsPerSec = float64(ev) / (bestNs / 1e9)
+		c.AllocsPerEvent = bestAllocs / float64(ev)
+	}
+	return c, nil
+}
+
+// paperTables regenerates the table/figure set cmd/paper prints by
+// default (-quick: Table 1 only) and returns the wall time.
+func paperTables(seed int64, quick bool) (float64, error) {
+	harness.ClearCache()
+	//staggervet:allow determinism host-side benchmark timing, not simulation state
+	t0 := time.Now()
+	if _, err := harness.Table1(seed); err != nil {
+		return 0, err
+	}
+	if !quick {
+		if _, err := harness.Table3(seed); err != nil {
+			return 0, err
+		}
+		if _, err := harness.Table4(seed); err != nil {
+			return 0, err
+		}
+		if _, err := harness.Figure7(seed); err != nil {
+			return 0, err
+		}
+		if _, err := harness.Figure8(seed); err != nil {
+			return 0, err
+		}
+		if _, err := harness.Claims(seed); err != nil {
+			return 0, err
+		}
+	}
+	//staggervet:allow determinism host-side benchmark timing, not simulation state
+	return float64(time.Since(t0).Nanoseconds()), nil
+}
+
+// compare gates the fresh report against a baseline: timed metrics may
+// regress by at most tol (fractional), allocations per event by at most
+// allocTol plus a small absolute epsilon (so a 0-alloc baseline doesn't
+// demand exactly 0 forever). Cells are matched by name; cells missing
+// from either side are skipped, so quick and full reports only gate
+// their intersection.
+func compare(fresh, base *Report, tol, allocTol float64) []string {
+	var fails []string
+	baseCells := make(map[string]Cell, len(base.Cells))
+	for _, c := range base.Cells {
+		baseCells[c.Name] = c
+	}
+	for _, c := range fresh.Cells {
+		b, ok := baseCells[c.Name]
+		if !ok {
+			continue
+		}
+		if b.Events != 0 && c.Events != b.Events {
+			fails = append(fails, fmt.Sprintf(
+				"%s: simulated events changed %d -> %d (the simulation itself changed, re-baseline deliberately)",
+				c.Name, b.Events, c.Events))
+		}
+		if b.NsPerRun > 0 && c.NsPerRun > b.NsPerRun*(1+tol) {
+			fails = append(fails, fmt.Sprintf("%s: ns/run %.0f -> %.0f (+%.0f%%, limit +%.0f%%)",
+				c.Name, b.NsPerRun, c.NsPerRun, (c.NsPerRun/b.NsPerRun-1)*100, tol*100))
+		}
+		if c.AllocsPerEvent > b.AllocsPerEvent*(1+allocTol)+0.01 {
+			fails = append(fails, fmt.Sprintf("%s: allocs/event %.4f -> %.4f (limit +%.0f%%)",
+				c.Name, b.AllocsPerEvent, c.AllocsPerEvent, allocTol*100))
+		}
+	}
+	if fresh.Tables != nil && base.Tables != nil && base.Tables.ParallelNs > 0 {
+		if fresh.Tables.ParallelNs > base.Tables.ParallelNs*(1+tol) {
+			fails = append(fails, fmt.Sprintf("tables: parallel wall %.2fs -> %.2fs (limit +%.0f%%)",
+				base.Tables.ParallelNs/1e9, fresh.Tables.ParallelNs/1e9, tol*100))
+		}
+	}
+	return fails
+}
+
+func main() {
+	out := flag.String("out", "BENCH_paper.json", "write the report to this file")
+	quick := flag.Bool("quick", false, "CI smoke matrix: fewer cells, one timed rep, Table 1 only")
+	baseline := flag.String("baseline", "", "compare against this report and exit 1 past the tolerances")
+	tol := flag.Float64("tolerance", 0.25, "allowed fractional slowdown in timed metrics vs -baseline")
+	allocTol := flag.Float64("alloc-tolerance", 0.10, "allowed fractional increase in allocs/event vs -baseline")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel sweep width for the table-set measurement")
+	seed := flag.Int64("seed", 42, "experiment seed")
+	tables := flag.Bool("tables", true, "also time the paper table set sequential vs parallel")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "staggerbench:", err)
+		os.Exit(1)
+	}
+
+	rep := &Report{Quick: *quick, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	reps := 3
+	if *quick {
+		reps = 1
+	}
+	for _, spec := range matrix(*quick) {
+		c, err := measureCell(spec, *seed, reps)
+		if err != nil {
+			fail(err)
+		}
+		rep.Cells = append(rep.Cells, c)
+		fmt.Printf("%-34s %10.2f ms  %12.0f events/s  %8.4f allocs/event\n",
+			c.Name, c.NsPerRun/1e6, c.EventsPerSec, c.AllocsPerEvent)
+	}
+
+	if *tables {
+		prev := harness.SetWorkers(1)
+		seqNs, err := paperTables(*seed, *quick)
+		if err != nil {
+			fail(err)
+		}
+		harness.SetWorkers(*workers)
+		parNs, err := paperTables(*seed, *quick)
+		harness.SetWorkers(prev)
+		harness.ClearCache()
+		if err != nil {
+			fail(err)
+		}
+		rep.Tables = &TableSet{
+			Workers:      *workers,
+			SequentialNs: seqNs,
+			ParallelNs:   parNs,
+			Speedup:      seqNs / parNs,
+		}
+		fmt.Printf("paper tables: sequential %.2fs, parallel(%d) %.2fs, speedup %.2fx\n",
+			seqNs/1e9, *workers, parNs/1e9, seqNs/parNs)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fail(err)
+		}
+		var base Report
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fail(fmt.Errorf("parse %s: %w", *baseline, err))
+		}
+		if fails := compare(rep, &base, *tol, *allocTol); len(fails) > 0 {
+			fmt.Fprintf(os.Stderr, "staggerbench: %d regression(s) vs %s:\n", len(fails), *baseline)
+			for _, f := range fails {
+				fmt.Fprintln(os.Stderr, "  -", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("within tolerance of %s (+%.0f%% time, +%.0f%% allocs)\n",
+			*baseline, *tol*100, *allocTol*100)
+	}
+}

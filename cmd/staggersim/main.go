@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -85,7 +86,10 @@ func main() {
 	unsafeEarly := flag.Bool("unsafe-early-release", false, "enable the test-only broken irrevocable fallback (demo: -explore catches it)")
 	verifyStatic := flag.Bool("verify-static", false, "verify anchor-scope, lock-order, coverage, and static/dynamic conformance (all benchmarks unless -bench)")
 	injectDrift := flag.Bool("inject-drift", false, "enable the test-only vacation IR-drift mutation (demo: -verify-static catches it)")
+	workers := flag.Int("workers", runtime.NumCPU(),
+		"max concurrent simulation runs in campaigns (1 = sequential; output is identical either way)")
 	flag.Parse()
+	harness.SetWorkers(*workers)
 
 	workloads.DriftVacationKind = *injectDrift
 	if *verifyStatic {

@@ -4,7 +4,12 @@ import "sync"
 
 // Table and figure generators share experiment cells (Table 4's baseline
 // runs are Figure 7's denominators, for example). Because every run is
-// deterministic in its RunConfig, results can be memoized safely.
+// deterministic in its RunConfig, results can be memoized safely. Note
+// that worker count is deliberately NOT part of the key: parallelism
+// exists only between runs, never inside one, so a cell's Result is a
+// pure function of its RunConfig regardless of how many sibling cells
+// were simulating concurrently (TestCacheSharedAcrossWorkerCounts pins
+// this down).
 
 type cacheKey struct {
 	bench     string
@@ -24,23 +29,35 @@ var (
 	cache   = map[cacheKey]*Result{}
 )
 
-// RunCached is Run with memoization over the default machine and runtime
-// configurations. Configs with overrides bypass the cache.
-func RunCached(rc RunConfig) (*Result, error) {
+// cacheableKey reports whether rc is eligible for memoization and, if so,
+// its canonical cache key. Configs with machine/runtime overrides or
+// run-scoped side channels (trace capture, fault injection, watchdogs,
+// pick recording/replay, site recording) must execute for real every time.
+func cacheableKey(rc RunConfig) (cacheKey, bool) {
 	if rc.Machine != nil || rc.Stagger != nil || rc.TraceN > 0 ||
 		rc.Chaos != nil || rc.Watchdog != 0 || rc.WatchdogTrace != 0 ||
-		rc.Record || rc.ReplayPicks != nil || rc.UnsafeEarlyRelease {
-		return Run(rc)
+		rc.Record || rc.ReplayPicks != nil || rc.UnsafeEarlyRelease ||
+		rc.SiteRecorder != nil {
+		return cacheKey{}, false
 	}
 	if rc.Seed == 0 {
 		rc.Seed = 42 // match Run's default so keys are canonical
 	}
-	key := cacheKey{rc.Benchmark, int(rc.Mode), rc.Threads, rc.Seed, rc.TotalOps, rc.Naive, rc.Lazy,
-		rc.Sched, rc.SchedSeed, rc.Oracle}
+	return cacheKey{rc.Benchmark, int(rc.Mode), rc.Threads, rc.Seed, rc.TotalOps, rc.Naive, rc.Lazy,
+		rc.Sched, rc.SchedSeed, rc.Oracle}, true
+}
+
+// RunCached is Run with memoization over the default machine and runtime
+// configurations. Configs with overrides bypass the cache.
+func RunCached(rc RunConfig) (*Result, error) {
+	key, ok := cacheableKey(rc)
+	if !ok {
+		return Run(rc)
+	}
 	cacheMu.Lock()
-	r, ok := cache[key]
+	r, hit := cache[key]
 	cacheMu.Unlock()
-	if ok {
+	if hit {
 		return r, nil
 	}
 	r, err := Run(rc)

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -95,13 +96,19 @@ func (cs *ChaosSweep) defaults() {
 
 // RunChaosSweep runs the campaign. It returns the cells in sweep order
 // and an error if any cell hit the watchdog or failed verification —
-// graceful degradation means slower, never wrong or stuck.
+// graceful degradation means slower, never wrong or stuck. Cells execute
+// in parallel (up to the package worker default) but are folded into the
+// report strictly in sweep order, so output and error reporting match a
+// sequential campaign exactly.
 func RunChaosSweep(cs ChaosSweep) ([]ChaosCell, error) {
 	cs.defaults()
-	var cells []ChaosCell
-	var firstErr error
+	type cellMeta struct {
+		bench string
+		rate  float64
+	}
+	var cfgs []RunConfig
+	var metas []cellMeta
 	for _, b := range cs.Benchmarks {
-		var base uint64
 		for _, rate := range cs.Rates {
 			rc := RunConfig{
 				Benchmark: b,
@@ -116,37 +123,49 @@ func RunChaosSweep(cs ChaosSweep) ([]ChaosCell, error) {
 				ccfg := chaos.Scaled(rate, cs.Seed)
 				rc.Chaos = &ccfg
 			}
-			res, err := Run(rc)
-			if err != nil {
-				// Watchdog (or setup) failure: the campaign is already
-				// lost; report it with the cell context attached.
-				return cells, fmt.Errorf("chaos sweep: rate %g: %w", rate, err)
-			}
-			cell := ChaosCell{
-				Bench:           b,
-				Rate:            rate,
-				Makespan:        res.Makespan(),
-				Commits:         res.Stats.Commits,
-				Aborts:          res.Stats.TotalAborts(),
-				Spurious:        res.Stats.Aborts[htm.AbortSpurious],
-				LocksReclaimed:  res.Metrics.LocksReclaimed,
-				LockTimeouts:    res.Metrics.LockTimeouts,
-				LivelockEscapes: res.Metrics.LivelockEscapes,
-				Faults:          res.Faults,
-				VerifyErr:       res.VerifyErr,
-			}
-			if rate == 0 {
-				base = cell.Makespan
-			}
-			if base != 0 {
-				cell.Degradation = float64(cell.Makespan) / float64(base)
-			}
-			cells = append(cells, cell)
-			if res.VerifyErr != nil && firstErr == nil {
-				firstErr = fmt.Errorf("chaos sweep: %s at rate %g: verify failed: %w",
-					b, rate, res.VerifyErr)
-			}
+			cfgs = append(cfgs, rc)
+			metas = append(metas, cellMeta{b, rate})
 		}
+	}
+	var cells []ChaosCell
+	var firstErr error
+	var base uint64
+	err := runAllOrdered(context.Background(), cfgs, Workers(), func(i int, o RunOutcome) error {
+		m := metas[i]
+		if o.Err != nil {
+			// Watchdog (or setup) failure: the campaign is already lost;
+			// report it with the cell context attached.
+			return fmt.Errorf("chaos sweep: rate %g: %w", m.rate, o.Err)
+		}
+		res := o.Res
+		cell := ChaosCell{
+			Bench:           m.bench,
+			Rate:            m.rate,
+			Makespan:        res.Makespan(),
+			Commits:         res.Stats.Commits,
+			Aborts:          res.Stats.TotalAborts(),
+			Spurious:        res.Stats.Aborts[htm.AbortSpurious],
+			LocksReclaimed:  res.Metrics.LocksReclaimed,
+			LockTimeouts:    res.Metrics.LockTimeouts,
+			LivelockEscapes: res.Metrics.LivelockEscapes,
+			Faults:          res.Faults,
+			VerifyErr:       res.VerifyErr,
+		}
+		if m.rate == 0 {
+			base = cell.Makespan
+		}
+		if base != 0 {
+			cell.Degradation = float64(cell.Makespan) / float64(base)
+		}
+		cells = append(cells, cell)
+		if res.VerifyErr != nil && firstErr == nil {
+			firstErr = fmt.Errorf("chaos sweep: %s at rate %g: verify failed: %w",
+				m.bench, m.rate, res.VerifyErr)
+		}
+		return nil
+	})
+	if err != nil {
+		return cells, err
 	}
 	return cells, firstErr
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/chaos"
@@ -125,12 +126,16 @@ func Explore(ec ExploreConfig) (*ExploreReport, error) {
 		wt = 256
 	}
 
-	rep := &ExploreReport{Config: ec}
-	for i := 0; i < ec.Runs; i++ {
+	// Every explored schedule is an independent cell (distinct scheduler
+	// seed, same workload), so the campaign fans out across the package
+	// worker default. Results fold into the report strictly in run order —
+	// counts, failure list, minimization, and Progress callbacks are
+	// indistinguishable from a sequential campaign.
+	cfgs := make([]RunConfig, ec.Runs)
+	for i := range cfgs {
 		// Distinct, nonzero scheduler seeds; the workload seed stays fixed
 		// so every run explores the same program.
-		ss := ec.Seed + int64(i)*1_000_003 + 1
-		rc := RunConfig{
+		cfgs[i] = RunConfig{
 			Benchmark:          ec.Benchmark,
 			Mode:               ec.Mode,
 			Threads:            ec.Threads,
@@ -139,16 +144,20 @@ func Explore(ec ExploreConfig) (*ExploreReport, error) {
 			Stagger:            ec.Stagger,
 			Chaos:              ec.Chaos,
 			Sched:              exploreSpec(ec),
-			SchedSeed:          ss,
+			SchedSeed:          ec.Seed + int64(i)*1_000_003 + 1,
 			Record:             true,
 			Oracle:             true,
 			UnsafeEarlyRelease: ec.UnsafeEarlyRelease,
 			WatchdogTrace:      wt,
 		}
-		res, err := Run(rc)
-		if err != nil {
-			return nil, fmt.Errorf("harness: explore run %d (sched seed %d): %w", i, ss, err)
+	}
+	rep := &ExploreReport{Config: ec}
+	err = runAllOrdered(context.Background(), cfgs, Workers(), func(i int, o RunOutcome) error {
+		ss := cfgs[i].SchedSeed
+		if o.Err != nil {
+			return fmt.Errorf("harness: explore run %d (sched seed %d): %w", i, ss, o.Err)
 		}
+		res := o.Res
 		rep.Runs++
 		rep.Commits += res.OracleCommits
 		ferr := res.OracleErr
@@ -158,13 +167,19 @@ func Explore(ec ExploreConfig) (*ExploreReport, error) {
 		if ferr != nil {
 			f := ExploreFailure{SchedSeed: ss, Err: ferr, Picks: res.SchedPicks}
 			if ec.Minimize {
-				f.Minimized, f.Probes = minimizeFailure(rc, f.Picks, ec.MinimizeBudget)
+				// Minimization probes run here, on the delivering goroutine,
+				// so they serialize in run order like the sequential loop.
+				f.Minimized, f.Probes = minimizeFailure(cfgs[i], f.Picks, ec.MinimizeBudget)
 			}
 			rep.Failures = append(rep.Failures, f)
 		}
 		if ec.Progress != nil {
 			ec.Progress(i, ferr != nil)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rep, nil
 }

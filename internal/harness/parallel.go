@@ -1,0 +1,180 @@
+package harness
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Inter-run parallelism. Every simulation is deterministic in its
+// RunConfig and shares no mutable state with any other run (each Run
+// builds a fresh workload module, machine, runtime, and oracle; the only
+// cross-run structure is the memoization cache, which is mutex-guarded
+// and value-stable). Independent cells of a sweep can therefore execute
+// on as many OS threads as the host offers without perturbing a single
+// simulated cycle — the intra-run virtual-time engine stays strictly
+// serial, parallelism exists only BETWEEN runs. Results are always
+// delivered in input order, never completion order, so every consumer
+// (table assembly, campaign reports, CSV writers) emits bytes identical
+// to a sequential sweep.
+
+// defaultWorkers is the package-wide worker bound used by the table and
+// figure generators and the campaign runners; cmd/paper and
+// cmd/staggersim expose it as -workers. 1 reproduces the historical
+// strictly sequential execution exactly (no pool, no extra goroutines).
+var defaultWorkers atomic.Int32
+
+func init() { defaultWorkers.Store(int32(runtime.NumCPU())) }
+
+// SetWorkers sets the default sweep parallelism (n <= 0 restores the
+// NumCPU default). It returns the previous value so tests can restore it.
+func SetWorkers(n int) int {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	return int(defaultWorkers.Swap(int32(n)))
+}
+
+// Workers returns the current default sweep parallelism.
+func Workers() int { return int(defaultWorkers.Load()) }
+
+// RunOutcome is one cell's result in a parallel sweep.
+type RunOutcome struct {
+	Res *Result
+	Err error
+}
+
+// RunAll executes every configuration with at most workers concurrent
+// runs (workers <= 0 uses the package default) and returns the outcomes
+// ordered by input index. Each cell goes through RunCached, so repeated
+// cells across sweeps are still memoized. Cancelling ctx skips cells
+// that have not started (their outcome carries ctx's error); cells
+// already simulating run to completion.
+func RunAll(ctx context.Context, cfgs []RunConfig, workers int) []RunOutcome {
+	out := make([]RunOutcome, len(cfgs))
+	runAllOrdered(ctx, cfgs, workers, func(i int, o RunOutcome) error {
+		out[i] = o
+		return nil
+	})
+	return out
+}
+
+// runAllOrdered is RunAll with streaming delivery: deliver is called once
+// per cell, in input order, from the calling goroutine's control flow. A
+// non-nil error from deliver cancels the cells that have not started and
+// returns after the in-flight ones drain. With workers == 1 the loop is
+// exactly the historical sequential sweep — same goroutine, same order,
+// no pool.
+func runAllOrdered(ctx context.Context, cfgs []RunConfig, workers int, deliver func(int, RunOutcome) error) error {
+	n := len(cfgs)
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i, rc := range cfgs {
+			var o RunOutcome
+			if err := ctx.Err(); err != nil {
+				o.Err = err
+			} else {
+				o.Res, o.Err = RunCached(rc)
+			}
+			if err := deliver(i, o); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var next atomic.Int64
+	type completion struct {
+		i int
+		o RunOutcome
+	}
+	ch := make(chan completion, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				var o RunOutcome
+				if err := ctx.Err(); err != nil {
+					o.Err = err
+				} else {
+					o.Res, o.Err = RunCached(cfgs[i])
+				}
+				ch <- completion{i, o}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+
+	// Reorder completions into input order; deliver as soon as the next
+	// expected index lands, so consumers stream without a global barrier.
+	buf := make([]RunOutcome, n)
+	ready := make([]bool, n)
+	delivered := 0
+	var derr error
+	for c := range ch {
+		buf[c.i], ready[c.i] = c.o, true
+		for derr == nil && delivered < n && ready[delivered] {
+			if err := deliver(delivered, buf[delivered]); err != nil {
+				derr = err
+				cancel() // stop scheduling new cells; drain the rest
+			}
+			delivered++
+		}
+	}
+	return derr
+}
+
+// warm primes the memoization cache for the given cells in parallel.
+// Generators call it before their sequential assembly loop: with the
+// cache hot, assembly is pure formatting, so output bytes are identical
+// to a fully sequential run by construction. Cells the cache would
+// bypass, duplicates, and already-cached cells are skipped; errors are
+// ignored here because the assembly loop re-encounters them
+// deterministically (Run is a pure function of its config) and reports
+// them exactly as a sequential sweep would. With workers == 1 warm is a
+// no-op: execution stays on the historical fully-sequential path.
+func warm(cfgs []RunConfig) {
+	workers := Workers()
+	if workers <= 1 {
+		return
+	}
+	seen := make(map[cacheKey]bool, len(cfgs))
+	var todo []RunConfig
+	for _, rc := range cfgs {
+		key, ok := cacheableKey(rc)
+		if !ok || seen[key] {
+			continue
+		}
+		seen[key] = true
+		cacheMu.Lock()
+		_, hit := cache[key]
+		cacheMu.Unlock()
+		if !hit {
+			todo = append(todo, rc)
+		}
+	}
+	if len(todo) == 0 {
+		return
+	}
+	RunAll(context.Background(), todo, workers)
+}

@@ -40,11 +40,21 @@ var table1Sources = map[string]string{
 	"vacation":  "red-black trees",
 }
 
+// table1Benches is Table 1's row order.
+var table1Benches = []string{"list-hi", "tsp", "memcached", "intruder", "kmeans", "vacation"}
+
 // Table1 characterizes baseline-HTM contention for the paper's six
 // representative benchmarks.
 func Table1(seed int64) ([]Table1Row, error) {
+	var cells []RunConfig
+	for _, b := range table1Benches {
+		cells = append(cells,
+			RunConfig{Benchmark: b, Mode: stagger.ModeHTM, Threads: 1, Seed: seed},
+			RunConfig{Benchmark: b, Mode: stagger.ModeHTM, Threads: PaperThreads, Seed: seed})
+	}
+	warm(cells)
 	var rows []Table1Row
-	for _, b := range []string{"list-hi", "tsp", "memcached", "intruder", "kmeans", "vacation"} {
+	for _, b := range table1Benches {
 		s, res, err := speedupCached(RunConfig{
 			Benchmark: b, Mode: stagger.ModeHTM, Threads: PaperThreads, Seed: seed,
 		})
@@ -109,6 +119,14 @@ var table3Benches = []string{"genome", "intruder", "kmeans", "labyrinth",
 
 // Table3 measures instrumentation overhead and accuracy.
 func Table3(seed int64) ([]Table3Row, error) {
+	var cells []RunConfig
+	for _, b := range table3Benches {
+		cells = append(cells,
+			RunConfig{Benchmark: b, Mode: stagger.ModeHTM, Threads: 1, Seed: seed},
+			RunConfig{Benchmark: b, Mode: stagger.ModeStaggeredHW, Threads: 1, Seed: seed},
+			RunConfig{Benchmark: b, Mode: stagger.ModeStaggeredHW, Threads: PaperThreads, Seed: seed})
+	}
+	warm(cells)
 	var rows []Table3Row
 	for _, b := range table3Benches {
 		base1, err := runVerified(RunConfig{Benchmark: b, Mode: stagger.ModeHTM, Threads: 1, Seed: seed})
@@ -167,6 +185,13 @@ type Table4Row struct {
 
 // Table4 characterizes every benchmark on the baseline HTM.
 func Table4(seed int64) ([]Table4Row, error) {
+	var cells []RunConfig
+	for _, b := range workloads.Names() {
+		cells = append(cells,
+			RunConfig{Benchmark: b, Mode: stagger.ModeHTM, Threads: 1, Seed: seed},
+			RunConfig{Benchmark: b, Mode: stagger.ModeHTM, Threads: PaperThreads, Seed: seed})
+	}
+	warm(cells)
 	var rows []Table4Row
 	for _, b := range workloads.Names() {
 		w, err := workloads.Get(b)
@@ -217,6 +242,13 @@ type Figure7Row struct {
 
 // Figure7 regenerates the performance comparison.
 func Figure7(seed int64) ([]Figure7Row, error) {
+	var cells []RunConfig
+	for _, b := range workloads.Names() {
+		for _, m := range []stagger.Mode{stagger.ModeHTM, stagger.ModeAddrOnly, stagger.ModeStaggeredSW, stagger.ModeStaggeredHW} {
+			cells = append(cells, RunConfig{Benchmark: b, Mode: m, Threads: PaperThreads, Seed: seed})
+		}
+	}
+	warm(cells)
 	var rows []Figure7Row
 	for _, b := range workloads.Names() {
 		base, err := runVerified(RunConfig{Benchmark: b, Mode: stagger.ModeHTM, Threads: PaperThreads, Seed: seed})
@@ -284,6 +316,13 @@ type Figure8Row struct {
 
 // Figure8 regenerates the abort/wasted-cycle comparison.
 func Figure8(seed int64) ([]Figure8Row, error) {
+	var cells []RunConfig
+	for _, b := range workloads.Names() {
+		cells = append(cells,
+			RunConfig{Benchmark: b, Mode: stagger.ModeHTM, Threads: PaperThreads, Seed: seed},
+			RunConfig{Benchmark: b, Mode: stagger.ModeStaggeredHW, Threads: PaperThreads, Seed: seed})
+	}
+	warm(cells)
 	var rows []Figure8Row
 	for _, b := range workloads.Names() {
 		base, err := runVerified(RunConfig{Benchmark: b, Mode: stagger.ModeHTM, Threads: PaperThreads, Seed: seed})
@@ -446,8 +485,19 @@ type LazyRow struct {
 // benchmark subset (the high-contention winners plus a low-contention
 // guard).
 func FigureLazy(seed int64) ([]LazyRow, error) {
+	lazyBenches := []string{"intruder", "kmeans", "list-hi", "memcached", "tsp", "vacation"}
+	var cells []RunConfig
+	for _, b := range lazyBenches {
+		for _, lazy := range []bool{false, true} {
+			cells = append(cells,
+				RunConfig{Benchmark: b, Mode: stagger.ModeHTM, Threads: 1, Seed: seed, Lazy: lazy},
+				RunConfig{Benchmark: b, Mode: stagger.ModeHTM, Threads: PaperThreads, Seed: seed, Lazy: lazy},
+				RunConfig{Benchmark: b, Mode: stagger.ModeStaggeredHW, Threads: PaperThreads, Seed: seed, Lazy: lazy})
+		}
+	}
+	warm(cells)
 	var rows []LazyRow
-	for _, b := range []string{"intruder", "kmeans", "list-hi", "memcached", "tsp", "vacation"} {
+	for _, b := range lazyBenches {
 		row := LazyRow{Bench: b}
 		for _, lazy := range []bool{false, true} {
 			seq, err := runVerified(RunConfig{Benchmark: b, Mode: stagger.ModeHTM, Threads: 1, Seed: seed, Lazy: lazy})
@@ -499,6 +549,13 @@ type ScalingRow struct {
 // staggered systems (the paper notes, e.g., that list-hi "stops scaling
 // after 4 threads" on plain HTM).
 func Scaling(bench string, seed int64) ([]ScalingRow, error) {
+	cells := []RunConfig{{Benchmark: bench, Mode: stagger.ModeHTM, Threads: 1, Seed: seed}}
+	for _, th := range []int{1, 2, 4, 8, 16} {
+		cells = append(cells,
+			RunConfig{Benchmark: bench, Mode: stagger.ModeHTM, Threads: th, Seed: seed},
+			RunConfig{Benchmark: bench, Mode: stagger.ModeStaggeredHW, Threads: th, Seed: seed})
+	}
+	warm(cells)
 	seq, err := runVerified(RunConfig{Benchmark: bench, Mode: stagger.ModeHTM, Threads: 1, Seed: seed})
 	if err != nil {
 		return nil, err

@@ -83,6 +83,13 @@ type Config struct {
 	// campaigns raise it so minimized repros carry enough context.
 	WatchdogTrace int
 
+	// RefEngine forces the engine's reference token handoff: every sync
+	// runs the full minimum scan instead of the O(1) per-tenure fast path.
+	// Results are bit-identical either way (FuzzEngineHandoff proves it);
+	// the flag exists only so differential tests can retain the
+	// pre-optimization engine as an oracle. Leave false outside tests.
+	RefEngine bool
+
 	// Seed feeds the per-core PRNGs used for backoff jitter.
 	Seed int64
 

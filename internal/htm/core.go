@@ -29,14 +29,23 @@ type Core struct {
 	l2    map[mem.Addr]struct{}
 	rng   *rand.Rand
 
-	inTx         bool
-	inAttempt    bool
-	inIrrev      bool
-	pendingAbort *AbortInfo
+	inTx      bool
+	inAttempt bool
+	inIrrev   bool
+	// hasPending gates pendingAbort; the info is stored inline so a remote
+	// abort costs no allocation on the requester's critical path.
+	hasPending   bool
+	pendingAbort AbortInfo
 	writeBuf     map[mem.Addr]uint64
-	txLines      map[mem.Addr]*txLine
+	txLines      map[mem.Addr]txLine
 	attemptStart uint64
 	attemptWait  uint64
+
+	// traceOn caches "some trace sink is installed" so the per-event
+	// record calls cost one boolean test on untraced machines.
+	traceOn bool
+	// addrScratch is reused by lazyResolve's commit-time address sort.
+	addrScratch []mem.Addr
 
 	// Observer state (nil unless a TxObserver is installed and an atomic
 	// section is active): first-external-read and write logs per word,
@@ -53,8 +62,8 @@ func newCore(m *Machine, id int) *Core {
 		l1:       newL1(m.cfg.L1Lines, m.cfg.L1Ways),
 		l2:       make(map[mem.Addr]struct{}),
 		rng:      rand.New(rand.NewSource(m.cfg.Seed*2654435761 + int64(id)*40503 + 7)),
-		writeBuf: make(map[mem.Addr]uint64),
-		txLines:  make(map[mem.Addr]*txLine),
+		writeBuf: make(map[mem.Addr]uint64, 16),
+		txLines:  make(map[mem.Addr]txLine, 16),
 	}
 }
 
@@ -96,9 +105,9 @@ func (c *Core) event() {
 		}
 	}
 	c.m.eng.sync(c.id, c.clock)
-	if c.pendingAbort != nil {
-		info := *c.pendingAbort
-		c.pendingAbort = nil
+	if c.hasPending {
+		info := c.pendingAbort
+		c.hasPending = false
 		if c.inTx {
 			c.finishAbort(info)
 			panic(txAbort{info})
@@ -154,7 +163,7 @@ func (c *Core) TxBegin() {
 	if c.inTx {
 		panic("htm: nested TxBegin")
 	}
-	c.pendingAbort = nil
+	c.hasPending = false
 	c.inTx = true
 	c.inAttempt = true
 	c.attemptStart = c.clock
@@ -237,7 +246,7 @@ func (c *Core) clearTx() {
 // access to line by core c. Requester wins: v's directory presence is
 // removed immediately; v observes the abort at its next event.
 func (c *Core) abortRemote(v *Core, line mem.Addr) {
-	if !v.inTx || v.pendingAbort != nil {
+	if !v.inTx || v.hasPending {
 		// Already doomed; just make sure its presence is gone.
 		c.stripDir(v)
 		return
@@ -254,7 +263,8 @@ func (c *Core) abortRemote(v *Core, line mem.Addr) {
 			info.HasPC = true
 		}
 	}
-	v.pendingAbort = &info
+	v.pendingAbort = info
+	v.hasPending = true
 	c.stripDir(v)
 }
 
@@ -280,17 +290,19 @@ func (c *Core) abortMask(mask uint32, line mem.Addr) {
 	}
 }
 
-// record notes the first transactional access to a line.
-func (c *Core) record(line mem.Addr, pc uint64, site uint32, wrote bool) *txLine {
+// record notes the first transactional access to a line. Entries are
+// stored by value: the common first-access path is one map insert, with
+// no per-line heap allocation.
+func (c *Core) record(line mem.Addr, pc uint64, site uint32, wrote bool) {
 	tl, ok := c.txLines[line]
 	if !ok {
-		tl = &txLine{pc: pc, site: site}
+		c.txLines[line] = txLine{pc: pc, site: site, wrote: wrote}
+		return
+	}
+	if wrote && !tl.wrote {
+		tl.wrote = true
 		c.txLines[line] = tl
 	}
-	if wrote {
-		tl.wrote = true
-	}
-	return tl
 }
 
 // Load performs a load at program counter pc from static site, reading
@@ -452,13 +464,14 @@ func (c *Core) ntStoreConflicts(a mem.Addr) {
 // visited in address order so victim selection — and therefore the whole
 // simulation — stays deterministic.
 func (c *Core) lazyResolve() {
-	var written []mem.Addr
+	written := c.addrScratch[:0]
 	//staggervet:allow determinism key collection; sorted before victim selection
 	for line, tl := range c.txLines {
 		if tl.wrote {
 			written = append(written, line)
 		}
 	}
+	c.addrScratch = written // keep the grown buffer for the next commit
 	sortAddrs(written)
 	for _, line := range written {
 		if e, ok := c.m.dir[line]; ok {

@@ -10,6 +10,18 @@ package htm
 // The token discipline means engine state needs no mutex: every field is
 // only touched by the token holder, and the wake channels provide the
 // happens-before edges between consecutive holders.
+//
+// Hot path. While one core holds the token, every other core's clock is
+// frozen — other cores only advance their clocks while *they* hold the
+// token. The minimum clock among the other runnable cores is therefore a
+// constant for the duration of a tenure, so it is computed once per
+// handoff (grant) and every subsequent sync by the holder is a single
+// comparison: the holder keeps the token, without any channel operation
+// or O(cores) scan, unless its new time actually loses the virtual-time
+// race. A core only parks when it genuinely must yield. The slow-path-only
+// variant (reference=true, every sync runs the full scan) is retained as
+// the oracle for the equivalence fuzz test; both must agree pick-for-pick
+// by construction, and FuzzEngineHandoff checks they do cycle-for-cycle.
 
 type engine struct {
 	time    []uint64
@@ -17,6 +29,19 @@ type engine struct {
 	wake    []chan struct{}
 	pending int
 	allDone chan struct{}
+
+	// Fast-path state (valid while sched == nil && !reference): holder is
+	// the core that currently owns the token; othersMin/othersID are the
+	// smallest clock among the other non-done cores and the smallest core
+	// ID achieving it (othersID == -1 when no other core is runnable).
+	// Recomputed once per grant, read on every sync.
+	holder    int
+	othersMin uint64
+	othersID  int
+	// reference disables the O(1) fast path so every sync runs the full
+	// minimum scan — the pre-optimization engine, kept for differential
+	// testing (Config.RefEngine).
+	reference bool
 
 	// sched, when non-nil, replaces the smallest-virtual-time rule with an
 	// adversarial choice among the runnable cores inside the scheduler's
@@ -26,14 +51,17 @@ type engine struct {
 	candT []uint64
 }
 
-func newEngine(n int, sched Scheduler) *engine {
+func newEngine(n int, sched Scheduler, reference bool) *engine {
 	e := &engine{
-		time:    make([]uint64, n),
-		done:    make([]bool, n),
-		wake:    make([]chan struct{}, n),
-		pending: n,
-		allDone: make(chan struct{}),
-		sched:   sched,
+		time:      make([]uint64, n),
+		done:      make([]bool, n),
+		wake:      make([]chan struct{}, n),
+		pending:   n,
+		allDone:   make(chan struct{}),
+		holder:    -1,
+		othersID:  -1,
+		reference: reference,
+		sched:     sched,
 	}
 	for i := range e.wake {
 		e.wake[i] = make(chan struct{}, 1)
@@ -84,17 +112,54 @@ func (e *engine) next() int {
 	return e.cand[k]
 }
 
+// grant hands the token to core id: it becomes the holder, the frozen
+// minimum over the other runnable cores is recomputed for the fast path,
+// and the core is woken. Callers must have chosen id via next().
+func (e *engine) grant(id int) {
+	e.holder = id
+	e.othersID = -1
+	for i := range e.time {
+		if i == id || e.done[i] {
+			continue
+		}
+		if e.othersID == -1 || e.time[i] < e.othersMin {
+			e.othersMin, e.othersID = e.time[i], i
+		}
+	}
+	e.wake[id] <- struct{}{}
+}
+
+// keepsToken reports whether the holder, now at time t, still wins the
+// virtual-time race against the frozen minimum of the other runnable
+// cores (ties go to the smallest core ID, matching min()'s ascending
+// scan). With no other runnable core the holder trivially keeps running.
+func (e *engine) keepsToken(id int, t uint64) bool {
+	return e.othersID == -1 || t < e.othersMin || (t == e.othersMin && id < e.othersID)
+}
+
 // sync is called by core id (the token holder) when its clock has reached
 // t and it is about to perform a globally visible event. It returns when
 // the core is again the chosen runnable core, possibly after handing the
 // token around; on return the caller may perform its event atomically.
 func (e *engine) sync(id int, t uint64) {
 	e.time[id] = t
-	next := e.next()
-	if next == id {
+	if e.sched == nil && !e.reference {
+		// Fast path: a single comparison against the per-tenure constant.
+		if e.keepsToken(id, t) {
+			return
+		}
+	} else {
+		next := e.next()
+		if next == id {
+			return
+		}
+		e.grant(next)
+		<-e.wake[id]
 		return
 	}
-	e.wake[next] <- struct{}{}
+	// Fast path lost the race: the winner is, by the tie-break, exactly
+	// the recorded other-minimum core.
+	e.grant(e.othersID)
 	<-e.wake[id]
 }
 
@@ -108,13 +173,13 @@ func (e *engine) finish(id int, t uint64) {
 		close(e.allDone)
 		return
 	}
-	e.wake[e.next()] <- struct{}{}
+	e.grant(e.next())
 }
 
 // start launches the simulation by granting the token to the chosen
 // core. Call after every core goroutine is blocked on its wake channel.
 func (e *engine) start() {
-	e.wake[e.next()] <- struct{}{}
+	e.grant(e.next())
 }
 
 // waitAll blocks until every registered core has finished.

@@ -1,0 +1,96 @@
+package htm
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+var updateEngineGolden = flag.Bool("update-engine-golden", false,
+	"rewrite the golden engine trace")
+
+// goldenWorkload is a small fixed contended workload: four cores hammer a
+// shared counter line transactionally while also issuing NT stores to
+// private lines and periodic compute, producing a trace with begins,
+// commits, and conflict aborts at exactly reproducible virtual times. It
+// exists so the engine's event ordering can be pinned byte-for-byte
+// across refactors of the token handoff.
+func goldenWorkload(cfg Config) *Machine {
+	m := New(cfg)
+	m.EnableTrace(0)
+	shared := m.Alloc.AllocLines(1)
+	private := make([]mem.Addr, cfg.Cores)
+	for i := range private {
+		private[i] = m.Alloc.AllocLines(1)
+	}
+	bodies := make([]func(*Core), 4)
+	for i := range bodies {
+		tid := i
+		bodies[i] = func(c *Core) {
+			for k := 0; k < 12; k++ {
+				c.Atomic(DefaultAtomicOpts(), TxHooks{}, func(c *Core) {
+					v := c.Load(0x100+uint64(tid), 1, shared)
+					c.Compute(5 + tid)
+					c.Store(0x200+uint64(tid), 2, shared, v+1)
+				})
+				c.NTStore(private[tid], uint64(k))
+				c.Compute(3 * (tid + 1))
+			}
+		}
+	}
+	m.Run(bodies)
+	return m
+}
+
+// TestEngineGoldenTrace locks the full virtual-time event trace of the
+// fixed workload against a committed golden file. Any change to the
+// engine's handoff or tie-break rules, the cache model, or the abort
+// delivery order shows up here as a diff.
+func TestEngineGoldenTrace(t *testing.T) {
+	m := goldenWorkload(smallConfig(4))
+	got := FormatTrace(m.Trace())
+	path := filepath.Join("testdata", "engine_golden_trace.txt")
+	if *updateEngineGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-engine-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("engine trace deviates from golden (len got=%d want=%d); "+
+			"rerun with -update-engine-golden only if the change is intended",
+			len(got), len(want))
+		// Show the first diverging line for diagnosis.
+		gl, wl := splitLines(got), splitLines(string(want))
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("first divergence at line %d:\n got: %s\nwant: %s", i+1, gl[i], wl[i])
+			}
+		}
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	for len(s) > 0 {
+		i := 0
+		for i < len(s) && s[i] != '\n' {
+			i++
+		}
+		out = append(out, s[:i])
+		if i < len(s) {
+			i++
+		}
+		s = s[i:]
+	}
+	return out
+}

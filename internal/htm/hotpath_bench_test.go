@@ -1,0 +1,176 @@
+package htm
+
+// Benchmarks and allocation assertions for the simulator's hot paths:
+// the engine token handoff (fast path vs the retained reference), the
+// transactional access/commit path, the L1 model, and stats folding.
+//
+//	go test ./internal/htm -bench Hot -benchmem
+//
+// pairs each optimized path with its cost; TestHotPathSteadyStateAllocs
+// turns "no per-event allocation" from a hope into a regression test.
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// handoffStorm runs a fixed contended simulation: cores alternate NT
+// loads on a shared line (every event loses the virtual-time race and
+// hands the token off) with short compute. Returns total memory events.
+func handoffStorm(cores, eventsPerCore int, ref bool) uint64 {
+	cfg := smallConfig(cores)
+	cfg.RefEngine = ref
+	m := New(cfg)
+	shared := m.Alloc.AllocLines(1)
+	bodies := make([]func(*Core), cores)
+	for i := range bodies {
+		bodies[i] = func(c *Core) {
+			for k := 0; k < eventsPerCore; k++ {
+				c.NTLoad(shared)
+			}
+		}
+	}
+	m.Run(bodies)
+	s := m.Stats()
+	return s.NTLoads
+}
+
+// keepTokenStorm runs events that almost always keep the token: one core
+// issues every memory event while a peer has long since finished, so the
+// engine's O(1) keep-token comparison is the entire handoff cost.
+func keepTokenStorm(events int, ref bool) uint64 {
+	cfg := smallConfig(2)
+	cfg.RefEngine = ref
+	m := New(cfg)
+	a := m.Alloc.AllocLines(1)
+	b := m.Alloc.AllocLines(1)
+	m.Run([]func(*Core){
+		func(c *Core) {
+			for k := 0; k < events; k++ {
+				c.NTLoad(a)
+			}
+		},
+		func(c *Core) { c.NTStore(b, 1) },
+	})
+	return m.Stats().NTLoads
+}
+
+// txStorm runs contended transactional increments: the TxBegin / record /
+// conflict-abort / commit paths all stay hot.
+func txStorm(cores, txPerCore int) Stats {
+	m := New(smallConfig(cores))
+	shared := m.Alloc.AllocLines(1)
+	bodies := make([]func(*Core), cores)
+	for i := range bodies {
+		tid := i
+		bodies[i] = func(c *Core) {
+			for k := 0; k < txPerCore; k++ {
+				c.Atomic(DefaultAtomicOpts(), TxHooks{}, func(c *Core) {
+					v := c.Load(0x100+uint64(tid), 1, shared)
+					c.Store(0x110+uint64(tid), 2, shared, v+1)
+				})
+			}
+		}
+	}
+	m.Run(bodies)
+	return m.Stats()
+}
+
+func BenchmarkHotEngineHandoff(b *testing.B) {
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		events += handoffStorm(4, 2000, false)
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkHotEngineHandoffRef(b *testing.B) {
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		events += handoffStorm(4, 2000, true)
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkHotEngineKeepToken(b *testing.B) {
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		events += keepTokenStorm(8000, false)
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkHotEngineKeepTokenRef(b *testing.B) {
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		events += keepTokenStorm(8000, true)
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkHotTxContended(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := txStorm(4, 500)
+		if s.Commits != 2000 {
+			b.Fatalf("commits = %d", s.Commits)
+		}
+	}
+}
+
+func BenchmarkHotL1Cache(b *testing.B) {
+	c := newL1(1024, 8)
+	notPinned := func(mem.Addr) bool { return false }
+	for i := 0; i < b.N; i++ {
+		line := mem.Addr((i % 4096) * 64)
+		if !c.hit(line) {
+			c.insert(line, notPinned)
+		}
+	}
+}
+
+func BenchmarkHotStatsAdd(b *testing.B) {
+	var agg Stats
+	var cs CoreStats
+	cs.Loads, cs.Stores, cs.Commits, cs.FinalClock = 10, 5, 2, 12345
+	for i := 0; i < b.N; i++ {
+		agg.add(&cs)
+	}
+	if agg.Makespan != 12345 {
+		b.Fatal("unexpected makespan")
+	}
+}
+
+// TestHotPathSteadyStateAllocs asserts the simulator allocates nothing
+// per memory event in steady state. Comparing two run lengths cancels the
+// fixed setup cost (machine, caches, goroutines): the delta is what the
+// extra events allocate, and the budget allows under 2 allocations per
+// hundred events (map growth amortization, nothing else).
+func TestHotPathSteadyStateAllocs(t *testing.T) {
+	measure := func(eventsPerCore int) float64 {
+		return testing.AllocsPerRun(5, func() {
+			handoffStorm(4, eventsPerCore, false)
+		})
+	}
+	short, long := measure(500), measure(4000)
+	extraEvents := float64(4 * (4000 - 500))
+	perEvent := (long - short) / extraEvents
+	if perEvent > 0.02 {
+		t.Fatalf("steady-state allocations: %.4f per event (short=%.0f long=%.0f), want <= 0.02",
+			perEvent, short, long)
+	}
+
+	measureTx := func(txPerCore int) float64 {
+		return testing.AllocsPerRun(5, func() {
+			txStorm(2, txPerCore)
+		})
+	}
+	shortTx, longTx := measureTx(200), measureTx(1600)
+	perTx := (longTx - shortTx) / float64(2*(1600-200))
+	// A committed transaction re-walks its write set and clears maps but
+	// must not allocate; allow 0.1/tx of slack for rare map growth.
+	if perTx > 0.1 {
+		t.Fatalf("steady-state allocations: %.4f per transaction (short=%.0f long=%.0f), want <= 0.1",
+			perTx, shortTx, longTx)
+	}
+}

@@ -69,7 +69,7 @@ func TestLazyNoAbortBeforeCommit(t *testing.T) {
 			// Give core 1 time to write the same line speculatively.
 			for i := 0; i < 10; i++ {
 				c.SpinWait(50, WaitBackoff)
-				if c.pendingAbort != nil {
+				if c.hasPending {
 					sawEarlyAbort = true
 				}
 			}

@@ -121,10 +121,12 @@ func (m *Machine) RunChecked(bodies []func(c *Core)) error {
 	if len(bodies) > len(m.cores) {
 		panic(fmt.Sprintf("htm: %d thread bodies for %d cores", len(bodies), len(m.cores)))
 	}
-	m.eng = newEngine(len(bodies), m.sched)
+	m.eng = newEngine(len(bodies), m.sched, m.cfg.RefEngine)
+	traceOn := m.trace != nil || m.lastEvents != nil
 	panics := make([]any, len(bodies))
 	for i, body := range bodies {
 		c := m.cores[i]
+		c.traceOn = traceOn
 		go func(c *Core, body func(*Core)) {
 			// A panicking body must still hand back the token, or the
 			// other cores (and Run's caller) would hang; the panic value

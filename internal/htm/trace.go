@@ -51,9 +51,13 @@ func (k TraceKind) String() string {
 }
 
 // EnableTrace turns on event recording, bounded to at most limit events
-// (0 = unlimited). Call before Run.
+// (0 = unlimited). Call before Run. A bounded buffer is pre-sized to its
+// limit so recording never reallocates mid-run.
 func (m *Machine) EnableTrace(limit int) {
 	m.trace = &traceBuf{limit: limit}
+	if limit > 0 {
+		m.trace.events = make([]TraceEvent, 0, limit)
+	}
 }
 
 // Trace returns the recorded events in execution order — the order the
@@ -131,31 +135,34 @@ func (t *traceBuf) add(e TraceEvent) {
 }
 
 // recordBegin/recordCommit/recordAbort are called from the transaction
-// paths; they are no-ops unless tracing is enabled.
+// paths; they are no-ops unless tracing is enabled. Core.traceOn caches
+// "some sink exists" (set once at Run), so the untraced hot path pays a
+// single predictable branch, and a traced machine dispatches both sinks
+// from one constructed event.
 func (c *Core) recordBegin() {
-	if c.m.trace != nil || c.m.lastEvents != nil {
-		e := TraceEvent{Time: c.clock, Core: c.id, Kind: TraceBegin}
-		c.m.trace.add(e)
-		c.m.lastEvents.add(e)
+	if c.traceOn {
+		c.m.record(TraceEvent{Time: c.clock, Core: c.id, Kind: TraceBegin})
 	}
 }
 
 func (c *Core) recordCommit() {
-	if c.m.trace != nil || c.m.lastEvents != nil {
-		e := TraceEvent{Time: c.clock, Core: c.id, Kind: TraceCommit}
-		c.m.trace.add(e)
-		c.m.lastEvents.add(e)
+	if c.traceOn {
+		c.m.record(TraceEvent{Time: c.clock, Core: c.id, Kind: TraceCommit})
 	}
 }
 
 func (c *Core) recordAbort(info AbortInfo) {
-	if c.m.trace != nil || c.m.lastEvents != nil {
-		e := TraceEvent{
+	if c.traceOn {
+		c.m.record(TraceEvent{
 			Time: c.clock, Core: c.id, Kind: TraceAbort,
 			Reason: info.Reason, ConfAddr: info.ConfAddr,
 			ConfPC: info.ConfPC, ByCore: info.ByCore,
-		}
-		c.m.trace.add(e)
-		c.m.lastEvents.add(e)
+		})
 	}
+}
+
+// record fans one event out to every installed sink.
+func (m *Machine) record(e TraceEvent) {
+	m.trace.add(e)
+	m.lastEvents.add(e)
 }
