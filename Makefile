@@ -1,19 +1,25 @@
 GO ?= go
 
-.PHONY: ci vet verify-static build test smoke explore-smoke paper \
-	race-equivalence bench bench-full bench-baseline
+.PHONY: help ci vet verify-static build test smoke explore-smoke paper \
+	race-equivalence bench bench-full bench-baseline docs-verify docs
+
+# help lists every target with its one-line purpose (the `##` comment on
+# the target line). Run `make help` when lost.
+help:
+	@grep -E '^[a-z][a-z-]*:.*##' $(MAKEFILE_LIST) | \
+		awk -F':.*## ' '{printf "  %-16s %s\n", $$1, $$2}'
 
 # ci is the gate: static checks, full build, full test suite, the chaos
 # smoke (fault injection + verification on a representative cell), a
 # bounded schedule-exploration smoke (adversarial scheduler + oracle),
-# the IR-level static verification of every workload, and the race-mode
-# parallel-sweep equivalence suite.
-ci: vet build test smoke explore-smoke verify-static race-equivalence
+# the IR-level static verification of every workload, the race-mode
+# parallel-sweep equivalence suite, and the generated-docs drift check.
+ci: vet build test smoke explore-smoke verify-static race-equivalence docs-verify ## full CI gate (all of the below)
 
 # vet layers three static gates: formatting, the standard go vet, and
 # the repo's own staggervet analyzers (determinism, ntstore, siteattr).
 # Any staggervet diagnostic exits nonzero and fails the build.
-vet:
+vet: ## gofmt + go vet + staggervet analyzers
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	$(GO) vet ./...
@@ -21,30 +27,40 @@ vet:
 
 # verify-static proves the four IR invariants (anchor scope, lock
 # order, coverage, static/dynamic conformance) on all ten workloads.
-verify-static:
+verify-static: ## IR invariants: anchor scope, lock order, coverage, conformance
 	$(GO) run ./cmd/staggersim -verify-static
 
-build:
+build: ## go build ./...
 	$(GO) build ./...
 
-test:
+test: ## go test ./...
 	$(GO) test ./...
 
-smoke:
+smoke: ## chaos smoke: fault injection + verification, one cell
 	$(GO) test ./internal/harness -run TestChaosSmoke -count=1
 
 # explore-smoke runs 25 PCT(d=3) schedules per workload through the
 # serializability oracle on two representative cells; any violation fails.
-explore-smoke:
+explore-smoke: ## 25 adversarial schedules per cell through the oracle
 	$(GO) run ./cmd/staggersim -bench list-hi,kmeans -mode staggered -threads 4 \
 		-ops 160 -explore -explore-runs 25 -sched pct:3
 
 # race-equivalence runs the determinism-equivalence suite (same results
 # and bytes at workers=1 and workers=4) under the race detector, so the
 # parallel sweep runner is checked for data races on every CI run.
-race-equivalence:
+race-equivalence: ## determinism-equivalence suite under -race
 	$(GO) test -race ./internal/harness -count=1 \
 		-run 'TestDeterminism|TestTableOutputIdentical|TestChaosSweepIdentical|TestExploreIdentical|TestCacheShared|TestRunAllOrdering'
+
+# docs-verify regenerates the generated documentation sections — the
+# EXPERIMENTS.md abort-attribution appendix and the README.md repo map —
+# and fails if the committed text disagrees with the source tree. Run
+# `make docs` after changing the simulator or package doc comments.
+docs-verify: ## fail if generated docs sections drifted from the source
+	$(GO) run ./cmd/staggerreport -appendix -repomap -check
+
+docs: ## regenerate the generated docs sections in place
+	$(GO) run ./cmd/staggerreport -appendix -repomap -write
 
 # bench is the performance regression gate: the quick matrix plus the
 # paper table set, compared against the committed baseline; any timed
@@ -52,14 +68,14 @@ race-equivalence:
 # fails. bench-full runs the full matrix without a gate; bench-baseline
 # re-records the committed baseline (do this deliberately, on a quiet
 # machine, when the simulation itself changes).
-bench:
+bench: ## perf regression gate vs bench_baseline.json (quick matrix)
 	$(GO) run ./cmd/staggerbench -quick -baseline bench_baseline.json
 
-bench-full:
+bench-full: ## full benchmark matrix, no gate
 	$(GO) run ./cmd/staggerbench
 
-bench-baseline:
+bench-baseline: ## re-record the committed benchmark baseline
 	$(GO) run ./cmd/staggerbench -quick -out bench_baseline.json
 
-paper:
+paper: ## regenerate every table and figure of the paper
 	$(GO) run ./cmd/paper

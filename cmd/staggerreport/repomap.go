@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/doc"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// generateRepoMap builds the README's repository-map table from package
+// doc comments: every package under internal/ and cmd/ gets one row
+// whose purpose is the first sentence of its package comment. A package
+// without a doc comment produces an error, so the table doubles as a
+// "every package is documented" gate.
+func generateRepoMap(root string) ([]byte, error) {
+	var rows [][2]string
+	for _, top := range []string{"internal", "cmd"} {
+		entries, err := os.ReadDir(filepath.Join(root, top))
+		if err != nil {
+			return nil, err
+		}
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			if e.IsDir() {
+				names = append(names, e.Name())
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			rel := top + "/" + name
+			syn, err := packageSynopsis(filepath.Join(root, top, name))
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", rel, err)
+			}
+			rows = append(rows, [2]string{rel, syn})
+		}
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "\n| Path | Purpose |\n|---|---|\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "| `%s` | %s |\n", r[0], r[1])
+	}
+	return b.Bytes(), nil
+}
+
+// packageSynopsis extracts the one-line purpose from a directory's
+// package doc comment, stripping the conventional "Package x ..." /
+// "Command x ..." prefix so it reads as a table cell. Long synopses are
+// cut at their first colon: the clause before it is the purpose, the
+// rest is detail that belongs in godoc, not a table.
+func packageSynopsis(dir string) (string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments|parser.PackageClauseOnly)
+	if err != nil {
+		return "", err
+	}
+	base := filepath.Base(dir)
+	for _, pkg := range pkgs {
+		// Deterministic file order: map iteration would race the doc
+		// comment's location when (incorrectly) several files carry one.
+		files := make([]string, 0, len(pkg.Files))
+		for name := range pkg.Files {
+			files = append(files, name)
+		}
+		sort.Strings(files)
+		for _, name := range files {
+			f := pkg.Files[name]
+			if f.Doc == nil {
+				continue
+			}
+			syn := doc.Synopsis(f.Doc.Text())
+			for _, prefix := range []string{"Package " + pkg.Name + " ", "Command " + base + " ", "Package " + base + " "} {
+				if rest, ok := strings.CutPrefix(syn, prefix); ok {
+					syn = rest
+					break
+				}
+			}
+			if head, _, cut := strings.Cut(syn, ":"); cut {
+				syn = head
+			}
+			return strings.TrimSuffix(syn, "."), nil
+		}
+	}
+	return "", fmt.Errorf("no package doc comment found")
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// Generated documentation sections are delimited by HTML comment markers
+// so markdown renderers hide them and hand-written prose around them is
+// never touched. The body between markers is replaced wholesale.
+
+func beginMarker(name string) []byte {
+	return []byte(fmt.Sprintf("<!-- BEGIN GENERATED: %s (staggerreport; do not edit by hand) -->\n", name))
+}
+
+func endMarker(name string) []byte {
+	return []byte(fmt.Sprintf("<!-- END GENERATED: %s -->\n", name))
+}
+
+// findSection locates the body between a section's markers, returning
+// the byte ranges [bodyStart, bodyEnd) of the current body.
+func findSection(content []byte, name string) (bodyStart, bodyEnd int, err error) {
+	begin, end := beginMarker(name), endMarker(name)
+	i := bytes.Index(content, begin)
+	if i < 0 {
+		return 0, 0, fmt.Errorf("marker %q not found", string(bytes.TrimSpace(begin)))
+	}
+	bodyStart = i + len(begin)
+	j := bytes.Index(content[bodyStart:], end)
+	if j < 0 {
+		return 0, 0, fmt.Errorf("marker %q not found", string(bytes.TrimSpace(end)))
+	}
+	return bodyStart, bodyStart + j, nil
+}
+
+// extractSection returns the current generated body of a file's section.
+func extractSection(path, name string) ([]byte, error) {
+	content, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, e, err := findSection(content, name)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return content[s:e], nil
+}
+
+// replaceSection rewrites the file with a new generated body.
+func replaceSection(path, name string, body []byte) error {
+	content, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	s, e, err := findSection(content, name)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	var out bytes.Buffer
+	out.Write(content[:s])
+	out.Write(body)
+	out.Write(content[e:])
+	return os.WriteFile(path, out.Bytes(), 0o644)
+}
+
+// readReport loads a metrics JSON file written by `staggersim -metrics`.
+func readReport(path string) (*obs.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}

@@ -1,11 +1,19 @@
 // Command staggersim runs one benchmark under one system configuration
 // and prints detailed statistics: commits, aborts by reason, cycle
 // breakdown, locking-policy activations, and instrumentation accuracy.
+// Flags are grouped by task in -h; every group below has a matching
+// section in the usage text.
 //
 // Usage:
 //
 //	staggersim -bench list-hi -mode staggered -threads 16
-//	staggersim -bench tsp -mode htm -threads 1 -ops 2000 -v
+//	staggersim -bench tsp -mode htm -threads 1 -ops 2000
+//
+// Observability (metrics JSON and Perfetto timelines, internal/obs):
+//
+//	staggersim -bench list-hi -metrics > run.json
+//	staggersim -bench list-hi -trace-out run-trace.json
+//	staggersim -sched replay:fail.trace -trace-out fail-timeline.json
 //
 // Fault injection (all deterministic in -seed):
 //
@@ -25,6 +33,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,10 +45,50 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/harness"
 	"repro/internal/htm"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/stagger"
 	"repro/internal/workloads"
 )
+
+// flagGroups organizes -h output by task. Every flag defined in main
+// must appear in exactly one group (TestUsageCoversEveryFlag enforces
+// it, so adding a flag without documenting it fails the build's tests).
+var flagGroups = []struct {
+	title string
+	names []string
+}{
+	{"Run selection", []string{"bench", "mode", "threads", "seed", "ops", "naive", "lazy", "speedup", "workers"}},
+	{"Observability", []string{"metrics", "trace", "trace-out"}},
+	{"Fault injection and hardening", []string{"chaos", "chaos-abort", "chaos-ntdelay", "chaos-lockdrop",
+		"chaos-jitter", "hardened", "watchdog", "chaos-campaign", "chaos-rates"}},
+	{"Scheduling and exploration", []string{"sched", "sched-seed", "oracle", "record", "explore",
+		"explore-runs", "minimize", "explore-out", "unsafe-early-release"}},
+	{"Static verification", []string{"verify-static", "inject-drift"}},
+}
+
+// groupedUsage prints the grouped flag reference.
+func groupedUsage(fs *flag.FlagSet) {
+	o := fs.Output()
+	fmt.Fprintf(o, "Usage: staggersim [flags]\n")
+	fmt.Fprintf(o, "Runs one benchmark under one system configuration and prints detailed\n")
+	fmt.Fprintf(o, "statistics; campaign flags switch to fault sweeps, schedule exploration,\n")
+	fmt.Fprintf(o, "or static verification. Run without -bench to list benchmarks.\n")
+	for _, g := range flagGroups {
+		fmt.Fprintf(o, "\n%s:\n", g.title)
+		for _, name := range g.names {
+			f := fs.Lookup(name)
+			if f == nil {
+				continue
+			}
+			def := ""
+			if f.DefValue != "" && f.DefValue != "false" && f.DefValue != "0" {
+				def = fmt.Sprintf(" (default %s)", f.DefValue)
+			}
+			fmt.Fprintf(o, "  -%-21s %s%s\n", f.Name, f.Usage, def)
+		}
+	}
+}
 
 func parseMode(s string) (stagger.Mode, error) {
 	switch strings.ToLower(s) {
@@ -56,38 +105,87 @@ func parseMode(s string) (stagger.Mode, error) {
 	}
 }
 
+// opts holds every parsed flag. defineFlags registers all of them on
+// one FlagSet, so main (via flag.CommandLine) and the usage-coverage
+// test (via a scratch FlagSet) share a single definition of the
+// command's surface — a new flag that is not also placed in flagGroups
+// fails the test instead of silently missing from -h.
+type opts struct {
+	bench, mode                                         *string
+	threads                                             *int
+	seed                                                *int64
+	ops                                                 *int
+	naive, lazy                                         *bool
+	trace                                               *int
+	metricsOut                                          *bool
+	traceOut                                            *string
+	speedup                                             *bool
+	chaosRate, chaosAbort, chaosNT, chaosDrop, chaosJit *float64
+	hardened                                            *bool
+	watchdog                                            *uint64
+	campaign                                            *bool
+	rates, schedSpec                                    *string
+	schedSeed                                           *int64
+	oracleOn                                            *bool
+	record                                              *string
+	explore                                             *bool
+	exploreRuns                                         *int
+	minimize                                            *bool
+	exploreOut                                          *string
+	unsafeEarly, verifyStatic, injectDrift              *bool
+	workers                                             *int
+}
+
+func defineFlags(fs *flag.FlagSet) *opts {
+	return &opts{
+		bench:       fs.String("bench", "", "benchmark name (empty: list them)"),
+		mode:        fs.String("mode", "staggered", "system: htm | addronly | sw | staggered"),
+		threads:     fs.Int("threads", 16, "worker threads"),
+		seed:        fs.Int64("seed", 42, "workload seed"),
+		ops:         fs.Int("ops", 0, "total operations (0 = benchmark default)"),
+		naive:       fs.Bool("naive", false, "instrument every load/store (overhead study)"),
+		lazy:        fs.Bool("lazy", false, "lazy (commit-time) conflict detection"),
+		trace:       fs.Int("trace", 0, "print the first N transaction events (-1 = record all, print none)"),
+		metricsOut:  fs.Bool("metrics", false, "print the run's metrics report as stable-sorted JSON instead of the summary"),
+		traceOut:    fs.String("trace-out", "", "write a Chrome trace-event (Perfetto-loadable) timeline to this file; in -explore, a per-failure timeline next to each -explore-out trace"),
+		speedup:     fs.Bool("speedup", false, "also run 1-thread baseline and report speedup"),
+		chaosRate:   fs.Float64("chaos", 0, "inject every fault class at this rate (0 = off)"),
+		chaosAbort:  fs.Float64("chaos-abort", 0, "spurious-abort rate (overrides -chaos)"),
+		chaosNT:     fs.Float64("chaos-ntdelay", 0, "NT-store delay rate (overrides -chaos)"),
+		chaosDrop:   fs.Float64("chaos-lockdrop", 0, "lost-lock-release rate (overrides -chaos)"),
+		chaosJit:    fs.Float64("chaos-jitter", 0, "per-core stall-jitter rate (overrides -chaos)"),
+		hardened:    fs.Bool("hardened", false, "run the self-healing runtime config (leases, jitter, exp backoff, livelock escape)"),
+		watchdog:    fs.Uint64("watchdog", 0, "fail loudly past this many virtual cycles (0 = none)"),
+		campaign:    fs.Bool("chaos-campaign", false, "sweep fault rates across benchmarks and print degradation curves"),
+		rates:       fs.String("chaos-rates", "", "comma-separated fault rates for -chaos-campaign"),
+		schedSpec:   fs.String("sched", "", "adversarial scheduler: random | pct:<d> | replay:<file> (optionally @<window>)"),
+		schedSeed:   fs.Int64("sched-seed", 0, "scheduler seed (0 = workload seed)"),
+		oracleOn:    fs.Bool("oracle", false, "check every commit against the serializability oracle"),
+		record:      fs.String("record", "", "write the run's schedule trace to this file (needs -sched)"),
+		explore:     fs.Bool("explore", false, "run a schedule-exploration campaign (many seeds of -sched, oracle on)"),
+		exploreRuns: fs.Int("explore-runs", 100, "schedules per benchmark for -explore"),
+		minimize:    fs.Bool("minimize", false, "delta-debug each failing schedule found by -explore"),
+		exploreOut:  fs.String("explore-out", "", "directory for failing-schedule trace files (empty: don't write)"),
+		unsafeEarly: fs.Bool("unsafe-early-release", false, "enable the test-only broken irrevocable fallback (demo: -explore catches it)"),
+		verifyStatic: fs.Bool("verify-static", false,
+			"verify anchor-scope, lock-order, coverage, and static/dynamic conformance (all benchmarks unless -bench)"),
+		injectDrift: fs.Bool("inject-drift", false, "enable the test-only vacation IR-drift mutation (demo: -verify-static catches it)"),
+		workers: fs.Int("workers", runtime.NumCPU(),
+			"max concurrent simulation runs in campaigns (1 = sequential; output is identical either way)"),
+	}
+}
+
 func main() {
-	bench := flag.String("bench", "", "benchmark name (empty: list them)")
-	mode := flag.String("mode", "staggered", "system: htm | addronly | sw | staggered")
-	threads := flag.Int("threads", 16, "worker threads")
-	seed := flag.Int64("seed", 42, "workload seed")
-	ops := flag.Int("ops", 0, "total operations (0 = benchmark default)")
-	naive := flag.Bool("naive", false, "instrument every load/store (overhead study)")
-	lazy := flag.Bool("lazy", false, "lazy (commit-time) conflict detection")
-	trace := flag.Int("trace", 0, "print the first N transaction events")
-	speedup := flag.Bool("speedup", false, "also run 1-thread baseline and report speedup")
-	chaosRate := flag.Float64("chaos", 0, "inject every fault class at this rate (0 = off)")
-	chaosAbort := flag.Float64("chaos-abort", 0, "spurious-abort rate (overrides -chaos)")
-	chaosNT := flag.Float64("chaos-ntdelay", 0, "NT-store delay rate (overrides -chaos)")
-	chaosDrop := flag.Float64("chaos-lockdrop", 0, "lost-lock-release rate (overrides -chaos)")
-	chaosJit := flag.Float64("chaos-jitter", 0, "per-core stall-jitter rate (overrides -chaos)")
-	hardened := flag.Bool("hardened", false, "run the self-healing runtime config (leases, jitter, exp backoff, livelock escape)")
-	watchdog := flag.Uint64("watchdog", 0, "fail loudly past this many virtual cycles (0 = none)")
-	campaign := flag.Bool("chaos-campaign", false, "sweep fault rates across benchmarks and print degradation curves")
-	rates := flag.String("chaos-rates", "", "comma-separated fault rates for -chaos-campaign")
-	schedSpec := flag.String("sched", "", "adversarial scheduler: random | pct:<d> | replay:<file> (optionally @<window>)")
-	schedSeed := flag.Int64("sched-seed", 0, "scheduler seed (0 = workload seed)")
-	oracleOn := flag.Bool("oracle", false, "check every commit against the serializability oracle")
-	record := flag.String("record", "", "write the run's schedule trace to this file (needs -sched)")
-	explore := flag.Bool("explore", false, "run a schedule-exploration campaign (many seeds of -sched, oracle on)")
-	exploreRuns := flag.Int("explore-runs", 100, "schedules per benchmark for -explore")
-	minimize := flag.Bool("minimize", false, "delta-debug each failing schedule found by -explore")
-	exploreOut := flag.String("explore-out", "", "directory for failing-schedule trace files (empty: don't write)")
-	unsafeEarly := flag.Bool("unsafe-early-release", false, "enable the test-only broken irrevocable fallback (demo: -explore catches it)")
-	verifyStatic := flag.Bool("verify-static", false, "verify anchor-scope, lock-order, coverage, and static/dynamic conformance (all benchmarks unless -bench)")
-	injectDrift := flag.Bool("inject-drift", false, "enable the test-only vacation IR-drift mutation (demo: -verify-static catches it)")
-	workers := flag.Int("workers", runtime.NumCPU(),
-		"max concurrent simulation runs in campaigns (1 = sequential; output is identical either way)")
+	o := defineFlags(flag.CommandLine)
+	bench, mode, threads, seed, ops := o.bench, o.mode, o.threads, o.seed, o.ops
+	naive, lazy, trace, metricsOut, traceOut := o.naive, o.lazy, o.trace, o.metricsOut, o.traceOut
+	speedup, hardened, watchdog := o.speedup, o.hardened, o.watchdog
+	chaosRate, chaosAbort, chaosNT, chaosDrop, chaosJit := o.chaosRate, o.chaosAbort, o.chaosNT, o.chaosDrop, o.chaosJit
+	campaign, rates := o.campaign, o.rates
+	schedSpec, schedSeed, oracleOn, record := o.schedSpec, o.schedSeed, o.oracleOn, o.record
+	explore, exploreRuns, minimize, exploreOut := o.explore, o.exploreRuns, o.minimize, o.exploreOut
+	unsafeEarly, verifyStatic, injectDrift, workers := o.unsafeEarly, o.verifyStatic, o.injectDrift, o.workers
+	flag.Usage = func() { groupedUsage(flag.CommandLine) }
 	flag.Parse()
 	harness.SetWorkers(*workers)
 
@@ -126,7 +224,7 @@ func main() {
 
 	if *explore {
 		runExplore(*bench, *mode, *threads, *seed, *ops, *schedSpec,
-			*exploreRuns, *minimize, *exploreOut, *unsafeEarly, *hardened, cp)
+			*exploreRuns, *minimize, *exploreOut, *traceOut, *unsafeEarly, *hardened, cp)
 		return
 	}
 
@@ -192,12 +290,44 @@ func main() {
 		scfg := stagger.HardenedConfig(m)
 		rc.Stagger = &scfg
 	}
+	if *traceOut != "" {
+		if rc.TraceN == 0 {
+			rc.TraceN = -1 // whole run
+		}
+		rc.ExtTrace = true
+	}
 	res, err := harness.Run(rc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "staggersim:", err)
 		os.Exit(1)
 	}
-	printResult(res)
+	if *metricsOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(obs.Snapshot(res)); err != nil {
+			fmt.Fprintln(os.Stderr, "staggersim:", err)
+			os.Exit(1)
+		}
+	} else {
+		printResult(res)
+	}
+	if *traceOut != "" {
+		meta := obs.TraceMeta{
+			Benchmark: rc.Benchmark, Mode: m.String(), Threads: rc.Threads,
+			Seed: rc.Seed, Sched: rc.Sched, SchedSeed: rc.SchedSeed,
+			Extra: map[string]string{},
+		}
+		if cp != nil {
+			meta.Extra["chaos"] = fmt.Sprintf("abort=%g ntdelay=%g lockdrop=%g jitter=%g",
+				cp.AbortRate, cp.NTDelayRate, cp.LockDropRate, cp.JitterRate)
+		}
+		if err := writeTraceFile(*traceOut, meta, res.Trace); err != nil {
+			fmt.Fprintln(os.Stderr, "staggersim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace       %d events -> %s (load in Perfetto or chrome://tracing)\n",
+			len(res.Trace), *traceOut)
+	}
 	if *speedup {
 		s, _, err := harness.Speedup(rc)
 		if err != nil {
@@ -206,7 +336,7 @@ func main() {
 		}
 		fmt.Printf("\nspeedup over 1-thread sequential: %.2fx\n", s)
 	}
-	if len(res.Trace) > 0 {
+	if *trace > 0 && len(res.Trace) > 0 {
 		fmt.Printf("\ntrace (first %d events):\n%s", len(res.Trace), htm.FormatTrace(res.Trace))
 	}
 	if *record != "" {
@@ -251,7 +381,7 @@ func main() {
 // benchmarks (comma-separated), printing a per-benchmark summary and
 // exiting nonzero if any schedule produced a violation.
 func runExplore(benchList, mode string, threads int, seed int64, ops int,
-	spec string, runs int, minimize bool, outDir string, unsafeEarly, hardened bool,
+	spec string, runs int, minimize bool, outDir, traceOut string, unsafeEarly, hardened bool,
 	ccfg *chaos.Config) {
 	m, err := parseMode(mode)
 	if err != nil {
@@ -303,11 +433,88 @@ func runExplore(benchList, mode string, threads int, seed int64, ops int,
 					fmt.Printf("    trace -> %s (replay with -sched replay:%s)\n", path, path)
 				}
 			}
+			if traceOut != "" {
+				path := fmt.Sprintf("%s-%s-fail-%d.json", strings.TrimSuffix(traceOut, ".json"), bench, i)
+				if err := exportFailureTimeline(ec, &f, path); err != nil {
+					fmt.Fprintln(os.Stderr, "staggersim:", err)
+				} else {
+					fmt.Printf("    timeline -> %s (load in Perfetto)\n", path)
+				}
+			}
 		}
 	}
 	if anyFail {
 		os.Exit(1)
 	}
+}
+
+// exportFailureTimeline replays one exploration failure with extended
+// tracing and writes its Perfetto timeline. Replay uses the recorded
+// decision sequence (the minimized prefix when available), so the
+// timeline shows exactly the schedule the minimizer reduced the failure
+// to — tagged with the seeds needed to regenerate it from scratch.
+func exportFailureTimeline(ec harness.ExploreConfig, f *harness.ExploreFailure, path string) error {
+	spec, err := sched.Parse(exploreSpecOf(ec))
+	if err != nil {
+		return err
+	}
+	picks := f.Picks
+	tag := "full"
+	if f.Minimized != nil {
+		picks = f.Minimized
+		tag = "minimized"
+	}
+	rc := harness.RunConfig{
+		Benchmark:          ec.Benchmark,
+		Mode:               ec.Mode,
+		Threads:            ec.Threads,
+		Seed:               ec.Seed,
+		TotalOps:           ec.TotalOps,
+		Stagger:            ec.Stagger,
+		Chaos:              ec.Chaos,
+		Sched:              exploreSpecOf(ec),
+		ReplayPicks:        picks,
+		UnsafeEarlyRelease: ec.UnsafeEarlyRelease,
+		TraceN:             -1,
+		ExtTrace:           true,
+	}
+	res, err := harness.Run(rc)
+	if err != nil {
+		return err
+	}
+	meta := obs.TraceMeta{
+		Benchmark: ec.Benchmark, Mode: ec.Mode.String(), Threads: ec.Threads,
+		Seed: ec.Seed, Sched: exploreSpecOf(ec), SchedSeed: f.SchedSeed,
+		Extra: map[string]string{
+			"failure":        f.Err.Error(),
+			"replay":         tag,
+			"decision_count": fmt.Sprint(len(picks)),
+			"window":         fmt.Sprint(spec.Window),
+		},
+	}
+	return writeTraceFile(path, meta, res.Trace)
+}
+
+// exploreSpecOf mirrors the harness's default scheduler spec for
+// exploration campaigns.
+func exploreSpecOf(ec harness.ExploreConfig) string {
+	if ec.Spec == "" {
+		return "pct:3"
+	}
+	return ec.Spec
+}
+
+// writeTraceFile exports events as a Chrome trace-event file.
+func writeTraceFile(path string, meta obs.TraceMeta, events []htm.TraceEvent) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteTrace(out, meta, events); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }
 
 // runCampaign sweeps fault rates across benchmarks under the hardened

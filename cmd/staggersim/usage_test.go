@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+)
+
+// TestUsageCoversEveryFlag pins the -h text to the actual flag surface:
+// every defined flag must appear in exactly one usage group, and every
+// group entry must name a real flag. This is what keeps the usage text
+// from drifting as campaign flags accumulate.
+func TestUsageCoversEveryFlag(t *testing.T) {
+	fs := flag.NewFlagSet("staggersim", flag.ContinueOnError)
+	defineFlags(fs)
+
+	grouped := map[string]string{}
+	for _, g := range flagGroups {
+		for _, name := range g.names {
+			if prev, dup := grouped[name]; dup {
+				t.Errorf("flag -%s listed in both %q and %q", name, prev, g.title)
+			}
+			grouped[name] = g.title
+			if fs.Lookup(name) == nil {
+				t.Errorf("usage group %q lists -%s, which is not a defined flag", g.title, name)
+			}
+		}
+	}
+	fs.VisitAll(func(f *flag.Flag) {
+		if _, ok := grouped[f.Name]; !ok {
+			t.Errorf("flag -%s is defined but missing from every usage group (add it to flagGroups)", f.Name)
+		}
+	})
+}
+
+// TestGroupedUsageOutput checks the rendered help mentions each group
+// title and each flag name once.
+func TestGroupedUsageOutput(t *testing.T) {
+	fs := flag.NewFlagSet("staggersim", flag.ContinueOnError)
+	defineFlags(fs)
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	groupedUsage(fs)
+	help := buf.String()
+	for _, g := range flagGroups {
+		if !strings.Contains(help, g.title+":") {
+			t.Errorf("usage output missing group %q", g.title)
+		}
+		for _, name := range g.names {
+			if !strings.Contains(help, "-"+name) {
+				t.Errorf("usage output missing flag -%s", name)
+			}
+		}
+	}
+}

@@ -1,6 +1,6 @@
-// Package dsa implements the Data Structure Analysis the staggered-
-// transactions compiler pass relies on, after Lattner's DSA (used as a
-// black box in the paper).
+// Package dsa implements the Data Structure Analysis that the
+// staggered-transactions compiler pass relies on, after Lattner's DSA
+// (used as a black box in the paper).
 //
 // The analysis is a field-sensitive unification-based points-to analysis:
 // every pointer value has a target DSNode; loading or storing a pointer

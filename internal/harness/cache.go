@@ -34,7 +34,7 @@ var (
 // run-scoped side channels (trace capture, fault injection, watchdogs,
 // pick recording/replay, site recording) must execute for real every time.
 func cacheableKey(rc RunConfig) (cacheKey, bool) {
-	if rc.Machine != nil || rc.Stagger != nil || rc.TraceN > 0 ||
+	if rc.Machine != nil || rc.Stagger != nil || rc.TraceN != 0 || rc.ExtTrace ||
 		rc.Chaos != nil || rc.Watchdog != 0 || rc.WatchdogTrace != 0 ||
 		rc.Record || rc.ReplayPicks != nil || rc.UnsafeEarlyRelease ||
 		rc.SiteRecorder != nil {

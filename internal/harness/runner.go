@@ -10,6 +10,7 @@ import (
 	"repro/internal/anchor"
 	"repro/internal/chaos"
 	"repro/internal/htm"
+	"repro/internal/mem"
 	"repro/internal/oracle"
 	"repro/internal/sched"
 	"repro/internal/stagger"
@@ -38,8 +39,12 @@ type RunConfig struct {
 	// proposes.
 	Lazy bool
 	// TraceN records the first N transaction events (begin/commit/abort)
-	// for diagnostics; 0 disables tracing.
+	// for diagnostics; 0 disables tracing, negative records the whole run.
 	TraceN int
+	// ExtTrace additionally records extended observability events
+	// (advisory-lock acquire/release, irrevocable section boundaries) for
+	// timeline export (internal/obs). Requires TraceN != 0.
+	ExtTrace bool
 	// Machine optionally overrides the simulated machine configuration;
 	// nil uses the paper's Table 2 machine.
 	Machine *htm.Config
@@ -106,6 +111,13 @@ type Result struct {
 	// LA and LP report conflict locality: whether a single conflicting
 	// address (resp. anchor PC) dominates the run's conflicts (Table 1).
 	LA, LP bool
+
+	// ConfAddrs and ConfPCs are the full conflict-attribution histograms
+	// behind LA/LP: conflict aborts per conflicting line address and per
+	// true initial-access anchor site (internal/obs renders the top
+	// entries; LA/LP are their majority predicates).
+	ConfAddrs map[mem.Addr]int
+	ConfPCs   map[uint32]int
 
 	// Trace holds recorded transaction events when TraceN > 0.
 	Trace []htm.TraceEvent
@@ -206,8 +218,16 @@ func Run(rc RunConfig) (*Result, error) {
 	comp := anchor.Compile(w.Mod, aopts)
 
 	mach := htm.New(mcfg)
-	if rc.TraceN > 0 {
-		mach.EnableTrace(rc.TraceN)
+	if rc.TraceN != 0 {
+		limit := rc.TraceN
+		if limit < 0 {
+			limit = 0 // unlimited
+		}
+		if rc.ExtTrace {
+			mach.EnableTraceExt(limit)
+		} else {
+			mach.EnableTrace(limit)
+		}
 	}
 
 	var recorder *sched.Recorder
@@ -277,6 +297,8 @@ func Run(rc RunConfig) (*Result, error) {
 		Compiled:       comp,
 	}
 	res.LA, res.LP = rt.Locality()
+	res.ConfAddrs = rt.ConflictAddrs()
+	res.ConfPCs = rt.ConflictPCs()
 	res.PerAB = rt.PerAB()
 	res.Trace = mach.Trace()
 	if inj != nil {

@@ -31,6 +31,10 @@ const (
 	numAbortReasons
 )
 
+// NumAbortReasons is the number of distinct abort reasons, for sizing
+// per-reason counter arrays outside this package.
+const NumAbortReasons = int(numAbortReasons)
+
 // String implements fmt.Stringer.
 func (r AbortReason) String() string {
 	switch r {

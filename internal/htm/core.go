@@ -392,8 +392,18 @@ func (c *Core) NTLoad(a mem.Addr) uint64 {
 	c.stats.NTLoads++
 	line := mem.LineOf(a)
 	c.event()
-	c.clock += c.m.lookupLatency(c, line)
+	c.ntCharge(c.m.lookupLatency(c, line))
 	return c.m.Mem.Load(a)
+}
+
+// ntCharge advances the clock by an NT access latency, attributing it to
+// the NT-overhead counter when issued inside an atomic attempt (the cost
+// of advisory-lock traffic from transactional code).
+func (c *Core) ntCharge(lat uint64) {
+	if c.inAttempt {
+		c.stats.NTTxCycles += lat
+	}
+	c.clock += lat
 }
 
 // NTStore performs an immediate nontransactional store (ASF-style): the
@@ -407,7 +417,7 @@ func (c *Core) NTStore(a mem.Addr, v uint64) {
 	c.ntStoreConflicts(a)
 	c.ntFaultDelay()
 	c.m.invalidateOthers(mem.LineOf(a), c.id)
-	c.clock += c.m.lookupLatency(c, mem.LineOf(a))
+	c.ntCharge(c.m.lookupLatency(c, mem.LineOf(a)))
 	c.m.Mem.Store(a, v)
 	c.obsStore(mem.WordOf(a), v)
 }
@@ -422,7 +432,7 @@ func (c *Core) NTCas(a mem.Addr, old, new uint64) bool {
 	c.ntStoreConflicts(a)
 	c.ntFaultDelay()
 	c.m.invalidateOthers(mem.LineOf(a), c.id)
-	c.clock += c.m.lookupLatency(c, mem.LineOf(a))
+	c.ntCharge(c.m.lookupLatency(c, mem.LineOf(a)))
 	if c.m.Mem.Load(a) != old {
 		return false
 	}

@@ -102,6 +102,7 @@ func (c *Core) Atomic(opts AtomicOpts, hooks TxHooks, body func(*Core)) {
 	c.inAttempt = true
 	c.inIrrev = true
 	c.obsBeginSection()
+	c.Annotate(TraceIrrevBegin, 0)
 	start := c.clock
 	c.attemptWait = 0
 	body(c)
@@ -111,6 +112,7 @@ func (c *Core) Atomic(opts AtomicOpts, hooks TxHooks, body func(*Core)) {
 	if c.m.observer != nil {
 		c.obsEndSection(true, c.obsWrites)
 	}
+	c.Annotate(TraceIrrevEnd, 0)
 	c.inIrrev = false
 	c.inAttempt = false
 	if !opts.UnsafeEarlyRelease {

@@ -174,3 +174,40 @@ func TestHotPathSteadyStateAllocs(t *testing.T) {
 			perTx, shortTx, longTx)
 	}
 }
+
+// annotateStorm is handoffStorm with an observability annotation per
+// event — the shape the stagger lock paths produce. With no trace sink
+// enabled the annotations must be free.
+func annotateStorm(cores, eventsPerCore int) {
+	m := New(smallConfig(cores))
+	shared := m.Alloc.AllocLines(1)
+	bodies := make([]func(*Core), cores)
+	for i := range bodies {
+		bodies[i] = func(c *Core) {
+			for k := 0; k < eventsPerCore; k++ {
+				c.NTLoad(shared)
+				c.Annotate(TraceLockAcquire, shared)
+				c.Annotate(TraceLockRelease, shared)
+			}
+		}
+	}
+	m.Run(bodies)
+}
+
+// TestAnnotateDisabledAllocs asserts the observability hooks keep the
+// hot path's zero-allocation guarantee when tracing is off: runtimes
+// call Core.Annotate unconditionally, so with no sink it must cost a
+// cached-boolean test and nothing else.
+func TestAnnotateDisabledAllocs(t *testing.T) {
+	measure := func(eventsPerCore int) float64 {
+		return testing.AllocsPerRun(5, func() {
+			annotateStorm(4, eventsPerCore)
+		})
+	}
+	short, long := measure(500), measure(4000)
+	perEvent := (long - short) / float64(4*(4000-500))
+	if perEvent > 0.02 {
+		t.Fatalf("annotated steady-state allocations: %.4f per event (short=%.0f long=%.0f), want <= 0.02",
+			perEvent, short, long)
+	}
+}

@@ -40,6 +40,9 @@ type Machine struct {
 	GlobalLock mem.Addr
 
 	trace *traceBuf
+	// extTrace additionally records extended observability events (lock
+	// annotations, irrevocable boundaries); see EnableTraceExt.
+	extTrace bool
 	// lastEvents retains the trailing transaction events for the watchdog
 	// failure report; nil unless WatchdogCycles is configured.
 	lastEvents *traceRing

@@ -17,6 +17,26 @@ const (
 	numWaitKinds
 )
 
+// NumWaitKinds is the number of wait categories, for sizing per-kind
+// counter arrays outside this package.
+const NumWaitKinds = int(numWaitKinds)
+
+// String implements fmt.Stringer.
+func (k WaitKind) String() string {
+	switch k {
+	case WaitLock:
+		return "lock"
+	case WaitBackoff:
+		return "backoff"
+	case WaitGlobal:
+		return "global"
+	case WaitFault:
+		return "fault"
+	default:
+		return "wait(?)"
+	}
+}
+
 // CoreStats accumulates per-core counters over a simulation. All cycle
 // counts are in simulated cycles; µ-op counts follow the conventions of
 // the paper's Table 3 (one µ-op per memory access plus whatever compute
@@ -46,6 +66,12 @@ type CoreStats struct {
 	Uops uint64
 	// TxUops counts the subset of Uops issued inside transactions.
 	TxUops uint64
+	// NTTxCycles is the access latency of nontransactional loads, stores,
+	// and CASes issued inside atomic attempts — the cost of manipulating
+	// advisory locks and other NT side channels from transactional code.
+	// It is a sub-attribution of UsefulTxCycles/WastedTxCycles (those
+	// windows include it), not an additional category.
+	NTTxCycles uint64
 	// Loads, Stores, NTLoads, NTStores count memory accesses by kind.
 	Loads, Stores, NTLoads, NTStores uint64
 	// L1Hits, L2Hits, L3Hits, MemAccesses classify access latencies.
@@ -87,6 +113,7 @@ func (s *Stats) add(c *CoreStats) {
 	}
 	s.Uops += c.Uops
 	s.TxUops += c.TxUops
+	s.NTTxCycles += c.NTTxCycles
 	s.Loads += c.Loads
 	s.Stores += c.Stores
 	s.NTLoads += c.NTLoads

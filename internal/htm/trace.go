@@ -34,6 +34,22 @@ const (
 	TraceCommit
 	// TraceAbort marks an aborted attempt.
 	TraceAbort
+
+	// The kinds below are extended (observability) events. They are
+	// recorded only on machines with EnableTraceExt, so the default trace
+	// stream — and everything pinned to it, like the golden engine trace —
+	// is unchanged by their existence.
+
+	// TraceLockAcquire marks an advisory-lock acquisition; ConfAddr is the
+	// lock word's address.
+	TraceLockAcquire
+	// TraceLockRelease marks an advisory-lock release; ConfAddr is the
+	// lock word's address.
+	TraceLockRelease
+	// TraceIrrevBegin marks entry to an irrevocable (global-lock) section.
+	TraceIrrevBegin
+	// TraceIrrevEnd marks the end of an irrevocable section.
+	TraceIrrevEnd
 )
 
 // String implements fmt.Stringer.
@@ -45,6 +61,14 @@ func (k TraceKind) String() string {
 		return "commit"
 	case TraceAbort:
 		return "abort"
+	case TraceLockAcquire:
+		return "ab-acq"
+	case TraceLockRelease:
+		return "ab-rel"
+	case TraceIrrevBegin:
+		return "irrev"
+	case TraceIrrevEnd:
+		return "irrev-end"
 	default:
 		return fmt.Sprintf("TraceKind(%d)", uint8(k))
 	}
@@ -57,6 +81,31 @@ func (m *Machine) EnableTrace(limit int) {
 	m.trace = &traceBuf{limit: limit}
 	if limit > 0 {
 		m.trace.events = make([]TraceEvent, 0, limit)
+	}
+}
+
+// EnableTraceExt is EnableTrace plus the extended observability events:
+// advisory-lock acquire/release annotations (Core.Annotate) and
+// irrevocable section boundaries. Extended events exist for trace export
+// (internal/obs); machines without this call never record them, so the
+// baseline event stream is bit-identical whether the kinds exist or not.
+func (m *Machine) EnableTraceExt(limit int) {
+	m.EnableTrace(limit)
+	m.extTrace = true
+}
+
+// ExtTraceOn reports whether extended trace events are being recorded.
+func (m *Machine) ExtTraceOn() bool { return m.extTrace }
+
+// Annotate records an extended trace event at the core's current virtual
+// time. It is the hook higher-level runtimes (advisory locks in
+// internal/stagger) use to land their own lifecycle events in the same
+// deterministic stream as the hardware's begin/commit/abort. Without
+// EnableTraceExt it costs one cached-boolean test and no allocation, so
+// hot paths may call it unconditionally.
+func (c *Core) Annotate(kind TraceKind, addr mem.Addr) {
+	if c.traceOn && c.m.extTrace {
+		c.m.record(TraceEvent{Time: c.clock, Core: c.id, Kind: kind, ConfAddr: addr})
 	}
 }
 
@@ -79,6 +128,9 @@ func FormatTrace(events []TraceEvent) string {
 		case TraceAbort:
 			fmt.Fprintf(&b, "%10d core%-2d %-6s %-9s addr=%#x pc=%#x by=core%d\n",
 				e.Time, e.Core, e.Kind, e.Reason, uint64(e.ConfAddr), e.ConfPC, e.ByCore)
+		case TraceLockAcquire, TraceLockRelease:
+			fmt.Fprintf(&b, "%10d core%-2d %-6s lock=%#x\n",
+				e.Time, e.Core, e.Kind, uint64(e.ConfAddr))
 		default:
 			fmt.Fprintf(&b, "%10d core%-2d %-6s\n", e.Time, e.Core, e.Kind)
 		}

@@ -110,7 +110,10 @@ func (t *TxCtx) acquireLockFor(addr mem.Addr) {
 func (t *TxCtx) noteAcquired(lock mem.Addr, stamp uint64) {
 	t.locks = append(t.locks, lock)
 	t.lockVals = append(t.lockVals, stamp)
+	t.lockAt = append(t.lockAt, t.c.Now())
 	t.th.rt.Metrics.LocksAcquired++
+	t.th.rt.abMetrics(t.abc.ab).Locks++
+	t.c.Annotate(htm.TraceLockAcquire, lock)
 }
 
 // pollWait returns the next poll interval: the fixed LockSpin of the
@@ -150,7 +153,17 @@ func (t *TxCtx) releaseLock() {
 		// release and the next acquisition decides which waiter wins.
 		t.c.SchedPoint()
 	}
+	// Hold-time accounting uses the holding period's end as one instant
+	// (the clock does advance between the release stores of multiple
+	// locks, but attributing that drift would make the metric depend on
+	// release order for no insight).
+	now := t.c.Now()
 	for i, lock := range t.locks {
+		rt.Metrics.LockHoldCycles += now - t.lockAt[i]
+		// The annotation marks the end of this core's holding period even
+		// when the release itself is dropped by a fault or lost to lease
+		// reclamation — the exporter needs every hold interval closed.
+		t.c.Annotate(htm.TraceLockRelease, lock)
 		if rt.cfg.LockFaults != nil && rt.cfg.LockFaults.DropLockRelease(t.th.tid) {
 			continue
 		}
@@ -168,4 +181,5 @@ func (t *TxCtx) releaseLock() {
 	}
 	t.locks = t.locks[:0]
 	t.lockVals = t.lockVals[:0]
+	t.lockAt = t.lockAt[:0]
 }

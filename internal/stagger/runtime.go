@@ -53,11 +53,27 @@ type SiteRecorder interface {
 }
 
 // ABMetrics summarizes one atomic block's behaviour across all threads.
+// The cycle fields attribute the core-level breakdown (useful, wasted,
+// waiting) to the atomic block — the per-txSite view of the same totals
+// htm.CoreStats aggregates per core, computed as stat deltas around each
+// block instance so the two views always reconcile.
 type ABMetrics struct {
 	Name                               string
 	Commits, ConfAborts, Deep          uint64
 	Precise, Coarse, Promote, Training uint64
 	Locks                              uint64
+
+	// Aborts counts aborted attempts of this block by abort reason
+	// (indexed by htm.AbortReason).
+	Aborts [htm.NumAbortReasons]uint64
+
+	// UsefulCycles and WastedCycles split in-attempt time by outcome;
+	// LockWaitCycles, BackoffCycles, and GlobalWaitCycles are this block's
+	// share of the corresponding stall categories; NTTxCycles is its
+	// advisory-lock (NT access) overhead inside attempts.
+	UsefulCycles, WastedCycles                      uint64
+	LockWaitCycles, BackoffCycles, GlobalWaitCycles uint64
+	NTTxCycles                                      uint64
 }
 
 // PerAB returns per-atomic-block aggregates keyed by block ID.
@@ -94,6 +110,15 @@ type Metrics struct {
 	// the runtime-resolved anchor equals the true anchor of the initial
 	// access to the conflicting line (Table 3 "Accuracy").
 	AccHits, AccTotal uint64
+	// LockHoldCycles sums virtual cycles advisory locks were held, from
+	// the acquiring CAS to the release (or to the end of the instance for
+	// a lock lost to lease reclamation); LocksAcquired is the divisor for
+	// the mean hold time.
+	LockHoldCycles uint64
+	// ContendedCommits counts commits whose advisory lock had at least one
+	// waiter during the holding period — the serialization the locks
+	// actually imposed, as opposed to holds nobody contended.
+	ContendedCommits uint64
 	// SWMisses counts conflicts whose line had no software map entry
 	// (SW mode only).
 	SWMisses uint64
@@ -154,6 +179,28 @@ func (rt *Runtime) Thread(tid int) *Thread {
 		}
 	}
 	return rt.threads[tid]
+}
+
+// ConflictAddrs returns a copy of the conflicting-line-address histogram
+// (conflict aborts per line), the data behind Table 1's LA column and the
+// per-line abort attribution in the observability report.
+func (rt *Runtime) ConflictAddrs() map[mem.Addr]int {
+	out := make(map[mem.Addr]int, len(rt.confAddrs))
+	for a, n := range rt.confAddrs {
+		out[a] = n
+	}
+	return out
+}
+
+// ConflictPCs returns a copy of the conflicting-anchor histogram (conflict
+// aborts per true initial-access anchor site), the data behind Table 1's
+// LP column and the per-PC abort attribution in the observability report.
+func (rt *Runtime) ConflictPCs() map[uint32]int {
+	out := make(map[uint32]int, len(rt.confPCs))
+	for s, n := range rt.confPCs {
+		out[s] = n
+	}
+	return out
 }
 
 // Locality summarizes conflict-pattern locality over the whole run: la
@@ -306,6 +353,7 @@ func (th *Thread) Atomic(c *htm.Core, ab *prog.AtomicBlock, body func(tc *TxCtx)
 			tc.armedAnchor = abc.activeAnchor
 			tc.locks = tc.locks[:0]
 			tc.lockVals = tc.lockVals[:0]
+			tc.lockAt = tc.lockAt[:0]
 			if th.rt.cfg.Mode == ModeAddrOnly && abc.blockAddr != 0 {
 				// AddrOnly: one fixed ALP at the start of the block,
 				// precise mode only.
@@ -314,13 +362,18 @@ func (th *Thread) Atomic(c *htm.Core, ab *prog.AtomicBlock, body func(tc *TxCtx)
 			}
 		},
 		OnAbort: func(info htm.AbortInfo, attempt int) {
+			th.rt.abMetrics(ab).Aborts[info.Reason]++
 			tc.releaseLock()
 			th.rt.activate(tc, abc, info, attempt)
 		},
 		OnCommit: func(irrevocable bool) {
 			th.rt.abMetrics(ab).Commits++
 			abc.noteCommit(th.rt.cfg.RateWindow)
-			noContention := len(tc.locks) != 0 && !tc.lockContended()
+			contended := len(tc.locks) != 0 && tc.lockContended()
+			if contended {
+				th.rt.Metrics.ContendedCommits++
+			}
+			noContention := len(tc.locks) != 0 && !contended
 			tc.releaseLock()
 			if noContention {
 				// Shift an empty record into the history to decay stale
@@ -358,7 +411,24 @@ func (th *Thread) Atomic(c *htm.Core, ab *prog.AtomicBlock, body func(tc *TxCtx)
 			}
 		},
 	}
+	// Snapshot the core's cycle counters around the instance: the deltas
+	// are this atomic block's share of the machine-wide breakdown (pure
+	// accounting on already-maintained counters — no simulated events, so
+	// the schedule and all virtual times are unchanged).
+	st := c.Stats()
+	useful0, wasted0 := st.UsefulTxCycles, st.WastedTxCycles
+	lock0 := st.WaitCycles[htm.WaitLock]
+	back0 := st.WaitCycles[htm.WaitBackoff]
+	glob0 := st.WaitCycles[htm.WaitGlobal]
+	nt0 := st.NTTxCycles
 	c.Atomic(opts, hooks, func(core *htm.Core) {
 		body(tc)
 	})
+	abm := th.rt.abMetrics(ab)
+	abm.UsefulCycles += st.UsefulTxCycles - useful0
+	abm.WastedCycles += st.WastedTxCycles - wasted0
+	abm.LockWaitCycles += st.WaitCycles[htm.WaitLock] - lock0
+	abm.BackoffCycles += st.WaitCycles[htm.WaitBackoff] - back0
+	abm.GlobalWaitCycles += st.WaitCycles[htm.WaitGlobal] - glob0
+	abm.NTTxCycles += st.NTTxCycles - nt0
 }

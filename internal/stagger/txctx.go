@@ -20,9 +20,11 @@ type TxCtx struct {
 	armedAnchor uint32
 	// locks are the advisory lock words currently held; lockVals holds
 	// the exact stamp each was acquired with (for ownership-checked
-	// release under the lease scheme).
+	// release under the lease scheme); lockAt holds each acquisition's
+	// virtual time, for the hold-time metrics.
 	locks    []mem.Addr
 	lockVals []uint64
+	lockAt   []uint64
 }
 
 // Core returns the simulated core, for nontransactional side channels
