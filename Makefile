@@ -1,7 +1,8 @@
 GO ?= go
 
 .PHONY: help ci vet verify-static build test smoke explore-smoke paper \
-	race-equivalence bench bench-full bench-baseline docs-verify docs
+	race-equivalence bench bench-full bench-baseline docs-verify docs \
+	daemon-smoke
 
 # help lists every target with its one-line purpose (the `##` comment on
 # the target line). Run `make help` when lost.
@@ -13,8 +14,9 @@ help:
 # smoke (fault injection + verification on a representative cell), a
 # bounded schedule-exploration smoke (adversarial scheduler + oracle),
 # the IR-level static verification of every workload, the race-mode
-# parallel-sweep equivalence suite, and the generated-docs drift check.
-ci: vet build test smoke explore-smoke verify-static race-equivalence docs-verify ## full CI gate (all of the below)
+# parallel-sweep equivalence suite, the daemon lifecycle smoke, and the
+# generated-docs drift check.
+ci: vet build test smoke explore-smoke verify-static race-equivalence daemon-smoke docs-verify ## full CI gate (all of the below)
 
 # vet layers three static gates: formatting, the standard go vet, and
 # the repo's own staggervet analyzers (determinism, ntstore, siteattr).
@@ -39,6 +41,13 @@ test: ## go test ./...
 smoke: ## chaos smoke: fault injection + verification, one cell
 	$(GO) test ./internal/harness -run TestChaosSmoke -count=1
 
+# daemon-smoke boots the real staggerd on a kernel-assigned port with a
+# throwaway store, drives one paper-table job through the HTTP lifecycle
+# with staggerctl, proves a resubmission is served byte-identically from
+# the durable store, then SIGTERM-drains and requires a clean exit.
+daemon-smoke: ## staggerd lifecycle: submit over HTTP, store hit, SIGTERM drain
+	GO=$(GO) sh scripts/daemon_smoke.sh
+
 # explore-smoke runs 25 PCT(d=3) schedules per workload through the
 # serializability oracle on two representative cells; any violation fails.
 explore-smoke: ## 25 adversarial schedules per cell through the oracle
@@ -47,10 +56,15 @@ explore-smoke: ## 25 adversarial schedules per cell through the oracle
 
 # race-equivalence runs the determinism-equivalence suite (same results
 # and bytes at workers=1 and workers=4) under the race detector, so the
-# parallel sweep runner is checked for data races on every CI run.
-race-equivalence: ## determinism-equivalence suite under -race
+# parallel sweep runner is checked for data races on every CI run. The
+# service lifecycle tests (drain under a live chaos job, cancellation,
+# crash-restart durability) run here too: their goroutine-leak and
+# shutdown assertions are exactly the kind -race strengthens.
+race-equivalence: ## determinism-equivalence + service lifecycle under -race
 	$(GO) test -race ./internal/harness -count=1 \
-		-run 'TestDeterminism|TestTableOutputIdentical|TestChaosSweepIdentical|TestExploreIdentical|TestCacheShared|TestRunAllOrdering'
+		-run 'TestDeterminism|TestTableOutputIdentical|TestChaosSweepIdentical|TestExploreIdentical|TestCacheShared|TestRunAllOrdering|TestRunCtxCancel|TestRunAllCancel|TestRunAllContained'
+	$(GO) test -race ./internal/service -count=1 \
+		-run 'TestDrain|TestCancel|TestCrashRestart'
 
 # docs-verify regenerates the generated documentation sections — the
 # EXPERIMENTS.md abort-attribution appendix and the README.md repo map —

@@ -90,20 +90,7 @@ func groupedUsage(fs *flag.FlagSet) {
 	}
 }
 
-func parseMode(s string) (stagger.Mode, error) {
-	switch strings.ToLower(s) {
-	case "htm":
-		return stagger.ModeHTM, nil
-	case "addronly":
-		return stagger.ModeAddrOnly, nil
-	case "staggered+sw", "staggeredsw", "sw":
-		return stagger.ModeStaggeredSW, nil
-	case "staggered", "staggeredhw", "hw":
-		return stagger.ModeStaggeredHW, nil
-	default:
-		return 0, fmt.Errorf("unknown mode %q (htm, addronly, sw, staggered)", s)
-	}
-}
+func parseMode(s string) (stagger.Mode, error) { return stagger.ParseMode(s) }
 
 // opts holds every parsed flag. defineFlags registers all of them on
 // one FlagSet, so main (via flag.CommandLine) and the usage-coverage

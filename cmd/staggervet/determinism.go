@@ -11,7 +11,8 @@ import (
 // anything but its configuration and seed:
 //
 //   - wall-clock reads (time.Now / time.Since / time.Until) anywhere in
-//     the scanned tree — the simulator has its own virtual clock;
+//     the scanned tree except the service layer (wallClockExempt) — the
+//     simulator has its own virtual clock;
 //   - the global math/rand source (rand.Intn, rand.Seed, ...) anywhere —
 //     all randomness must flow from an engine-seeded *rand.Rand;
 //   - ranging over a map inside the deterministic core (internal/htm,
@@ -34,6 +35,19 @@ var mapRangeScope = map[string]bool{
 	"internal/dsa":    true,
 }
 
+// wallClockExempt is the service layer: the only packages permitted to
+// read the wall clock. Deadlines, retry backoff, drain grace, and client
+// polling are operational concerns of the daemon and its tools, and they
+// time the host, not the simulation. Everything below this boundary —
+// including the harness the daemon calls into — measures time only on
+// the simulator's virtual clock, so the waiver is deliberately a scoped
+// allow-list, not a per-call escape hatch.
+var wallClockExempt = map[string]bool{
+	"internal/service": true,
+	"cmd/staggerd":     true,
+	"cmd/staggerctl":   true,
+}
+
 // seededRandFuncs are the math/rand package-level functions that build
 // explicitly seeded generators rather than using the global source.
 var seededRandFuncs = map[string]bool{
@@ -43,7 +57,9 @@ var seededRandFuncs = map[string]bool{
 }
 
 func runDeterminism(pass *Pass) {
-	inScope := mapRangeScope[pkgRel(pass.PkgPath)]
+	rel := pkgRel(pass.PkgPath)
+	inScope := mapRangeScope[rel]
+	wallOK := wallClockExempt[rel]
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
@@ -52,7 +68,7 @@ func runDeterminism(pass *Pass) {
 				// through its selector identifier, so inspecting idents
 				// covers aliased and dot-imported uses alike.
 				if obj := pass.Info.Uses[n]; obj != nil {
-					checkDetObject(pass, n.Pos(), obj)
+					checkDetObject(pass, n.Pos(), obj, wallOK)
 				}
 			case *ast.RangeStmt:
 				if !inScope {
@@ -70,7 +86,7 @@ func runDeterminism(pass *Pass) {
 	}
 }
 
-func checkDetObject(pass *Pass, pos token.Pos, obj types.Object) {
+func checkDetObject(pass *Pass, pos token.Pos, obj types.Object, wallOK bool) {
 	fn, ok := obj.(*types.Func)
 	if !ok || fn.Pkg() == nil {
 		return
@@ -80,6 +96,9 @@ func checkDetObject(pass *Pass, pos token.Pos, obj types.Object) {
 	}
 	switch fn.Pkg().Path() {
 	case "time":
+		if wallOK {
+			return // service layer: wall-clock deadlines are its job
+		}
 		switch fn.Name() {
 		case "Now", "Since", "Until":
 			pass.Reportf(pos,

@@ -219,6 +219,48 @@ func Bad(m map[uint64]uint64) (s uint64) {
 	}
 }
 
+// TestWallClockWaiverScopedToServiceLayer pins the waiver boundary:
+// the same time.Now call is legal in the service layer (deadlines and
+// drain grace are operational, not simulated) and still flagged one
+// package below it — and the waiver does not leak to math/rand.
+func TestWallClockWaiverScopedToServiceLayer(t *testing.T) {
+	code, out := vet(t, map[string]string{
+		"internal/service/deadline.go": `package service
+
+import "time"
+
+func Deadline(grace time.Duration) time.Time { return time.Now().Add(grace) }
+`,
+		"internal/harness/stamp.go": `package harness
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	})
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if strings.Contains(out, "deadline.go") {
+		t.Fatalf("wall clock flagged inside the exempt service layer:\n%s", out)
+	}
+	if !strings.Contains(out, "stamp.go:5:") {
+		t.Fatalf("wall clock below the service layer not flagged:\n%s", out)
+	}
+
+	code, out = vet(t, map[string]string{
+		"internal/service/pick.go": `package service
+
+import "math/rand"
+
+func Pick() int { return rand.Intn(4) }
+`,
+	})
+	if code != 1 || !strings.Contains(out, "rand.Intn") {
+		t.Fatalf("global math/rand must stay banned in the service layer (exit %d):\n%s", code, out)
+	}
+}
+
 // TestRepoIsVetClean runs the real analyzers over the real repository:
 // the tree must stay free of determinism, ntstore, and siteattr
 // violations (this is `make vet` in test form).

@@ -1,6 +1,9 @@
 package harness
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Table and figure generators share experiment cells (Table 4's baseline
 // runs are Figure 7's denominators, for example). Because every run is
@@ -11,7 +14,17 @@ import "sync"
 // were simulating concurrently (TestCacheSharedAcrossWorkerCounts pins
 // this down).
 
+// CacheSchema versions the meaning of a cached result: bump it whenever
+// the simulation's observable output for an unchanged RunConfig changes
+// (new machine defaults, changed cycle accounting, new Result fields).
+// It is part of every in-process cache key and embedded in every durable
+// store key (internal/service), so entries written by an older schema
+// are simply never found — they age out as misses and are recomputed,
+// never deserialized under the wrong interpretation.
+const CacheSchema = 1
+
 type cacheKey struct {
+	schema    int
 	bench     string
 	mode      int
 	threads   int
@@ -43,16 +56,24 @@ func cacheableKey(rc RunConfig) (cacheKey, bool) {
 	if rc.Seed == 0 {
 		rc.Seed = 42 // match Run's default so keys are canonical
 	}
-	return cacheKey{rc.Benchmark, int(rc.Mode), rc.Threads, rc.Seed, rc.TotalOps, rc.Naive, rc.Lazy,
+	return cacheKey{CacheSchema, rc.Benchmark, int(rc.Mode), rc.Threads, rc.Seed, rc.TotalOps, rc.Naive, rc.Lazy,
 		rc.Sched, rc.SchedSeed, rc.Oracle}, true
 }
 
 // RunCached is Run with memoization over the default machine and runtime
 // configurations. Configs with overrides bypass the cache.
 func RunCached(rc RunConfig) (*Result, error) {
+	return RunCachedCtx(context.Background(), rc)
+}
+
+// RunCachedCtx is RunCached under a context: a cache hit returns
+// immediately regardless of ctx, a miss computes through RunCtx, and a
+// cancelled computation is never cached — the next caller recomputes, so
+// cancellation can never leave a partial or poisoned entry behind.
+func RunCachedCtx(ctx context.Context, rc RunConfig) (*Result, error) {
 	key, ok := cacheableKey(rc)
 	if !ok {
-		return Run(rc)
+		return RunCtx(ctx, rc)
 	}
 	cacheMu.Lock()
 	r, hit := cache[key]
@@ -60,7 +81,7 @@ func RunCached(rc RunConfig) (*Result, error) {
 	if hit {
 		return r, nil
 	}
-	r, err := Run(rc)
+	r, err := RunCtx(ctx, rc)
 	if err != nil {
 		return nil, err
 	}

@@ -226,7 +226,7 @@ func TestRunVerifiedRejectsInvariantFailure(t *testing.T) {
 	ClearCache()
 	defer ClearCache()
 	rc := RunConfig{Benchmark: "kmeans", Mode: stagger.ModeHTM, Threads: 2, Seed: 7, TotalOps: 100}
-	key := cacheKey{bench: rc.Benchmark, mode: int(rc.Mode), threads: rc.Threads,
+	key := cacheKey{schema: CacheSchema, bench: rc.Benchmark, mode: int(rc.Mode), threads: rc.Threads,
 		seed: rc.Seed, totalOps: rc.TotalOps}
 	cacheMu.Lock()
 	cache[key] = &Result{Config: rc, VerifyErr: errors.New("poisoned invariant")}

@@ -51,6 +51,12 @@ type ExploreConfig struct {
 
 	// Progress, if non-nil, is called after every run.
 	Progress func(run int, failed bool)
+
+	// Ctx, if non-nil, bounds the campaign: cancellation abandons in-flight
+	// runs at their next globally ordered events and aborts the campaign
+	// with an error wrapping ctx's error (the service layer's job deadlines
+	// and drain ride on this). Nil runs to completion, exactly as before.
+	Ctx context.Context
 }
 
 // ExploreFailure is one failing schedule, with enough to reproduce it.
@@ -151,8 +157,12 @@ func Explore(ec ExploreConfig) (*ExploreReport, error) {
 			WatchdogTrace:      wt,
 		}
 	}
+	ctx := ec.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	rep := &ExploreReport{Config: ec}
-	err = runAllOrdered(context.Background(), cfgs, Workers(), func(i int, o RunOutcome) error {
+	err = runAllOrdered(ctx, cfgs, Workers(), func(i int, o RunOutcome) error {
 		ss := cfgs[i].SchedSeed
 		if o.Err != nil {
 			return fmt.Errorf("harness: explore run %d (sched seed %d): %w", i, ss, o.Err)

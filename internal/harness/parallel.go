@@ -2,7 +2,9 @@ package harness
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -49,15 +51,54 @@ type RunOutcome struct {
 // runs (workers <= 0 uses the package default) and returns the outcomes
 // ordered by input index. Each cell goes through RunCached, so repeated
 // cells across sweeps are still memoized. Cancelling ctx skips cells
-// that have not started (their outcome carries ctx's error); cells
-// already simulating run to completion.
+// that have not started and abandons cells mid-simulation at their next
+// globally ordered event (both outcomes carry ctx's error), so a
+// cancelled sweep returns within roughly one simulated event, not after
+// draining the queue.
 func RunAll(ctx context.Context, cfgs []RunConfig, workers int) []RunOutcome {
+	return runAllCollect(ctx, cfgs, workers, false)
+}
+
+// RunAllContained is RunAll with per-cell fault containment: a panic
+// inside one cell's run (a poisoned config, a workload bug) becomes that
+// cell's *PanicError outcome instead of crashing the process. The
+// service layer runs client-supplied jobs through this entry point; the
+// CLI generators keep RunAll's fail-fast behaviour, where a panic is a
+// bug worth a stack trace.
+func RunAllContained(ctx context.Context, cfgs []RunConfig, workers int) []RunOutcome {
+	return runAllCollect(ctx, cfgs, workers, true)
+}
+
+func runAllCollect(ctx context.Context, cfgs []RunConfig, workers int, contain bool) []RunOutcome {
 	out := make([]RunOutcome, len(cfgs))
-	runAllOrdered(ctx, cfgs, workers, func(i int, o RunOutcome) error {
+	runAllOrderedOpt(ctx, cfgs, workers, contain, func(i int, o RunOutcome) error {
 		out[i] = o
 		return nil
 	})
 	return out
+}
+
+// PanicError is a panic captured from a contained run (RunAllContained).
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("harness: run panicked: %v", e.Value) }
+
+// runOne executes one cell, optionally converting a panic into an error
+// outcome. The recover sits here — around exactly one cell — so one
+// poisoned cell cannot take its worker, its sweep, or the process down.
+func runOne(ctx context.Context, rc RunConfig, contain bool) (o RunOutcome) {
+	if contain {
+		defer func() {
+			if r := recover(); r != nil {
+				o = RunOutcome{Err: &PanicError{Value: r, Stack: debug.Stack()}}
+			}
+		}()
+	}
+	o.Res, o.Err = RunCachedCtx(ctx, rc)
+	return o
 }
 
 // runAllOrdered is RunAll with streaming delivery: deliver is called once
@@ -67,6 +108,10 @@ func RunAll(ctx context.Context, cfgs []RunConfig, workers int) []RunOutcome {
 // exactly the historical sequential sweep — same goroutine, same order,
 // no pool.
 func runAllOrdered(ctx context.Context, cfgs []RunConfig, workers int, deliver func(int, RunOutcome) error) error {
+	return runAllOrderedOpt(ctx, cfgs, workers, false, deliver)
+}
+
+func runAllOrderedOpt(ctx context.Context, cfgs []RunConfig, workers int, contain bool, deliver func(int, RunOutcome) error) error {
 	n := len(cfgs)
 	if n == 0 {
 		return nil
@@ -83,7 +128,7 @@ func runAllOrdered(ctx context.Context, cfgs []RunConfig, workers int, deliver f
 			if err := ctx.Err(); err != nil {
 				o.Err = err
 			} else {
-				o.Res, o.Err = RunCached(rc)
+				o = runOne(ctx, rc, contain)
 			}
 			if err := deliver(i, o); err != nil {
 				return err
@@ -114,7 +159,7 @@ func runAllOrdered(ctx context.Context, cfgs []RunConfig, workers int, deliver f
 				if err := ctx.Err(); err != nil {
 					o.Err = err
 				} else {
-					o.Res, o.Err = RunCached(cfgs[i])
+					o = runOne(ctx, cfgs[i], contain)
 				}
 				ch <- completion{i, o}
 			}

@@ -5,6 +5,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/anchor"
@@ -180,7 +182,15 @@ func (r *Result) AnchorsPerTxn() float64 {
 }
 
 // Run executes one experiment cell.
-func Run(rc RunConfig) (*Result, error) {
+func Run(rc RunConfig) (*Result, error) { return RunCtx(context.Background(), rc) }
+
+// RunCtx is Run under a context. Cancelling ctx abandons the simulation
+// at the cores' next globally ordered events — within one event per
+// core, not after draining the workload — and returns an error wrapping
+// ctx's error; no partial Result escapes a cancelled run. A background
+// (never-cancelled) context takes the exact historical path: the
+// machine's cancellation hook stays unarmed and costs nothing.
+func RunCtx(ctx context.Context, rc RunConfig) (*Result, error) {
 	w, err := workloads.Get(rc.Benchmark)
 	if err != nil {
 		return nil, err
@@ -260,6 +270,14 @@ func Run(rc RunConfig) (*Result, error) {
 		rt.SetSiteRecorder(rc.SiteRecorder)
 	}
 
+	if done := ctx.Done(); done != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		stop := mach.CancelOn(done)
+		defer stop()
+	}
+
 	w.Setup(mach, rc.Seed)
 
 	// The oracle snapshots memory after setup so the shadow starts from the
@@ -281,6 +299,17 @@ func Run(rc RunConfig) (*Result, error) {
 		bodies[tid] = w.Body(rt, tid, rc.Threads, n, rc.Seed)
 	}
 	if err := mach.RunChecked(bodies); err != nil {
+		var ce *htm.CancelError
+		if errors.As(err, &ce) {
+			// Surface the context's error so callers can errors.Is it
+			// against context.Canceled / DeadlineExceeded.
+			cause := ctx.Err()
+			if cause == nil {
+				cause = err
+			}
+			return nil, fmt.Errorf("harness: %s (%s, %d threads): abandoned at cycle %d: %w",
+				rc.Benchmark, rc.Mode, rc.Threads, ce.Cycles, cause)
+		}
 		return nil, fmt.Errorf("harness: %s (%s, %d threads): %w",
 			rc.Benchmark, rc.Mode, rc.Threads, err)
 	}

@@ -1,0 +1,73 @@
+package htm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Run cancellation. A simulation is normally abandoned only by finishing
+// or by the virtual-time watchdog; a long-running service additionally
+// needs to abandon a run because the client hung up or a wall-clock
+// deadline passed. CancelOn arms a flag that every core consults at its
+// globally ordered events (the same points the watchdog checks), so a
+// cancelled machine unwinds within one event per core instead of
+// draining the whole workload. The flag is advisory and asynchronous —
+// WHERE in virtual time the run stops depends on wall-clock timing — but
+// that is safe because a cancelled run yields no Result at all: callers
+// get a *CancelError and nothing of the partial simulation escapes.
+//
+// Cost when unarmed: a single always-false branch on a bool the machine
+// owns, at watchdog-check sites only. No allocation, no atomics.
+
+// CancelError reports a run abandoned because CancelOn's done channel
+// closed mid-simulation.
+type CancelError struct {
+	// Core is the core that first observed the cancellation.
+	Core int
+	// Cycles is that core's virtual clock at the abandon point.
+	Cycles uint64
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("htm: run cancelled (core %d at cycle %d)", e.Core, e.Cycles)
+}
+
+// CancelOn arms run cancellation: once done is closed, every core
+// abandons the simulation at its next globally ordered event and
+// RunChecked returns a *CancelError. Call before Run; call the returned
+// stop function once Run has returned to release the watcher goroutine
+// (it is idempotent). A machine that never arms cancellation takes no
+// atomic operation on the hot path.
+func (m *Machine) CancelOn(done <-chan struct{}) (stop func()) {
+	if m.ran {
+		panic("htm: CancelOn after Run")
+	}
+	m.cancelArmed = true
+	quit := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+			m.cancelled.Store(true)
+		case <-quit:
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(quit) }) }
+}
+
+// cancelState is embedded in Machine: armed is written before Run and
+// only read afterwards; cancelled crosses goroutines and is atomic.
+type cancelState struct {
+	cancelArmed bool
+	cancelled   atomic.Bool
+}
+
+// checkCancel abandons the run once the armed flag fires. It runs at the
+// watchdog's check sites (every memory event and compute burst), so even
+// a compute-only livelock is cancellable.
+func (c *Core) checkCancel() {
+	if c.m.cancelArmed && c.m.cancelled.Load() {
+		panic(&CancelError{Core: c.id, Cycles: c.clock})
+	}
+}

@@ -1,0 +1,64 @@
+package htm
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestCancelOnAbandonsLivelock: a compute-only infinite loop can only be
+// ended by cancellation, so this test is deterministic proof that the
+// cancel flag is honored mid-run (it hangs forever on regression).
+func TestCancelOnAbandonsLivelock(t *testing.T) {
+	m := New(smallConfig(2))
+	done := make(chan struct{})
+	stop := m.CancelOn(done)
+	defer stop()
+	started := make(chan struct{})
+	go func() {
+		<-started
+		close(done)
+	}()
+	err := m.RunChecked([]func(*Core){
+		func(c *Core) {
+			close(started)
+			for {
+				c.Compute(64) // never yields an event; checkCancel runs here
+			}
+		},
+		func(c *Core) { c.Compute(8) },
+	})
+	var ce *CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("RunChecked = %v, want *CancelError", err)
+	}
+}
+
+// TestCancelOnUnfiredIsInvisible: arming cancellation without firing it
+// must not change the simulation in any way.
+func TestCancelOnUnfiredIsInvisible(t *testing.T) {
+	run := func(armed bool) Stats {
+		m := New(smallConfig(2))
+		if armed {
+			done := make(chan struct{})
+			stop := m.CancelOn(done)
+			defer stop()
+		}
+		a := m.Alloc.AllocLines(1)
+		body := func(c *Core) {
+			for i := 0; i < 50; i++ {
+				c.Atomic(DefaultAtomicOpts(), TxHooks{}, func(c *Core) {
+					v := c.Load(0x100, 1, a)
+					c.Compute(10)
+					c.Store(0x101, 2, a, v+1)
+				})
+			}
+		}
+		m.Run([]func(*Core){body, body})
+		return m.Stats()
+	}
+	plain, armed := run(false), run(true)
+	if plain.Makespan != armed.Makespan || plain.Commits != armed.Commits ||
+		plain.TotalAborts() != armed.TotalAborts() {
+		t.Fatalf("armed-but-unfired cancellation perturbed the run: %+v vs %+v", plain, armed)
+	}
+}

@@ -75,6 +75,7 @@ func (e *WatchdogError) Error() string {
 // bursts, so even a core that never performs another memory access cannot
 // spin forever.
 func (c *Core) checkWatchdog() {
+	c.checkCancel()
 	wd := c.m.cfg.WatchdogCycles
 	if wd == 0 || c.clock <= wd {
 		return

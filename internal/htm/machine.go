@@ -54,6 +54,9 @@ type Machine struct {
 	// observer is the installed correctness oracle (nil = no logging).
 	observer TxObserver
 	ran      bool
+
+	// cancelState arms caller-driven run abandonment (see cancel.go).
+	cancelState
 }
 
 // New builds a machine from cfg.
@@ -155,8 +158,11 @@ func (m *Machine) RunChecked(bodies []func(c *Core)) error {
 	m.eng.waitAll()
 	// Workload bugs outrank watchdog trips: once one core exceeds the
 	// cycle bound, its peers usually trip too, but a genuine panic is the
-	// root cause worth surfacing.
+	// root cause worth surfacing. Cancellation outranks the watchdog in
+	// turn — a cancelled run's cores may blow the cycle bound while they
+	// unwind, and the caller's hang-up is the root cause.
 	var wd *WatchdogError
+	var cancel *CancelError
 	for _, p := range panics {
 		switch v := p.(type) {
 		case nil:
@@ -164,9 +170,16 @@ func (m *Machine) RunChecked(bodies []func(c *Core)) error {
 			if wd == nil || v.Cycles < wd.Cycles {
 				wd = v
 			}
+		case *CancelError:
+			if cancel == nil || v.Cycles < cancel.Cycles {
+				cancel = v
+			}
 		default:
 			panic(p)
 		}
+	}
+	if cancel != nil {
+		return cancel
 	}
 	if wd != nil {
 		return wd

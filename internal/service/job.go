@@ -1,0 +1,471 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/harness"
+	"repro/internal/stagger"
+	"repro/internal/workloads"
+)
+
+// Job kinds. An empty kind is inferred: explore when the Explore field is
+// set, run for a single explicit cell, sweep otherwise.
+const (
+	KindRun     = "run"
+	KindSweep   = "sweep"
+	KindChaos   = "chaos"
+	KindExplore = "explore"
+)
+
+// chaosWatchdog bounds each fault-injected cell's virtual clock (the
+// ChaosSweep default): an injected livelock must fail loudly inside the
+// simulation — where the failure is deterministic and chaos-classified as
+// transient — instead of silently eating the job's wall-clock deadline.
+const chaosWatchdog = 200_000_000
+
+// CellSpec selects one simulation cell: the wire-level mirror of
+// harness.RunConfig restricted to the serializable surface. Every field
+// is deterministic simulation input, so a normalized CellSpec plus
+// harness.CacheSchema is a complete durable-store key.
+type CellSpec struct {
+	Bench     string  `json:"bench"`
+	Mode      string  `json:"mode,omitempty"`    // "" = "staggered" (see stagger.ParseMode)
+	Threads   int     `json:"threads,omitempty"` // 0 = 4
+	Seed      int64   `json:"seed,omitempty"`    // 0 = 42 (the harness default)
+	Ops       int     `json:"ops,omitempty"`     // 0 = the workload's default
+	Naive     bool    `json:"naive,omitempty"`
+	Lazy      bool    `json:"lazy,omitempty"`
+	Sched     string  `json:"sched,omitempty"`
+	SchedSeed int64   `json:"sched_seed,omitempty"`
+	Oracle    bool    `json:"oracle,omitempty"`
+	ChaosRate float64 `json:"chaos_rate,omitempty"`
+	ChaosSeed int64   `json:"chaos_seed,omitempty"` // 0 = Seed
+	Hardened  bool    `json:"hardened,omitempty"`
+	Watchdog  uint64  `json:"watchdog,omitempty"` // 0 = none (chaos cells: 200M)
+}
+
+// normalized applies the service defaults and canonicalizes the mode
+// token, so that equivalent spellings of one cell produce one store key.
+func (c CellSpec) normalized() (CellSpec, stagger.Mode, error) {
+	if c.Bench == "" {
+		return c, 0, errors.New("cell: bench is required")
+	}
+	if _, err := workloads.Get(c.Bench); err != nil {
+		return c, 0, fmt.Errorf("cell: %w", err)
+	}
+	if c.Mode == "" {
+		c.Mode = "staggered"
+	}
+	m, err := stagger.ParseMode(c.Mode)
+	if err != nil {
+		return c, 0, fmt.Errorf("cell: %w", err)
+	}
+	c.Mode = modeToken(m)
+	if c.Threads == 0 {
+		c.Threads = 4
+	}
+	if c.Threads < 0 {
+		return c, 0, fmt.Errorf("cell: threads %d must be positive", c.Threads)
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.ChaosRate < 0 || c.ChaosRate > 1 {
+		return c, 0, fmt.Errorf("cell: chaos_rate %g outside [0,1]", c.ChaosRate)
+	}
+	if c.ChaosRate > 0 {
+		if c.ChaosSeed == 0 {
+			c.ChaosSeed = c.Seed
+		}
+		if c.Watchdog == 0 {
+			c.Watchdog = chaosWatchdog
+		}
+	} else {
+		c.ChaosSeed = 0
+	}
+	return c, m, nil
+}
+
+// modeToken is the canonical wire spelling for each mode, the inverse of
+// stagger.ParseMode's preferred forms.
+func modeToken(m stagger.Mode) string {
+	switch m {
+	case stagger.ModeHTM:
+		return "htm"
+	case stagger.ModeAddrOnly:
+		return "addronly"
+	case stagger.ModeStaggeredSW:
+		return "sw"
+	default:
+		return "staggered"
+	}
+}
+
+// cellKey builds the durable-store key for a normalized cell. The
+// harness.CacheSchema prefix means a schema bump silently invalidates
+// every old entry: stale-format payloads are never found, they age out
+// as misses and are recomputed under the new schema.
+func cellKey(c CellSpec) string {
+	b, _ := json.Marshal(c) // CellSpec has fixed field order and no maps
+	return fmt.Sprintf("v%d|cell|%s", harness.CacheSchema, b)
+}
+
+// runConfig lowers a normalized cell to the harness.
+func runConfig(c CellSpec, m stagger.Mode) harness.RunConfig {
+	rc := harness.RunConfig{
+		Benchmark: c.Bench,
+		Mode:      m,
+		Threads:   c.Threads,
+		Seed:      c.Seed,
+		TotalOps:  c.Ops,
+		Naive:     c.Naive,
+		Lazy:      c.Lazy,
+		Sched:     c.Sched,
+		SchedSeed: c.SchedSeed,
+		Oracle:    c.Oracle,
+		Watchdog:  c.Watchdog,
+	}
+	if c.ChaosRate > 0 {
+		cc := chaos.Scaled(c.ChaosRate, c.ChaosSeed)
+		rc.Chaos = &cc
+	}
+	if c.Hardened {
+		sc := stagger.HardenedConfig(m)
+		rc.Stagger = &sc
+	}
+	return rc
+}
+
+// ExploreSpec is the wire form of a schedule-exploration campaign.
+type ExploreSpec struct {
+	Cell     CellSpec `json:"cell"`
+	Sched    string   `json:"sched,omitempty"` // "" = "pct:3"
+	Runs     int      `json:"runs,omitempty"`  // 0 = 100
+	Minimize bool     `json:"minimize,omitempty"`
+}
+
+func (e ExploreSpec) normalized() (ExploreSpec, stagger.Mode, error) {
+	cell, m, err := e.Cell.normalized()
+	if err != nil {
+		return e, 0, err
+	}
+	e.Cell = cell
+	if e.Sched == "" {
+		e.Sched = "pct:3"
+	}
+	if e.Runs <= 0 {
+		e.Runs = 100
+	}
+	return e, m, nil
+}
+
+func exploreKey(e ExploreSpec) string {
+	b, _ := json.Marshal(e)
+	return fmt.Sprintf("v%d|explore|%s", harness.CacheSchema, b)
+}
+
+// JobSpec is one submitted unit of work. Cells can be listed explicitly
+// or expanded as the cross product of Benchmarks x Modes x Threads x
+// Seeds (empty Benchmarks sweeps every workload, matching the chaos
+// campaign CLI); the chaos kind further crosses the base cells with
+// ChaosRates under the hardened runtime.
+type JobSpec struct {
+	Kind  string     `json:"kind,omitempty"`
+	Cells []CellSpec `json:"cells,omitempty"`
+
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	Modes      []string `json:"modes,omitempty"`   // empty = ["staggered"]
+	Threads    []int    `json:"threads,omitempty"` // empty = [4]
+	Seeds      []int64  `json:"seeds,omitempty"`   // empty = [42]
+	Ops        int      `json:"ops,omitempty"`
+
+	ChaosRates []float64 `json:"chaos_rates,omitempty"` // chaos kind; empty = [0.01]
+
+	Explore *ExploreSpec `json:"explore,omitempty"`
+
+	// TimeoutMS optionally tightens (never extends) the server's per-job
+	// wall-clock deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+func (spec JobSpec) timeout() time.Duration {
+	if spec.TimeoutMS <= 0 {
+		return 0
+	}
+	return time.Duration(spec.TimeoutMS) * time.Millisecond
+}
+
+// jobPlan is a validated, fully expanded JobSpec: everything the workers
+// need, computed once at admission so a malformed spec is a 400 at
+// submit, never a failed job.
+type jobPlan struct {
+	kind    string
+	cells   []harness.RunConfig
+	keys    []string
+	explore harness.ExploreConfig // kind == KindExplore only
+}
+
+func (spec JobSpec) plan(maxCells int) (*jobPlan, error) {
+	kind := spec.Kind
+	if kind == "" {
+		switch {
+		case spec.Explore != nil:
+			kind = KindExplore
+		case len(spec.Cells) == 1 && len(spec.Benchmarks) == 0:
+			kind = KindRun
+		default:
+			kind = KindSweep
+		}
+	}
+
+	if kind == KindExplore {
+		if spec.Explore == nil {
+			return nil, errors.New("explore job needs an explore spec")
+		}
+		e, m, err := spec.Explore.normalized()
+		if err != nil {
+			return nil, err
+		}
+		ec := harness.ExploreConfig{
+			Benchmark: e.Cell.Bench,
+			Mode:      m,
+			Threads:   e.Cell.Threads,
+			Seed:      e.Cell.Seed,
+			TotalOps:  e.Cell.Ops,
+			Spec:      e.Sched,
+			Runs:      e.Runs,
+			Minimize:  e.Minimize,
+		}
+		if e.Cell.Hardened {
+			sc := stagger.HardenedConfig(m)
+			ec.Stagger = &sc
+		}
+		if e.Cell.ChaosRate > 0 {
+			cc := chaos.Scaled(e.Cell.ChaosRate, e.Cell.ChaosSeed)
+			ec.Chaos = &cc
+		}
+		return &jobPlan{kind: kind, keys: []string{exploreKey(e)}, explore: ec}, nil
+	}
+
+	base := spec.Cells
+	if len(base) == 0 {
+		base = spec.product()
+	}
+	if kind == KindChaos {
+		rates := spec.ChaosRates
+		if len(rates) == 0 {
+			rates = []float64{0.01}
+		}
+		crossed := make([]CellSpec, 0, len(base)*len(rates))
+		for _, c := range base {
+			for _, r := range rates {
+				cc := c
+				cc.ChaosRate = r
+				cc.Hardened = true
+				crossed = append(crossed, cc)
+			}
+		}
+		base = crossed
+	}
+	if len(base) == 0 {
+		return nil, errors.New("job expands to zero cells")
+	}
+	if kind == KindRun && len(base) != 1 {
+		return nil, fmt.Errorf("run job must be exactly one cell, got %d", len(base))
+	}
+	if len(base) > maxCells {
+		return nil, fmt.Errorf("job expands to %d cells, limit %d", len(base), maxCells)
+	}
+
+	p := &jobPlan{kind: kind, cells: make([]harness.RunConfig, len(base)), keys: make([]string, len(base))}
+	for i, c := range base {
+		nc, m, err := c.normalized()
+		if err != nil {
+			return nil, fmt.Errorf("cell %d: %w", i, err)
+		}
+		p.cells[i] = runConfig(nc, m)
+		p.keys[i] = cellKey(nc)
+	}
+	return p, nil
+}
+
+// product expands the sweep axes into explicit cells.
+func (spec JobSpec) product() []CellSpec {
+	benches := spec.Benchmarks
+	if len(benches) == 0 {
+		benches = workloads.Names()
+	}
+	modes := spec.Modes
+	if len(modes) == 0 {
+		modes = []string{"staggered"}
+	}
+	threads := spec.Threads
+	if len(threads) == 0 {
+		threads = []int{4}
+	}
+	seeds := spec.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{42}
+	}
+	var out []CellSpec
+	for _, b := range benches {
+		for _, m := range modes {
+			for _, th := range threads {
+				for _, sd := range seeds {
+					out = append(out, CellSpec{Bench: b, Mode: m, Threads: th, Seed: sd, Ops: spec.Ops})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Job states.
+const (
+	JobQueued   = "queued"
+	JobRunning  = "running"
+	JobDone     = "done"
+	JobFailed   = "failed"
+	JobCanceled = "canceled"
+)
+
+// Job is one admitted unit of work. All mutable state is guarded by mu;
+// Done is closed exactly once, when the job reaches a terminal state.
+type Job struct {
+	id   string
+	spec JobSpec
+	plan *jobPlan
+
+	mu              sync.Mutex
+	state           string
+	err             string
+	attempts        int // retries consumed (0 = first attempt sufficed)
+	fromStore       int // cells served from the durable store
+	results         [][]byte
+	created         time.Time
+	started         time.Time
+	finished        time.Time
+	cancel          context.CancelFunc
+	cancelRequested atomic.Bool
+
+	done chan struct{}
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// JobStatus is the wire snapshot of a job.
+type JobStatus struct {
+	ID        string `json:"id"`
+	Kind      string `json:"kind"`
+	State     string `json:"state"`
+	Cells     int    `json:"cells"`
+	FromStore int    `json:"from_store"`
+	Retries   int    `json:"retries"`
+	Error     string `json:"error,omitempty"`
+	CreatedMS int64  `json:"created_ms,omitempty"`
+	WaitMS    int64  `json:"wait_ms,omitempty"`    // queued -> started
+	RunMS     int64  `json:"run_ms,omitempty"`     // started -> finished
+	Timeout   int64  `json:"timeout_ms,omitempty"` // effective deadline
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.id,
+		Kind:      j.plan.kind,
+		State:     j.state,
+		Cells:     len(j.plan.keys),
+		FromStore: j.fromStore,
+		Retries:   j.attempts,
+		Error:     j.err,
+		CreatedMS: j.created.UnixMilli(),
+	}
+	if !j.started.IsZero() {
+		st.WaitMS = j.started.Sub(j.created).Milliseconds()
+		if !j.finished.IsZero() {
+			st.RunMS = j.finished.Sub(j.started).Milliseconds()
+		}
+	}
+	return st
+}
+
+// markRunning claims the job for a worker; false means it was canceled
+// while queued and must be skipped without touching done.
+func (j *Job) markRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	return true
+}
+
+func (j *Job) setCancel(c context.CancelFunc) {
+	j.mu.Lock()
+	j.cancel = c
+	j.mu.Unlock()
+}
+
+func (j *Job) bumpRetries() {
+	j.mu.Lock()
+	j.attempts++
+	j.mu.Unlock()
+}
+
+func (j *Job) setResults(payloads [][]byte, fromStore int) {
+	j.mu.Lock()
+	j.results = payloads
+	j.fromStore = fromStore
+	j.mu.Unlock()
+}
+
+// finish moves a running job to a terminal state and releases waiters.
+func (j *Job) finish(state, errMsg string) {
+	j.mu.Lock()
+	j.state = state
+	j.err = errMsg
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// cancelQueued cancels a job that has not started; false means it is
+// running (or terminal) and the caller should cancel its context instead.
+func (j *Job) cancelQueued() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
+	j.state = JobCanceled
+	j.err = "canceled before start"
+	j.finished = time.Now()
+	close(j.done)
+	return true
+}
+
+// payloads returns the per-cell result payloads of a done job (nil
+// otherwise). The byte slices are the exact bytes stored durably.
+func (j *Job) payloads() [][]byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobDone {
+		return nil
+	}
+	return j.results
+}

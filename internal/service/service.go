@@ -1,0 +1,447 @@
+// Package service is the crash-safe simulation service behind cmd/staggerd:
+// an HTTP+JSON control plane over the deterministic harness. It accepts
+// run/sweep/chaos/explore jobs, executes them on a bounded worker pool
+// built on harness.RunAllContained, and serves every result from a
+// durable content-addressed store (internal/store), so identical
+// (config, seed) cells are byte-identical across clients and restarts.
+//
+// The robustness contract, in order of the failure-mode table in
+// DESIGN.md:
+//
+//   - overload: admission is a bounded queue; a full queue sheds the
+//     request with 429 + Retry-After instead of letting latency and
+//     memory grow without bound, and a draining server answers 503;
+//   - workload panics: contained per cell by harness.RunAllContained,
+//     so a poisoned job fails alone while its siblings and the daemon
+//     keep running;
+//   - runaway jobs: a per-job wall-clock deadline sits above the
+//     simulator's own virtual-time watchdog; either bound abandons the
+//     job promptly (the virtual one deterministically, the wall-clock
+//     one via context cancellation through harness.RunCtx);
+//   - transient faults: a job failing on a chaos-classified error (a
+//     watchdog trip on a fault-injected cell implicates the injected
+//     fault schedule, not the workload) is retried with capped
+//     exponential backoff and a reseeded fault schedule; deterministic
+//     failures are never retried, they would only repeat;
+//   - crashes: completed cells are durable before the job reports done
+//     (write-temp-fsync-rename), so a restarted daemon re-serves them
+//     byte-identically and a half-written entry is quarantined, costing
+//     one recompute and never a wrong answer;
+//   - shutdown: SIGTERM flips readiness, stops admission, lets in-flight
+//     jobs finish within a grace period, then cancels them; the process
+//     exits cleanly either way.
+//
+// Wall-clock time is deliberately confined to this layer (and the
+// binaries above it): deadlines, backoff, and drain grace are service
+// concerns. The simulation below remains purely virtual-time and
+// deterministic — staggervet enforces the boundary.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/store"
+)
+
+// ErrTransient classifies an execution failure as environmental rather
+// than deterministic: retrying with a reseeded fault schedule is
+// meaningful. The execution path wraps chaos-classified errors with it;
+// test seams can return it directly.
+var ErrTransient = errors.New("service: transient failure")
+
+// ErrDraining is returned by Submit once drain has begun (HTTP 503).
+var ErrDraining = errors.New("service: draining, not accepting jobs")
+
+// ErrQueueFull is returned by Submit when the admission queue is at
+// capacity (HTTP 429).
+var ErrQueueFull = errors.New("service: admission queue full")
+
+// Config tunes a Server. The zero value is usable: every field has a
+// default applied by New.
+type Config struct {
+	// JobWorkers is the number of jobs executing concurrently (default 2).
+	JobWorkers int
+	// QueueDepth bounds the admission queue (default 8); beyond it,
+	// Submit sheds load with ErrQueueFull.
+	QueueDepth int
+	// RunWorkers is the per-job sweep parallelism handed to the harness
+	// (default 0 = the harness package default).
+	RunWorkers int
+	// JobTimeout is the per-job wall-clock deadline (default 5m). A job's
+	// own timeout_ms can tighten it, never extend it.
+	JobTimeout time.Duration
+	// Grace is how long BeginDrain waits for in-flight jobs before
+	// cancelling them (default 10s).
+	Grace time.Duration
+	// MaxRetries bounds transient-failure retries per job (default 2).
+	MaxRetries int
+	// RetryBase and RetryCap shape the capped exponential backoff between
+	// retries (defaults 50ms and 2s).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// MaxCells bounds one job's expansion (default 512).
+	MaxCells int
+	// StoreDir roots the durable result store; "" keeps results in
+	// memory only (they die with the process).
+	StoreDir string
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+
+	// runAll is the execution seam tests use to inject failures; nil
+	// means harness.RunAllContained.
+	runAll func(ctx context.Context, cfgs []harness.RunConfig, workers int) []harness.RunOutcome
+}
+
+func (c *Config) defaults() {
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+	if c.Grace <= 0 {
+		c.Grace = 10 * time.Second
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 50 * time.Millisecond
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = 2 * time.Second
+	}
+	if c.MaxCells <= 0 {
+		c.MaxCells = 512
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	if c.runAll == nil {
+		c.runAll = harness.RunAllContained
+	}
+}
+
+// Server is the simulation service. Create with New, serve with
+// Handler, stop with BeginDrain (or Close, which also waits).
+type Server struct {
+	cfg   Config
+	store *store.Store // nil = memory-only
+
+	queue   chan *Job
+	admitMu sync.Mutex // serializes Submit against BeginDrain's queue close
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	workers    sync.WaitGroup
+	draining   atomic.Bool
+	drainOnce  sync.Once
+	drained    chan struct{}
+	start      time.Time
+
+	jobsMu sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order, for listing
+	nextID int
+
+	running  atomic.Int64
+	accepted atomic.Uint64
+	shedFull atomic.Uint64
+	shedGone atomic.Uint64
+	doneCnt  atomic.Uint64
+	failCnt  atomic.Uint64
+	cancCnt  atomic.Uint64
+	retryCnt atomic.Uint64
+	panicCnt atomic.Uint64
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) (*Server, error) {
+	cfg.defaults()
+	var st *store.Store
+	if cfg.StoreDir != "" {
+		var err error
+		st, err = store.Open(cfg.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		store:      st,
+		queue:      make(chan *Job, cfg.QueueDepth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		drained:    make(chan struct{}),
+		start:      time.Now(),
+		jobs:       map[string]*Job{},
+	}
+	for i := 0; i < cfg.JobWorkers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Store exposes the durable store (nil if the server is memory-only).
+func (s *Server) Store() *store.Store { return s.store }
+
+// Submit validates, expands, and enqueues a job. It never blocks: a full
+// queue returns ErrQueueFull and a draining server ErrDraining, so the
+// HTTP layer can map overload to 429/503 with Retry-After instead of
+// holding connections open.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	plan, err := spec.plan(s.cfg.MaxCells)
+	if err != nil {
+		return nil, err
+	}
+
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	if s.draining.Load() {
+		s.shedGone.Add(1)
+		return nil, ErrDraining
+	}
+	s.jobsMu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("job-%06d", s.nextID)
+	s.jobsMu.Unlock()
+	j := &Job{
+		id:      id,
+		spec:    spec,
+		plan:    plan,
+		state:   JobQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.shedFull.Add(1)
+		return nil, ErrQueueFull
+	}
+	s.jobsMu.Lock()
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.jobsMu.Unlock()
+	s.accepted.Add(1)
+	return j, nil
+}
+
+// Job looks up a job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs snapshots every job's status in submission order.
+func (s *Server) Jobs() []JobStatus {
+	s.jobsMu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.jobsMu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// CancelJob cancels a job: a queued job is terminally canceled in place
+// (its worker will skip it), a running one has its context cancelled and
+// finishes as canceled within about one simulated event.
+func (s *Server) CancelJob(id string) error {
+	j, ok := s.Job(id)
+	if !ok {
+		return fmt.Errorf("service: no job %q", id)
+	}
+	if j.cancelQueued() {
+		s.cancCnt.Add(1)
+		return nil
+	}
+	j.mu.Lock()
+	var cancel context.CancelFunc
+	if j.state == JobRunning {
+		j.cancelRequested.Store(true)
+		cancel = j.cancel
+	}
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return nil
+}
+
+// Ready reports whether the server accepts new jobs (false once drain
+// has begun — the /readyz signal load balancers act on).
+func (s *Server) Ready() bool { return !s.draining.Load() }
+
+// BeginDrain starts graceful shutdown: readiness flips immediately, no
+// further jobs are admitted, in-flight jobs get the configured grace to
+// finish, then their contexts are cancelled. It returns immediately and
+// is idempotent; Drained is closed when the pool has fully stopped.
+func (s *Server) BeginDrain() {
+	s.drainOnce.Do(func() {
+		s.admitMu.Lock()
+		s.draining.Store(true)
+		close(s.queue) // workers exit once the backlog is consumed
+		s.admitMu.Unlock()
+		s.cfg.Logf("staggerd: draining (grace %v)", s.cfg.Grace)
+		go func() {
+			idle := make(chan struct{})
+			go func() {
+				s.workers.Wait()
+				close(idle)
+			}()
+			select {
+			case <-idle:
+			case <-time.After(s.cfg.Grace):
+				s.cfg.Logf("staggerd: grace expired, cancelling in-flight jobs")
+				s.baseCancel()
+				<-idle
+			}
+			s.baseCancel() // release the context either way
+			close(s.drained)
+		}()
+	})
+}
+
+// Drained is closed when every worker has stopped after BeginDrain.
+func (s *Server) Drained() <-chan struct{} { return s.drained }
+
+// Close drains and waits for the pool to stop.
+func (s *Server) Close() {
+	s.BeginDrain()
+	<-s.drained
+}
+
+// Metrics is the service-level counter snapshot served by /metrics
+// alongside the store's own Stats.
+type Metrics struct {
+	Accepted     uint64       `json:"accepted"`
+	ShedFull     uint64       `json:"shed_queue_full"`
+	ShedDraining uint64       `json:"shed_draining"`
+	Done         uint64       `json:"done"`
+	Failed       uint64       `json:"failed"`
+	Canceled     uint64       `json:"canceled"`
+	Retries      uint64       `json:"retries"`
+	Panics       uint64       `json:"panics_contained"`
+	Queued       int          `json:"queued"`
+	Running      int          `json:"running"`
+	Draining     bool         `json:"draining"`
+	UptimeMS     int64        `json:"uptime_ms"`
+	Store        *store.Stats `json:"store,omitempty"`
+}
+
+// Metrics snapshots the service counters.
+func (s *Server) Metrics() Metrics {
+	m := Metrics{
+		Accepted:     s.accepted.Load(),
+		ShedFull:     s.shedFull.Load(),
+		ShedDraining: s.shedGone.Load(),
+		Done:         s.doneCnt.Load(),
+		Failed:       s.failCnt.Load(),
+		Canceled:     s.cancCnt.Load(),
+		Retries:      s.retryCnt.Load(),
+		Panics:       s.panicCnt.Load(),
+		Queued:       len(s.queue),
+		Running:      int(s.running.Load()),
+		Draining:     s.draining.Load(),
+		UptimeMS:     time.Since(s.start).Milliseconds(),
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		m.Store = &st
+	}
+	return m
+}
+
+// worker consumes the admission queue until it is closed and drained.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob drives one job through its deadline, retry, and terminal state.
+func (s *Server) runJob(j *Job) {
+	if !j.markRunning() {
+		return // canceled while queued
+	}
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	timeout := s.cfg.JobTimeout
+	if t := j.spec.timeout(); t > 0 && t < timeout {
+		timeout = t
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	defer cancel()
+	j.setCancel(cancel)
+
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = s.execute(ctx, j, attempt)
+		if err == nil {
+			j.finish(JobDone, "")
+			s.doneCnt.Add(1)
+			return
+		}
+		if ctx.Err() != nil || attempt >= s.cfg.MaxRetries || !errors.Is(err, ErrTransient) {
+			break
+		}
+		j.bumpRetries()
+		s.retryCnt.Add(1)
+		d := backoff(s.cfg.RetryBase, s.cfg.RetryCap, attempt)
+		s.cfg.Logf("staggerd: %s attempt %d failed transiently (%v), retrying in %v", j.id, attempt, err, d)
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+		case <-t.C:
+		}
+	}
+	if j.cancelRequested.Load() {
+		j.finish(JobCanceled, err.Error())
+		s.cancCnt.Add(1)
+		return
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		err = fmt.Errorf("deadline (%v) exceeded: %w", timeout, err)
+	}
+	j.finish(JobFailed, err.Error())
+	s.failCnt.Add(1)
+	s.cfg.Logf("staggerd: %s failed: %v", j.id, err)
+}
+
+// backoff is capped exponential: base<<attempt, clamped to cap. No
+// jitter on purpose — the daemon stays free of global randomness, and
+// with a bounded worker pool there is no thundering herd to break up.
+func backoff(base, limit time.Duration, attempt int) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < limit; i++ {
+		d *= 2
+	}
+	if d > limit {
+		d = limit
+	}
+	return d
+}

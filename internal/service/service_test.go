@@ -1,0 +1,420 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/htm"
+)
+
+// tinySpec is a cell cheap enough for unit tests (a few ms of simulation).
+func tinySpec(seed int64) JobSpec {
+	return JobSpec{Cells: []CellSpec{{Bench: "list-hi", Mode: "staggered", Threads: 2, Seed: seed, Ops: 200}}}
+}
+
+func newT(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func waitJob(t *testing.T, j *Job) JobStatus {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job %s did not finish", j.ID())
+	}
+	return j.Status()
+}
+
+// waitState polls until the job reaches the given state.
+func waitState(t *testing.T, j *Job, state string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for j.Status().State != state {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want %s", j.ID(), j.Status().State, state)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := newT(t, Config{})
+	for _, bad := range []JobSpec{
+		{Cells: []CellSpec{{}}},                               // missing bench
+		{Cells: []CellSpec{{Bench: "nope"}}},                  // unknown bench
+		{Cells: []CellSpec{{Bench: "list-hi", Mode: "warp"}}}, // unknown mode
+		{Cells: []CellSpec{{Bench: "list-hi", ChaosRate: 2}}}, // rate outside [0,1]
+		{Kind: KindExplore},                                   // explore without spec
+		{Kind: KindRun, Cells: []CellSpec{{Bench: "list-hi"}, {Bench: "list-hi"}}},
+		{Kind: KindSweep, Seeds: make([]int64, 600)}, // exceeds MaxCells
+	} {
+		if _, err := s.Submit(bad); err == nil {
+			t.Errorf("Submit(%+v) accepted, want error", bad)
+		}
+	}
+}
+
+func TestRunJobEndToEndOverHTTP(t *testing.T) {
+	s := newT(t, Config{StoreDir: t.TempDir()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(tinySpec(7))
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	j, ok := s.Job(st.ID)
+	if !ok {
+		t.Fatalf("job %s not registered", st.ID)
+	}
+	if got := waitJob(t, j); got.State != JobDone {
+		t.Fatalf("job ended %s (%s)", got.State, got.Error)
+	}
+
+	cell, err := http.Get(ts.URL + "/jobs/" + st.ID + "/cells/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cell.Body.Close()
+	var cr CellResult
+	if err := json.NewDecoder(cell.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Report == nil || cr.Report.Benchmark != "list-hi" || cr.Report.Commits == 0 {
+		t.Fatalf("cell payload %+v lacks a real report", cr)
+	}
+	if !strings.HasPrefix(cr.Key, fmt.Sprintf("v%d|cell|", harness.CacheSchema)) {
+		t.Fatalf("key %q not schema-tagged", cr.Key)
+	}
+
+	res, err := http.Get(ts.URL + "/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var cells []CellResult
+	if err := json.NewDecoder(res.Body).Decode(&cells); err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("result has %d cells, want 1", len(cells))
+	}
+}
+
+func TestByteIdenticalAcrossClients(t *testing.T) {
+	s := newT(t, Config{StoreDir: t.TempDir()})
+	j1, err := s.Submit(tinySpec(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitJob(t, j1); st.State != JobDone || st.FromStore != 0 {
+		t.Fatalf("first job: %+v", st)
+	}
+	j2, err := s.Submit(tinySpec(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitJob(t, j2); st.State != JobDone || st.FromStore != 1 {
+		t.Fatalf("second job should be served from the store: %+v", st)
+	}
+	if !bytes.Equal(j1.payloads()[0], j2.payloads()[0]) {
+		t.Fatal("two clients saw different bytes for one cell")
+	}
+}
+
+// blockingSeam builds a runAll seam that parks every call until release
+// is closed (or the ctx dies), so tests can hold workers busy.
+func blockingSeam(release <-chan struct{}) func(context.Context, []harness.RunConfig, int) []harness.RunOutcome {
+	return func(ctx context.Context, cfgs []harness.RunConfig, _ int) []harness.RunOutcome {
+		out := make([]harness.RunOutcome, len(cfgs))
+		select {
+		case <-release:
+		case <-ctx.Done():
+			for i := range out {
+				out[i].Err = ctx.Err()
+			}
+			return out
+		}
+		for i := range out {
+			out[i].Res = &harness.Result{}
+		}
+		return out
+	}
+}
+
+func TestAdmissionShedsWhenFull(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	s := newT(t, Config{JobWorkers: 1, QueueDepth: 2, Grace: 100 * time.Millisecond, runAll: blockingSeam(release)})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Occupy the single worker, then fill every queue slot.
+	j0, err := s.Submit(tinySpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j0, JobRunning)
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(tinySpec(int64(i + 2))); err != nil {
+			t.Fatalf("queue slot %d: %v", i, err)
+		}
+	}
+	// Worker busy + queue full: the next submission must shed.
+	if _, err := s.Submit(tinySpec(40)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("full queue Submit = %v, want ErrQueueFull", err)
+	}
+
+	body, _ := json.Marshal(tinySpec(50))
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded submit = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if m := s.Metrics(); m.ShedFull == 0 {
+		t.Fatalf("metrics %+v did not count shed load", m)
+	}
+}
+
+func TestTransientFailureRetriedWithBackoff(t *testing.T) {
+	calls := 0
+	seam := func(ctx context.Context, cfgs []harness.RunConfig, _ int) []harness.RunOutcome {
+		calls++
+		out := make([]harness.RunOutcome, len(cfgs))
+		if calls == 1 {
+			out[0].Err = fmt.Errorf("%w: injected", ErrTransient)
+			return out
+		}
+		for i := range out {
+			out[i].Res = &harness.Result{}
+		}
+		return out
+	}
+	s := newT(t, Config{MaxRetries: 2, RetryBase: time.Millisecond, RetryCap: 4 * time.Millisecond, runAll: seam})
+	j, err := s.Submit(tinySpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, j)
+	if st.State != JobDone || st.Retries != 1 || calls != 2 {
+		t.Fatalf("state %s retries %d calls %d, want done/1/2", st.State, st.Retries, calls)
+	}
+	if m := s.Metrics(); m.Retries != 1 {
+		t.Fatalf("metrics %+v, want Retries=1", m)
+	}
+}
+
+func TestPermanentFailureIsNotRetried(t *testing.T) {
+	calls := 0
+	seam := func(ctx context.Context, cfgs []harness.RunConfig, _ int) []harness.RunOutcome {
+		calls++
+		out := make([]harness.RunOutcome, len(cfgs))
+		out[0].Err = errors.New("deterministic failure")
+		return out
+	}
+	s := newT(t, Config{MaxRetries: 3, RetryBase: time.Millisecond, runAll: seam})
+	j, err := s.Submit(tinySpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, j)
+	if st.State != JobFailed || calls != 1 {
+		t.Fatalf("state %s after %d calls, want failed after exactly 1", st.State, calls)
+	}
+}
+
+// TestChaosWatchdogClassifiedTransient pins the chaos classification
+// rule: the same watchdog trip is transient on a fault-injected cell and
+// permanent on a clean one.
+func TestChaosWatchdogClassifiedTransient(t *testing.T) {
+	s := newT(t, Config{})
+	we := fmt.Errorf("harness: list-hi: %w", &htm.WatchdogError{Core: 1, Cycles: 9, Limit: 8})
+	chaosCell := tinySpec(1).Cells[0]
+	chaosCell.ChaosRate = 0.01
+	nc, m, err := chaosCell.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.classify(we, runConfig(nc, m)); !errors.Is(got, ErrTransient) {
+		t.Fatalf("chaos watchdog trip classified %v, want transient", got)
+	}
+	clean, m2, _ := tinySpec(1).Cells[0].normalized()
+	if got := s.classify(we, runConfig(clean, m2)); errors.Is(got, ErrTransient) {
+		t.Fatal("fault-free watchdog trip classified transient")
+	}
+}
+
+// TestRetrySaltReseedsOnlyChaos: the retry salt must change the fault
+// schedule and nothing else.
+func TestRetrySaltReseedsOnlyChaos(t *testing.T) {
+	cell := CellSpec{Bench: "list-hi", ChaosRate: 0.01, Seed: 5}
+	nc, m, err := cell.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := runConfig(nc, m)
+	salted := saltRetry(rc, 2)
+	if salted.Chaos.Seed == rc.Chaos.Seed {
+		t.Fatal("retry did not reseed the fault schedule")
+	}
+	if salted.Seed != rc.Seed || salted.Benchmark != rc.Benchmark {
+		t.Fatal("retry changed the workload, not just the faults")
+	}
+	if clean := saltRetry(harness.RunConfig{Benchmark: "x"}, 3); clean.Chaos != nil {
+		t.Fatal("salt invented a chaos config")
+	}
+}
+
+func TestJobDeadlineFailsJob(t *testing.T) {
+	s := newT(t, Config{runAll: blockingSeam(nil)}) // blocks until ctx dies
+	spec := tinySpec(1)
+	spec.TimeoutMS = 50
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, j)
+	if st.State != JobFailed || !strings.Contains(st.Error, "deadline") {
+		t.Fatalf("deadline job ended %s (%q), want failed with deadline", st.State, st.Error)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	s := newT(t, Config{runAll: blockingSeam(nil)})
+	j, err := s.Submit(tinySpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until a worker picks it up, then cancel.
+	deadline := time.Now().Add(5 * time.Second)
+	for j.Status().State == JobQueued {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.CancelJob(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if st := waitJob(t, j); st.State != JobCanceled {
+		t.Fatalf("cancelled job ended %s", st.State)
+	}
+}
+
+func TestCancelQueuedJobNeverRuns(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	s := newT(t, Config{JobWorkers: 1, QueueDepth: 4, runAll: blockingSeam(release)})
+	if _, err := s.Submit(tinySpec(1)); err != nil { // occupies the worker
+		t.Fatal(err)
+	}
+	j, err := s.Submit(tinySpec(2)) // stays queued
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CancelJob(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if st := waitJob(t, j); st.State != JobCanceled {
+		t.Fatalf("queued-cancel ended %s", st.State)
+	}
+}
+
+// TestResultEndpointStates walks the non-done answers of the result API.
+func TestResultEndpointStates(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	s := newT(t, Config{JobWorkers: 1, runAll: blockingSeam(release)})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/jobs/job-999999/result"); code != http.StatusNotFound {
+		t.Fatalf("unknown job result = %d, want 404", code)
+	}
+	j, err := s.Submit(tinySpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := get("/jobs/" + j.ID() + "/result"); code != http.StatusAccepted {
+		t.Fatalf("pending result = %d, want 202", code)
+	}
+}
+
+func TestExploreJobRunsAndIsDurable(t *testing.T) {
+	s := newT(t, Config{StoreDir: t.TempDir()})
+	spec := JobSpec{Explore: &ExploreSpec{
+		Cell: CellSpec{Bench: "list-hi", Threads: 2, Ops: 120},
+		Runs: 3,
+	}}
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, j)
+	if st.State != JobDone || st.Kind != KindExplore {
+		t.Fatalf("explore job: %+v", st)
+	}
+	var er ExploreResult
+	if err := json.Unmarshal(j.payloads()[0], &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Runs != 3 || er.Commits == 0 {
+		t.Fatalf("explore result %+v, want 3 runs with commits", er)
+	}
+	// Resubmission is served from the store, byte-identically.
+	j2, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitJob(t, j2); st.FromStore != 1 {
+		t.Fatalf("explore rerun not served from store: %+v", st)
+	}
+	if !bytes.Equal(j.payloads()[0], j2.payloads()[0]) {
+		t.Fatal("explore payload differed across submissions")
+	}
+}

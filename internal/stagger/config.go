@@ -5,6 +5,11 @@
 // (precise, coarse-grain, locking promotion, training).
 package stagger
 
+import (
+	"fmt"
+	"strings"
+)
+
 // Mode selects which system runs — the four bars of Figure 7.
 type Mode uint8
 
@@ -38,6 +43,25 @@ func (m Mode) String() string {
 		return "Staggered"
 	default:
 		return "Mode(?)"
+	}
+}
+
+// ParseMode parses the user-facing spelling of a mode, shared by the
+// CLI flags and the service API: "htm", "addronly", "sw" (also
+// "staggeredsw", "staggered+sw"), "staggered" (also "hw", "staggeredhw").
+// Matching is case-insensitive.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(s) {
+	case "htm":
+		return ModeHTM, nil
+	case "addronly":
+		return ModeAddrOnly, nil
+	case "staggered+sw", "staggeredsw", "sw":
+		return ModeStaggeredSW, nil
+	case "staggered", "staggeredhw", "hw":
+		return ModeStaggeredHW, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (htm, addronly, sw, staggered)", s)
 	}
 }
 

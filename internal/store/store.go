@@ -1,0 +1,304 @@
+// Package store is a crash-safe, content-addressed result store: the
+// durable generalization of the harness's in-process memoization cache.
+// Entries are keyed by a canonical key string (the service layer builds
+// it from the job's full configuration plus harness.CacheSchema), and
+// because every simulation is a pure function of that configuration, a
+// stored payload can be served byte-identically to any client, across
+// daemon restarts, forever — or until the schema embedded in the key
+// changes, at which point old entries are simply never found again and
+// age out as misses.
+//
+// Crash safety is the whole point of the design:
+//
+//   - writes go to a temp file in the same directory and are fsynced
+//     before an atomic rename, so a crash mid-Put leaves either the old
+//     state or the new state, never a torn entry under the live name;
+//   - reads verify a magic header, the format version, the stored key
+//     (hash collisions or hand-misplaced files), the payload length,
+//     and a SHA-256 checksum before returning a byte;
+//   - an entry failing any of those checks is quarantined — moved aside
+//     into quarantine/ with a reason suffix, preserved for forensics —
+//     and reported as a miss, so the caller transparently recomputes
+//     and rewrites it. Corruption costs one recompute, never a wrong
+//     answer and never an unservable key.
+package store
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// FormatVersion is the on-disk entry container version. Entries written
+// under any other version are quarantined on read (reason "version") and
+// recomputed; they are never decoded under the wrong layout.
+const FormatVersion = 1
+
+// magic is the first header token of every entry file.
+const magic = "staggerstore"
+
+// ErrNotFound is returned by Get when the key has no usable entry —
+// including when an entry existed but failed verification and was
+// quarantined (the *CorruptError is wrapped alongside it).
+var ErrNotFound = errors.New("store: not found")
+
+// CorruptError describes an entry that failed verification and was
+// moved to quarantine.
+type CorruptError struct {
+	Key    string
+	Path   string // quarantine location (empty if the move itself failed)
+	Reason string // "magic", "version", "key", "length", "checksum", "header"
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("store: entry for %q corrupt (%s), quarantined to %s", e.Key, e.Reason, e.Path)
+}
+
+// Stats counts store traffic since Open.
+type Stats struct {
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Puts        uint64 `json:"puts"`
+	Quarantined uint64 `json:"quarantined"`
+	Entries     int    `json:"entries"` // on disk right now
+}
+
+// Store is a durable key→payload map under one root directory. All
+// methods are safe for concurrent use; cross-process writers are safe
+// against each other thanks to the temp+rename protocol (last writer
+// wins with a complete entry, which for deterministic payloads is the
+// same bytes anyway).
+type Store struct {
+	root string
+
+	mu sync.Mutex // serializes multi-step filesystem transitions (quarantine moves)
+
+	hits, misses, puts, quarantined atomic.Uint64
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	for _, sub := range []string{objectsDir, quarantineDir} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: open %s: %w", dir, err)
+		}
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+const (
+	objectsDir    = "objects"
+	quarantineDir = "quarantine"
+)
+
+// entryPath maps a key to its object file: content-addressed by the
+// SHA-256 of the key string, so arbitrary key text never meets the
+// filesystem's name rules.
+func (s *Store) entryPath(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.root, objectsDir, hex.EncodeToString(sum[:])+".entry")
+}
+
+// Put durably stores payload under key: write to a temp file in the
+// objects directory, fsync, then atomically rename over the live name.
+// Re-putting an existing key overwrites it whole (deterministic payloads
+// make this a byte-level no-op; it also self-heals a quarantined key).
+func (s *Store) Put(key string, payload []byte) error {
+	dir := filepath.Join(s.root, objectsDir)
+	tmp, err := os.CreateTemp(dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: put %q: %w", key, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	sum := sha256.Sum256(payload)
+	w := bufio.NewWriter(tmp)
+	fmt.Fprintf(w, "%s %d\n", magic, FormatVersion)
+	fmt.Fprintf(w, "key %s\n", encodeKey(key))
+	fmt.Fprintf(w, "sha256 %s\n", hex.EncodeToString(sum[:]))
+	fmt.Fprintf(w, "bytes %d\n\n", len(payload))
+	w.Write(payload)
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: put %q: %w", key, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: put %q: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: put %q: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), s.entryPath(key)); err != nil {
+		return fmt.Errorf("store: put %q: %w", key, err)
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// Get returns the payload stored under key. A missing entry returns
+// ErrNotFound; an entry that fails verification is quarantined and the
+// error wraps both ErrNotFound and the *CorruptError, so callers can
+// treat every non-nil error as "recompute" while still logging why.
+func (s *Store) Get(key string) ([]byte, error) {
+	path := s.entryPath(key)
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			s.misses.Add(1)
+			return nil, ErrNotFound
+		}
+		return nil, fmt.Errorf("store: get %q: %w", key, err)
+	}
+	payload, reason := readEntry(f, key)
+	f.Close()
+	if reason != "" {
+		ce := &CorruptError{Key: key, Reason: reason}
+		ce.Path = s.quarantine(path, reason)
+		s.quarantined.Add(1)
+		s.misses.Add(1)
+		return nil, fmt.Errorf("%w: %w", ErrNotFound, ce)
+	}
+	s.hits.Add(1)
+	return payload, nil
+}
+
+// readEntry parses and verifies one entry stream. It returns the payload
+// or a non-empty corruption reason.
+func readEntry(f io.Reader, key string) ([]byte, string) {
+	r := bufio.NewReader(f)
+	line := func() (string, bool) {
+		l, err := r.ReadString('\n')
+		if err != nil {
+			return "", false
+		}
+		return strings.TrimSuffix(l, "\n"), true
+	}
+	head, ok := line()
+	if !ok {
+		return nil, "header"
+	}
+	gotMagic, gotVer, found := strings.Cut(head, " ")
+	if !found || gotMagic != magic {
+		return nil, "magic"
+	}
+	if v, err := strconv.Atoi(gotVer); err != nil || v != FormatVersion {
+		return nil, "version"
+	}
+	keyLine, ok := line()
+	if !ok || !strings.HasPrefix(keyLine, "key ") {
+		return nil, "header"
+	}
+	if decodeKey(strings.TrimPrefix(keyLine, "key ")) != key {
+		return nil, "key"
+	}
+	sumLine, ok := line()
+	if !ok || !strings.HasPrefix(sumLine, "sha256 ") {
+		return nil, "header"
+	}
+	wantSum := strings.TrimPrefix(sumLine, "sha256 ")
+	lenLine, ok := line()
+	if !ok || !strings.HasPrefix(lenLine, "bytes ") {
+		return nil, "header"
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(lenLine, "bytes "))
+	if err != nil || n < 0 {
+		return nil, "header"
+	}
+	if blank, ok := line(); !ok || blank != "" {
+		return nil, "header"
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, "length" // truncated: a torn write that escaped rename atomicity
+	}
+	// Exactly n payload bytes must remain; trailing bytes are damage.
+	if _, err := r.ReadByte(); err != io.EOF {
+		return nil, "length"
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != wantSum {
+		return nil, "checksum"
+	}
+	return payload, ""
+}
+
+// quarantine moves a bad entry aside, returning its new path ("" if even
+// that failed, in which case the entry is removed so it cannot wedge the
+// key forever).
+func (s *Store) quarantine(path, reason string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	base := filepath.Base(path) + "." + reason
+	dst := filepath.Join(s.root, quarantineDir, base)
+	for i := 1; ; i++ {
+		if _, err := os.Stat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = filepath.Join(s.root, quarantineDir, fmt.Sprintf("%s.%d", base, i))
+	}
+	if err := os.Rename(path, dst); err != nil {
+		os.Remove(path)
+		return ""
+	}
+	return dst
+}
+
+// Stats snapshots traffic counters and the current entry count.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Puts:        s.puts.Load(),
+		Quarantined: s.quarantined.Load(),
+	}
+	if ents, err := os.ReadDir(filepath.Join(s.root, objectsDir)); err == nil {
+		for _, e := range ents {
+			if strings.HasSuffix(e.Name(), ".entry") {
+				st.Entries++
+			}
+		}
+	}
+	return st
+}
+
+// QuarantinedFiles lists the quarantine directory (forensics, tests).
+func (s *Store) QuarantinedFiles() ([]string, error) {
+	ents, err := os.ReadDir(filepath.Join(s.root, quarantineDir))
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+// encodeKey makes a key string newline-safe for the text header.
+func encodeKey(key string) string {
+	if strings.ContainsAny(key, "\n\r") {
+		return "hex:" + hex.EncodeToString([]byte(key))
+	}
+	return key
+}
+
+func decodeKey(enc string) string {
+	if rest, ok := strings.CutPrefix(enc, "hex:"); ok {
+		if b, err := hex.DecodeString(rest); err == nil {
+			return string(b)
+		}
+	}
+	return enc
+}

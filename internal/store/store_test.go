@@ -1,0 +1,232 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openT(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openT(t)
+	key := "v1|bench=list-hi|mode=staggered|threads=4|seed=42"
+	payload := []byte(`{"makespan": 12345}`)
+	if _, err := s.Get(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get before Put = %v, want ErrNotFound", err)
+	}
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip mismatch: %q != %q", got, payload)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v, want 1 hit / 1 miss / 1 put / 1 entry", st)
+	}
+}
+
+func TestReopenServesIdenticalBytes(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("deterministic payload bytes")
+	if err := s.Put("k", payload); err != nil {
+		t.Fatal(err)
+	}
+	// "Restart": a fresh Store over the same directory.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("restarted store served different bytes")
+	}
+}
+
+// corruptEntry rewrites the raw entry file for key through edit.
+func corruptEntry(t *testing.T, s *Store, key string, edit func([]byte) []byte) {
+	t.Helper()
+	path := s.entryPath(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, edit(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The satellite's acceptance case: a hand-corrupted payload must be
+// detected by checksum, quarantined, and reported as a recomputable
+// miss — and a re-Put must fully heal the key.
+func TestHandCorruptedEntryQuarantinedAndHealed(t *testing.T) {
+	s := openT(t)
+	key, payload := "cell-key", []byte("the true result bytes")
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	corruptEntry(t, s, key, func(raw []byte) []byte {
+		return bytes.Replace(raw, []byte("true"), []byte("tRue"), 1)
+	})
+	_, err := s.Get(key)
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("corrupt Get = %v, want wrapped ErrNotFound", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Reason != "checksum" {
+		t.Fatalf("corrupt Get = %v, want CorruptError{checksum}", err)
+	}
+	q, err2 := s.QuarantinedFiles()
+	if err2 != nil || len(q) != 1 || !strings.HasSuffix(q[0], ".checksum") {
+		t.Fatalf("quarantine = %v (%v), want one .checksum file", q, err2)
+	}
+	// The caller's contract: recompute and re-Put; the key works again.
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.Get(key); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("healed Get = (%q, %v)", got, err)
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("stats %+v, want Quarantined=1", st)
+	}
+}
+
+// The satellite's second acceptance case: an entry written under a
+// different format version must be quarantined, never decoded.
+func TestWrongVersionEntryQuarantined(t *testing.T) {
+	s := openT(t)
+	key, payload := "versioned-key", []byte("payload")
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	corruptEntry(t, s, key, func(raw []byte) []byte {
+		old := []byte(fmt.Sprintf("%s %d\n", magic, FormatVersion))
+		new := []byte(fmt.Sprintf("%s %d\n", magic, FormatVersion+1))
+		return bytes.Replace(raw, old, new, 1)
+	})
+	_, err := s.Get(key)
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Reason != "version" {
+		t.Fatalf("wrong-version Get = %v, want CorruptError{version}", err)
+	}
+	if q, _ := s.QuarantinedFiles(); len(q) != 1 || !strings.HasSuffix(q[0], ".version") {
+		t.Fatalf("quarantine = %v, want one .version file", q)
+	}
+}
+
+// TestHalfWrittenEntryQuarantined models the crash window: a truncated
+// entry under the live name (torn write on a filesystem without atomic
+// rename, say) must be quarantined as a length failure.
+func TestHalfWrittenEntryQuarantined(t *testing.T) {
+	s := openT(t)
+	key, payload := "torn-key", []byte("a payload long enough to truncate meaningfully")
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	corruptEntry(t, s, key, func(raw []byte) []byte { return raw[:len(raw)-10] })
+	_, err := s.Get(key)
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Reason != "length" {
+		t.Fatalf("truncated Get = %v, want CorruptError{length}", err)
+	}
+}
+
+// TestForeignFileQuarantined: garbage dropped at an entry path (wrong
+// magic) is quarantined rather than parsed.
+func TestForeignFileQuarantined(t *testing.T) {
+	s := openT(t)
+	key := "foreign"
+	if err := os.WriteFile(s.entryPath(key), []byte("not an entry at all\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Get(key)
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Reason != "magic" {
+		t.Fatalf("foreign Get = %v, want CorruptError{magic}", err)
+	}
+}
+
+// TestKeyMismatchQuarantined: an entry copied under the wrong name (its
+// header key disagrees with the requested key) must not be served.
+func TestKeyMismatchQuarantined(t *testing.T) {
+	s := openT(t)
+	if err := s.Put("key-a", []byte("payload-a")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(s.entryPath("key-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.entryPath("key-b"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Get("key-b")
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Reason != "key" {
+		t.Fatalf("mismatched Get = %v, want CorruptError{key}", err)
+	}
+	// key-a is untouched by key-b's quarantine.
+	if got, err := s.Get("key-a"); err != nil || string(got) != "payload-a" {
+		t.Fatalf("sibling key damaged: (%q, %v)", got, err)
+	}
+}
+
+// TestNewlineKeysSafe: keys are arbitrary strings; header encoding must
+// not let a newline forge header lines.
+func TestNewlineKeysSafe(t *testing.T) {
+	s := openT(t)
+	key := "evil\nsha256 0000\nbytes 0"
+	if err := s.Put(key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.Get(key); err != nil || string(got) != "x" {
+		t.Fatalf("newline key round trip = (%q, %v)", got, err)
+	}
+}
+
+// TestNoTempLeakage: every Put leaves exactly its entry behind, no temp
+// droppings (the smoke for the write-temp-rename protocol).
+func TestNoTempLeakage(t *testing.T) {
+	s := openT(t)
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := os.ReadDir(filepath.Join(s.Root(), objectsDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".entry") {
+			t.Fatalf("foreign file in objects dir: %s", e.Name())
+		}
+	}
+	if len(ents) != 10 {
+		t.Fatalf("%d files, want 10", len(ents))
+	}
+}
