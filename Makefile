@@ -2,7 +2,7 @@ GO ?= go
 
 .PHONY: help ci vet verify-static build test smoke explore-smoke paper \
 	race-equivalence bench bench-full bench-baseline docs-verify docs \
-	daemon-smoke
+	daemon-smoke crash-smoke
 
 # help lists every target with its one-line purpose (the `##` comment on
 # the target line). Run `make help` when lost.
@@ -14,9 +14,9 @@ help:
 # smoke (fault injection + verification on a representative cell), a
 # bounded schedule-exploration smoke (adversarial scheduler + oracle),
 # the IR-level static verification of every workload, the race-mode
-# parallel-sweep equivalence suite, the daemon lifecycle smoke, and the
-# generated-docs drift check.
-ci: vet build test smoke explore-smoke verify-static race-equivalence daemon-smoke docs-verify ## full CI gate (all of the below)
+# parallel-sweep equivalence suite, the daemon lifecycle smoke, the
+# crash-recovery harness, and the generated-docs drift check.
+ci: vet build test smoke explore-smoke verify-static race-equivalence daemon-smoke crash-smoke docs-verify ## full CI gate (all of the below)
 
 # vet layers three static gates: formatting, the standard go vet, and
 # the repo's own staggervet analyzers (determinism, ntstore, siteattr).
@@ -48,6 +48,17 @@ smoke: ## chaos smoke: fault injection + verification, one cell
 daemon-smoke: ## staggerd lifecycle: submit over HTTP, store hit, SIGTERM drain
 	GO=$(GO) sh scripts/daemon_smoke.sh
 
+# crash-smoke is the crash-recovery harness: the Go half SIGKILLs the
+# real daemon (and crashes it via deterministic disk failpoints) under
+# -race, the shell half drives the same scenarios the way a supervisor
+# would, including a staggerctl -reconnect waiter riding through a
+# restart. Both assert every accepted job reaches a terminal state with
+# byte-identical results and that damaged journal tails are quarantined.
+# Failure artifacts (journal, store, daemon logs) land in $CRASH_ARTIFACTS.
+crash-smoke: ## crash harness: SIGKILL + failpoint recovery, byte-identical results
+	$(GO) test -race ./cmd/staggerd -count=1
+	GO=$(GO) sh scripts/crash_smoke.sh
+
 # explore-smoke runs 25 PCT(d=3) schedules per workload through the
 # serializability oracle on two representative cells; any violation fails.
 explore-smoke: ## 25 adversarial schedules per cell through the oracle
@@ -57,14 +68,17 @@ explore-smoke: ## 25 adversarial schedules per cell through the oracle
 # race-equivalence runs the determinism-equivalence suite (same results
 # and bytes at workers=1 and workers=4) under the race detector, so the
 # parallel sweep runner is checked for data races on every CI run. The
-# service lifecycle tests (drain under a live chaos job, cancellation,
-# crash-restart durability) run here too: their goroutine-leak and
-# shutdown assertions are exactly the kind -race strengthens.
+# service lifecycle and recovery tests (drain under a live chaos job,
+# cancellation, crash-restart durability, journal replay, resumed
+# sweeps) run here too, as do the journal, store, and fault-injection
+# filesystem packages: their goroutine-leak, shutdown, and concurrent
+# append/put assertions are exactly the kind -race strengthens.
 race-equivalence: ## determinism-equivalence + service lifecycle under -race
 	$(GO) test -race ./internal/harness -count=1 \
 		-run 'TestDeterminism|TestTableOutputIdentical|TestChaosSweepIdentical|TestExploreIdentical|TestCacheShared|TestRunAllOrdering|TestRunCtxCancel|TestRunAllCancel|TestRunAllContained'
 	$(GO) test -race ./internal/service -count=1 \
-		-run 'TestDrain|TestCancel|TestCrashRestart'
+		-run 'TestDrain|TestCancel|TestCrashRestart|TestBoot|TestResumed|TestIdempotency|TestSubmitRejected|TestCleanShutdown|TestMetricsExposeJournal'
+	$(GO) test -race ./internal/journal ./internal/vfs ./internal/chaos ./internal/store -count=1
 
 # docs-verify regenerates the generated documentation sections — the
 # EXPERIMENTS.md abort-attribution appendix and the README.md repo map —

@@ -14,14 +14,25 @@
 // The exit code is 0 on success, 1 on any HTTP or job-level failure
 // (wait exits 1 if the job ends failed or canceled), so shell scripts
 // and the daemon-smoke CI target can chain verbs with && safely.
+//
+// Read-only verbs (status, wait, result, cell, trace, jobs, metrics,
+// health) retry connection-level failures — refused dials, connections
+// severed by a dying daemon — with capped exponential backoff for
+// -reconnect: a daemon that crashed and is being restarted by its
+// supervisor recovers its journal and answers again, so a polling
+// client should ride through the restart window instead of failing the
+// pipeline. Mutating verbs never auto-retry.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"strings"
 	"time"
@@ -31,12 +42,13 @@ func main() {
 	addr := flag.String("addr", os.Getenv("STAGGERD_ADDR"), "daemon address host:port (or $STAGGERD_ADDR)")
 	interval := flag.Duration("poll", 200*time.Millisecond, "wait: polling interval")
 	timeout := flag.Duration("timeout", 10*time.Minute, "wait: give up after this long")
+	reconnect := flag.Duration("reconnect", 15*time.Second, "read verbs: keep retrying refused connections this long (0 = fail fast)")
 	flag.Parse()
 	if *addr == "" || flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: staggerctl -addr HOST:PORT VERB [ARGS] (see package doc)")
 		os.Exit(2)
 	}
-	c := client{base: "http://" + *addr}
+	c := client{base: "http://" + *addr, reconnect: *reconnect}
 
 	verb, args := flag.Arg(0), flag.Args()[1:]
 	var err error
@@ -90,7 +102,10 @@ func fail(msg string) {
 	os.Exit(2)
 }
 
-type client struct{ base string }
+type client struct {
+	base      string
+	reconnect time.Duration
+}
 
 // do performs one request and copies the body to out; non-2xx answers
 // become errors carrying the server's JSON error message.
@@ -112,8 +127,43 @@ func (c client) do(method, path string, body io.Reader, out io.Writer) error {
 	return err
 }
 
+// retryable reports whether err is a connection-level failure from
+// before any response bytes arrived — a refused dial, or a connection
+// the daemon's death severed mid-request (reset, unexpected EOF). Those
+// all surface as *url.Error from Client.Do, so nothing has been copied
+// to out yet and a retry cannot duplicate output; errors while reading
+// a response body arrive unwrapped and are never retried. HTTP-level
+// answers (any status code) are never retried either.
+func retryable(err error) bool {
+	var ue *url.Error
+	if !errors.As(err, &ue) {
+		return false
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe) ||
+		errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// getJSON is the read path: side-effect-free GETs, so retrying across a
+// daemon restart is always safe. Connection failures back off
+// exponentially (100ms doubling to a 2s cap) until the -reconnect
+// budget runs out; nothing has been written to out when one happens, so
+// a retry never duplicates output.
 func (c client) getJSON(path string, out io.Writer) error {
-	return c.do("GET", path, nil, out)
+	const backoffCap = 2 * time.Second
+	delay := 100 * time.Millisecond
+	deadline := time.Now().Add(c.reconnect)
+	for {
+		err := c.do("GET", path, nil, out)
+		if err == nil || !retryable(err) || !time.Now().Before(deadline) {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "staggerctl: %v; retrying in %v\n", err, delay)
+		time.Sleep(delay)
+		if delay *= 2; delay > backoffCap {
+			delay = backoffCap
+		}
+	}
 }
 
 // submit reads the job spec from the argument ('-' or @file for

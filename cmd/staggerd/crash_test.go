@@ -1,0 +1,379 @@
+package main
+
+// The crash harness: these tests build the real staggerd binary, kill it
+// for real (SIGKILL, or a failpoint-triggered os.Exit(137)), restart it
+// over the same store directory, and assert the recovery contract end to
+// end: every accepted job reaches a terminal state with byte-identical
+// results, and damaged journal tails are quarantined, never trusted.
+// Failpoint schedules are deterministic (counted hits), so every
+// scenario is exactly reproducible.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var daemonBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "staggerd-crash-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	daemonBin = filepath.Join(dir, "staggerd")
+	if out, err := exec.Command("go", "build", "-o", daemonBin, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building staggerd: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// daemon is one running staggerd process under test.
+type daemon struct {
+	t       *testing.T
+	cmd     *exec.Cmd
+	addr    string
+	logPath string
+}
+
+// startDaemon boots staggerd on a kernel-assigned port over store and
+// waits for it to publish its address.
+func startDaemon(t *testing.T, store string, extra ...string) *daemon {
+	t.Helper()
+	scratch := t.TempDir()
+	addrFile := filepath.Join(scratch, "addr")
+	logPath := filepath.Join(scratch, "daemon.log")
+	logf, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := append([]string{
+		"-addr", "127.0.0.1:0", "-addr-file", addrFile,
+		"-store", store, "-grace", "5s",
+	}, extra...)
+	cmd := exec.Command(daemonBin, args...)
+	cmd.Stdout, cmd.Stderr = logf, logf
+	if err := cmd.Start(); err != nil {
+		logf.Close()
+		t.Fatal(err)
+	}
+	logf.Close() // the child holds its own descriptor
+	d := &daemon{t: t, cmd: cmd, logPath: logPath}
+	t.Cleanup(func() {
+		if d.cmd.ProcessState == nil {
+			d.cmd.Process.Kill()
+			d.cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			d.addr = strings.TrimSpace(string(b))
+			return d
+		}
+		if d.cmd.ProcessState != nil || time.Now().After(deadline) {
+			log, _ := os.ReadFile(logPath)
+			t.Fatalf("daemon never published its address:\n%s", log)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// kill SIGKILLs the daemon and reaps it — the crash, not a drain.
+func (d *daemon) kill() {
+	d.t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		d.t.Fatal(err)
+	}
+	d.cmd.Wait()
+}
+
+// waitExit reaps the process and returns its exit code.
+func (d *daemon) waitExit() int {
+	d.cmd.Wait()
+	return d.cmd.ProcessState.ExitCode()
+}
+
+func (d *daemon) get(path string) (int, []byte) {
+	d.t.Helper()
+	resp, err := http.Get("http://" + d.addr + path)
+	if err != nil {
+		d.t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, b
+}
+
+// submit posts spec and returns (httpStatus, jobID).
+func (d *daemon) submit(spec string) (int, string) {
+	d.t.Helper()
+	resp, err := http.Post("http://"+d.addr+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		d.t.Fatalf("POST /jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		ID string `json:"id"`
+	}
+	json.NewDecoder(resp.Body).Decode(&st)
+	return resp.StatusCode, st.ID
+}
+
+// jobState polls one job's state ("" if the job is unknown).
+func (d *daemon) jobState(id string) string {
+	d.t.Helper()
+	code, b := d.get("/jobs/" + id)
+	if code != 200 {
+		return ""
+	}
+	var st struct {
+		State string `json:"state"`
+	}
+	json.Unmarshal(b, &st)
+	return st.State
+}
+
+// waitDone polls until the job is done (fatal on failed/canceled).
+func (d *daemon) waitDone(id string) {
+	d.t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		switch st := d.jobState(id); st {
+		case "done":
+			return
+		case "failed", "canceled":
+			_, b := d.get("/jobs/" + id)
+			log, _ := os.ReadFile(d.logPath)
+			d.t.Fatalf("job %s ended %s: %s\n%s", id, st, b, log)
+		}
+		if time.Now().After(deadline) {
+			log, _ := os.ReadFile(d.logPath)
+			d.t.Fatalf("job %s never finished\n%s", id, log)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func (d *daemon) result(id string) []byte {
+	d.t.Helper()
+	code, b := d.get("/jobs/" + id + "/result")
+	if code != 200 {
+		d.t.Fatalf("result %s: HTTP %d: %s", id, code, b)
+	}
+	return b
+}
+
+func (d *daemon) recoveryMetrics() map[string]float64 {
+	d.t.Helper()
+	_, b := d.get("/metrics")
+	var m struct {
+		Recovery map[string]float64 `json:"recovery"`
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		d.t.Fatalf("metrics: %v: %s", err, b)
+	}
+	return m.Recovery
+}
+
+// The sweep used across crash scenarios: big enough to be mid-flight
+// when the SIGKILL lands, and identical everywhere so results can be
+// compared byte-for-byte against an uninterrupted reference run.
+const crashSweep = `{"cells":[
+  {"bench":"list-hi","threads":2,"seed":1,"ops":25000},
+  {"bench":"list-hi","threads":2,"seed":2,"ops":25000},
+  {"bench":"list-hi","threads":2,"seed":3,"ops":25000}]}`
+
+const tinyJob = `{"cells":[{"bench":"list-hi","threads":2,"seed":9,"ops":300}]}`
+
+// TestKillMidSweepRecoversByteIdentical is the harness's headline
+// invariant: SIGKILL the daemon while a sweep is executing, restart it
+// over the same store, and the job completes under its original ID with
+// results byte-identical to an uninterrupted run.
+func TestKillMidSweepRecoversByteIdentical(t *testing.T) {
+	// Reference: the same sweep, never interrupted, in a separate store.
+	ref := startDaemon(t, t.TempDir())
+	code, refID := ref.submit(crashSweep)
+	if code != 202 {
+		t.Fatalf("reference submit: HTTP %d", code)
+	}
+	ref.waitDone(refID)
+	want := ref.result(refID)
+	ref.kill()
+
+	store := t.TempDir()
+	d1 := startDaemon(t, store)
+	code, id := d1.submit(crashSweep)
+	if code != 202 {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	// The crash lands while the sweep is running (any instant works —
+	// the store resumes whatever subset had been persisted).
+	deadline := time.Now().Add(30 * time.Second)
+	for d1.jobState(id) != "running" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never started", id)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	d1.kill()
+
+	d2 := startDaemon(t, store)
+	rec := d2.recoveryMetrics()
+	if rec["requeued_jobs"] != 1 {
+		t.Fatalf("recovery metrics after crash: %v, want requeued_jobs=1", rec)
+	}
+	if st := d2.jobState(id); st == "" {
+		t.Fatalf("job %s lost across the crash", id)
+	}
+	d2.waitDone(id)
+	if got := d2.result(id); !bytes.Equal(got, want) {
+		t.Errorf("recovered result differs from the uninterrupted reference run (%d vs %d bytes)",
+			len(got), len(want))
+	}
+	// Resubmitting the identical sweep is served wholly from the store.
+	code, id2 := d2.submit(crashSweep)
+	if code != 202 {
+		t.Fatalf("resubmit: HTTP %d", code)
+	}
+	d2.waitDone(id2)
+	_, b := d2.get("/jobs/" + id2)
+	var st struct {
+		FromStore int `json:"from_store"`
+	}
+	json.Unmarshal(b, &st)
+	if st.FromStore != 3 {
+		t.Errorf("resubmission from_store = %d, want 3", st.FromStore)
+	}
+}
+
+// TestFailpointCrashAfterAcceptRecovers pins the submit-path guarantee:
+// the daemon dies by deterministic failpoint the instant the accepted
+// record's fsync completes — before the client hears anything — and the
+// restarted daemon still runs the job to done. Accepted means durable.
+func TestFailpointCrashAfterAcceptRecovers(t *testing.T) {
+	store := t.TempDir()
+	// Journal sync hit 1 is the boot magic; hit 2 is the first submit's
+	// accepted record. The crash completes the fsync, then exits 137.
+	d1 := startDaemon(t, store, "-failpoints", "sync:jobs.wal=crash@2")
+	resp, err := http.Post("http://"+d1.addr+"/jobs", "application/json", strings.NewReader(tinyJob))
+	if err == nil {
+		resp.Body.Close()
+	}
+	if code := d1.waitExit(); code != 137 {
+		log, _ := os.ReadFile(d1.logPath)
+		t.Fatalf("failpoint crash exited %d, want 137\n%s", code, log)
+	}
+
+	d2 := startDaemon(t, store)
+	rec := d2.recoveryMetrics()
+	if rec["requeued_jobs"] != 1 {
+		t.Fatalf("recovery metrics = %v, want requeued_jobs=1", rec)
+	}
+	// The job the client never heard about completes under its own ID.
+	d2.waitDone("job-000001")
+	if b := d2.result("job-000001"); !bytes.Contains(b, []byte("list-hi")) {
+		t.Fatalf("recovered result looks wrong: %.200s", b)
+	}
+}
+
+// TestTornJournalTailQuarantinedOnBoot injects a short write into the
+// journal append (half the accepted frame lands), kills the daemon, and
+// asserts the restart quarantines the torn tail into a sidecar file,
+// counts it in /metrics, and keeps accepting work.
+func TestTornJournalTailQuarantinedOnBoot(t *testing.T) {
+	store := t.TempDir()
+	// Journal write hit 1 is the boot magic; hit 2 is the first submit's
+	// frame, torn in half. The submit must be refused — its record is
+	// not durable — and the journal wedges until restart.
+	d1 := startDaemon(t, store, "-failpoints", "write:jobs.wal=short@2")
+	code, _ := d1.submit(tinyJob)
+	if code != 503 {
+		t.Fatalf("submit onto failing journal: HTTP %d, want 503", code)
+	}
+	code, _ = d1.submit(tinyJob)
+	if code != 503 {
+		t.Fatalf("submit onto wedged journal: HTTP %d, want 503", code)
+	}
+	d1.kill()
+
+	d2 := startDaemon(t, store)
+	rec := d2.recoveryMetrics()
+	if rec["quarantined_tail_bytes"] == 0 || rec["requeued_jobs"] != 0 {
+		t.Fatalf("recovery metrics = %v, want quarantined tail bytes and no requeues", rec)
+	}
+	ents, err := os.ReadDir(filepath.Join(store, "journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sidecar bool
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".quarantine.") {
+			sidecar = true
+		}
+	}
+	if !sidecar {
+		t.Fatalf("no quarantine sidecar in %s/journal: %v", store, ents)
+	}
+	// The repaired journal accepts and completes work.
+	code, id := d2.submit(tinyJob)
+	if code != 202 {
+		t.Fatalf("submit after repair: HTTP %d", code)
+	}
+	d2.waitDone(id)
+}
+
+// TestStoreENOSPCDegradesNotCorrupts floods every store write with
+// ENOSPC: jobs still complete (served from memory), nothing corrupt
+// lands on disk, and a healthy restart recomputes the same bytes from
+// scratch. The terminal job itself is not resurrected — its done record
+// was journaled, so boot replay rightly drops it — which is exactly the
+// degradation contract: lost durability costs recompute, never bytes.
+func TestStoreENOSPCDegradesNotCorrupts(t *testing.T) {
+	store := t.TempDir()
+	d1 := startDaemon(t, store, "-failpoints", "write:objects=enospc%1")
+	code, id := d1.submit(tinyJob)
+	if code != 202 {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	d1.waitDone(id)
+	first := d1.result(id)
+	d1.kill() // die without drain: the store holds nothing for this job
+
+	d2 := startDaemon(t, store)
+	rec := d2.recoveryMetrics()
+	if rec["requeued_jobs"] != 0 {
+		t.Fatalf("recovery metrics = %v, want no requeues (job was terminal)", rec)
+	}
+	// An identical resubmission finds an empty store and recomputes every
+	// cell to the same bytes the memory-served first life produced.
+	code, id2 := d2.submit(tinyJob)
+	if code != 202 {
+		t.Fatalf("resubmit: HTTP %d", code)
+	}
+	d2.waitDone(id2)
+	if got := d2.result(id2); !bytes.Equal(got, first) {
+		t.Errorf("recomputed result differs from the memory-served one")
+	}
+	_, b := d2.get("/jobs/" + id2)
+	var st struct {
+		FromStore int `json:"from_store"`
+	}
+	json.Unmarshal(b, &st)
+	if st.FromStore != 0 {
+		t.Errorf("from_store = %d after a full-disk first life, want 0", st.FromStore)
+	}
+}

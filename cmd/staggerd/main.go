@@ -28,8 +28,10 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/harness"
 	"repro/internal/service"
+	"repro/internal/vfs"
 )
 
 func main() {
@@ -44,6 +46,10 @@ func main() {
 		grace      = flag.Duration("grace", 10*time.Second, "drain grace before in-flight jobs are cancelled")
 		retries    = flag.Int("retries", 2, "max retries of transiently failing jobs")
 		maxCells   = flag.Int("max-cells", 512, "largest allowed job expansion")
+		journalAt  = flag.String("journal", "", "write-ahead job journal path (empty = <store>/journal/jobs.wal when -store is set)")
+		storeGC    = flag.Bool("store-gc", true, "evict old-schema store entries at boot")
+		failpoints = flag.String("failpoints", "", "disk failpoint spec, e.g. 'sync:jobs.wal=crash@2' (crash-harness use only)")
+		fpSeed     = flag.Int64("failpoint-seed", 1, "seed for probabilistic failpoints")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
@@ -52,16 +58,35 @@ func main() {
 	if *runWorkers > 0 {
 		harness.SetWorkers(*runWorkers)
 	}
+	// The disk-fault harness: failpoints wrap the store and journal
+	// filesystem, and a crash failpoint kills the process for real —
+	// exit 137, the same as SIGKILL — so recovery is exercised against a
+	// genuinely dead daemon, not a simulated one.
+	var fsys vfs.FS
+	if *failpoints != "" {
+		fp, err := chaos.ParseFailpoints(*failpoints, *fpSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("failpoints armed: %s (seed %d)", *failpoints, *fpSeed)
+		fsys = &vfs.FaultFS{Base: vfs.OS, FP: fp, OnCrash: func() {
+			log.Printf("failpoint crash: dying now")
+			os.Exit(137)
+		}}
+	}
 	srv, err := service.New(service.Config{
-		JobWorkers: *jobWorkers,
-		QueueDepth: *queueDepth,
-		RunWorkers: *runWorkers,
-		JobTimeout: *jobTimeout,
-		Grace:      *grace,
-		MaxRetries: *retries,
-		MaxCells:   *maxCells,
-		StoreDir:   *storeDir,
-		Logf:       log.Printf,
+		JobWorkers:     *jobWorkers,
+		QueueDepth:     *queueDepth,
+		RunWorkers:     *runWorkers,
+		JobTimeout:     *jobTimeout,
+		Grace:          *grace,
+		MaxRetries:     *retries,
+		MaxCells:       *maxCells,
+		StoreDir:       *storeDir,
+		JournalPath:    *journalAt,
+		DisableStoreGC: !*storeGC,
+		FS:             fsys,
+		Logf:           log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)

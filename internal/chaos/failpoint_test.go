@@ -1,0 +1,151 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFailpointsGrammar(t *testing.T) {
+	good := []string{
+		"",
+		"write=error@1",
+		"sync:jobs.wal=crash@2",
+		"write=short@1;sync=error@3",
+		"create:objects=enospc%0.25",
+		"truncate=error@1; remove=enospc@2 ;open=short@1",
+	}
+	for _, spec := range good {
+		if _, err := ParseFailpoints(spec, 1); err != nil {
+			t.Errorf("ParseFailpoints(%q) = %v, want nil", spec, err)
+		}
+	}
+	bad := map[string]string{
+		"write":            "missing '='",
+		"frobnicate=err@1": "unknown op",
+		"write=explode@1":  "unknown failpoint action",
+		"write=error":      "need '@n' or '%rate'",
+		"write=error@0":    "bad count",
+		"write=error@x":    "bad count",
+		"write=error%1.5":  "bad rate",
+		"write=error%-1":   "bad rate",
+	}
+	for spec, frag := range bad {
+		_, err := ParseFailpoints(spec, 1)
+		if err == nil || !strings.Contains(err.Error(), frag) {
+			t.Errorf("ParseFailpoints(%q) = %v, want error containing %q", spec, err, frag)
+		}
+	}
+}
+
+func TestFailpointNthFiresExactlyOnce(t *testing.T) {
+	fp, err := ParseFailpoints("write:wal=error@3", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []FPAction
+	for i := 0; i < 6; i++ {
+		got = append(got, fp.Eval("write", "/x/jobs.wal"))
+	}
+	want := []FPAction{FPNone, FPNone, FPError, FPNone, FPNone, FPNone}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d: got %v, want %v (all: %v)", i+1, got[i], want[i], got)
+		}
+	}
+	rep := fp.Report()
+	if len(rep) != 1 || rep[0].Hits != 6 || rep[0].Fired != 1 {
+		t.Fatalf("report = %+v, want 6 hits / 1 fired", rep)
+	}
+	if rep[0].Spec != "write:wal=error@3" {
+		t.Fatalf("spec round-trip = %q", rep[0].Spec)
+	}
+}
+
+func TestFailpointFiltersOpAndPath(t *testing.T) {
+	fp, err := ParseFailpoints("sync:jobs.wal=crash@1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := fp.Eval("write", "/d/jobs.wal"); a != FPNone {
+		t.Fatalf("wrong op fired: %v", a)
+	}
+	if a := fp.Eval("sync", "/d/objects/ab/cd"); a != FPNone {
+		t.Fatalf("wrong path fired: %v", a)
+	}
+	if a := fp.Eval("sync", "/d/jobs.wal"); a != FPCrash {
+		t.Fatalf("matching op+path: got %v, want FPCrash", a)
+	}
+}
+
+// Multiple clauses watching one op must count hits independently, so a
+// '@n' position cannot shift when another clause is added — the property
+// that makes crash-harness specs stable.
+func TestFailpointHitCountingIsPerClause(t *testing.T) {
+	fp, err := ParseFailpoints("write=short@2;write=error@4", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []FPAction{FPNone, FPShort, FPNone, FPError, FPNone}
+	for i, w := range want {
+		if a := fp.Eval("write", "f"); a != w {
+			t.Fatalf("hit %d: got %v, want %v", i+1, a, w)
+		}
+	}
+}
+
+func TestFailpointSeededRateDeterministic(t *testing.T) {
+	run := func(seed int64) []FPAction {
+		fp, err := ParseFailpoints("write=error%0.5", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]FPAction, 64)
+		for i := range out {
+			out[i] = fp.Eval("write", "f")
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+		if a[i] == FPError {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("rate 0.5 fired %d/%d times; stream looks degenerate", fired, len(a))
+	}
+	c := run(8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced an identical schedule")
+	}
+}
+
+func TestFailpointsNilAndEmptyAreInert(t *testing.T) {
+	var nilFP *Failpoints
+	if a := nilFP.Eval("write", "f"); a != FPNone {
+		t.Fatalf("nil registry injected %v", a)
+	}
+	if nilFP.Enabled() || nilFP.Report() != nil {
+		t.Fatal("nil registry reports armed state")
+	}
+	empty, err := ParseFailpoints("  ", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Enabled() {
+		t.Fatal("empty spec is armed")
+	}
+	if a := empty.Eval("sync", "f"); a != FPNone {
+		t.Fatalf("empty registry injected %v", a)
+	}
+}

@@ -1,0 +1,364 @@
+// Package journal is the crash-safe write-ahead job journal behind
+// staggerd: an append-only, fsync'd, CRC-framed record log of job
+// submissions and state transitions, so that a daemon killed at any
+// instant can replay its accepted work on boot. The design trades a
+// cheap, bounded cost on the submit path (one buffered write plus one
+// fsync per record) for a hard guarantee on the recovery path — the
+// same fast-path/slow-path discipline the simulator's advisory locks
+// apply to transactions.
+//
+// On-disk layout: a fixed magic header line, then records framed as
+//
+//	uint32 payload length | uint32 IEEE CRC of payload | payload (JSON)
+//
+// both integers little-endian. The CRC makes torn appends detectable:
+// replay stops at the first frame that is short, oversized, or fails
+// its checksum, quarantines the damaged tail bytes into a sidecar file
+// for forensics, and truncates the journal back to its last valid
+// frame. A record is durable — guaranteed to survive any crash — iff
+// Append returned nil; a failed Append may leave a torn (never a
+// corrupt-but-valid) tail, and the journal wedges until reopened so one
+// bad write cannot scribble over later records.
+//
+// The journal stores facts, not obligations: because every simulation
+// is a pure function of its configuration, replaying an "accepted" job
+// twice, or re-running a job that already finished but whose terminal
+// record was lost, can only waste compute, never corrupt results. All
+// failure modes therefore degrade toward at-least-once execution.
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/vfs"
+)
+
+// magic is the first line of every journal file; the trailing digit is
+// the format version. A file with any other prefix is quarantined whole
+// and the journal starts fresh.
+const magic = "staggerwal 1\n"
+
+// maxRecord bounds one frame's payload; a length field beyond it is
+// treated as tail corruption, not an allocation request.
+const maxRecord = 8 << 20
+
+// Record types: one submission fact and its state transitions.
+const (
+	RecAccepted = "accepted"
+	RecRunning  = "running"
+	RecDone     = "done"
+	RecFailed   = "failed"
+	RecCanceled = "canceled"
+)
+
+// Terminal reports whether a record type ends a job's lifecycle. Jobs
+// whose latest record is non-terminal are re-enqueued on replay.
+func Terminal(t string) bool {
+	return t == RecDone || t == RecFailed || t == RecCanceled
+}
+
+// Record is one journal entry. Accepted records carry the full job spec
+// (the daemon re-plans it on replay) and the client's idempotency key;
+// transition records carry just the job reference.
+type Record struct {
+	Seq   uint64          `json:"seq"`
+	Type  string          `json:"type"`
+	Job   string          `json:"job"`
+	Idem  string          `json:"idem,omitempty"`
+	Spec  json.RawMessage `json:"spec,omitempty"`
+	Error string          `json:"error,omitempty"`
+}
+
+// ErrWedged is returned by Append after a previous Append failed: the
+// file may end in a torn frame, and appending past it would orphan
+// every later record. Reopening (normally: restarting the daemon)
+// quarantines the tail and repairs the journal.
+var ErrWedged = errors.New("journal: wedged after a failed append; reopen to repair")
+
+// Replay is what Open found in an existing journal.
+type Replay struct {
+	// Records, in append order, up to the last valid frame.
+	Records []Record
+	// QuarantinedBytes counts damaged tail (or foreign-file) bytes moved
+	// aside; zero means the journal was clean.
+	QuarantinedBytes int
+	// QuarantinePath is where the damaged bytes went ("" if none).
+	QuarantinePath string
+}
+
+// Stats counts journal traffic since Open.
+type Stats struct {
+	Appends          uint64 `json:"appends"`
+	AppendErrors     uint64 `json:"append_errors"`
+	Compactions      uint64 `json:"compactions"`
+	Replayed         uint64 `json:"replayed_records"`
+	QuarantinedBytes uint64 `json:"quarantined_tail_bytes"`
+}
+
+// Journal is an open write-ahead log. All methods are safe for
+// concurrent use; appends are serialized internally.
+type Journal struct {
+	fs   vfs.FS
+	path string
+
+	mu     sync.Mutex
+	f      vfs.File
+	seq    uint64
+	wedged bool
+	closed bool
+
+	appends, appendErrs, compactions uint64
+	replayed, quarantined            uint64
+}
+
+// Open opens (creating if needed) the journal at path, replays its
+// valid prefix, quarantines and truncates any damaged tail, and leaves
+// the file open for appending. The returned Replay is never nil.
+func Open(fsys vfs.FS, path string) (*Journal, *Replay, error) {
+	j := &Journal{fs: fsys, path: path}
+	rep := &Replay{}
+	if err := fsys.MkdirAll(filepath.Dir(path)); err != nil {
+		return nil, nil, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	raw, err := fsys.ReadFile(path)
+	switch {
+	case err == nil && len(raw) > 0:
+		if err := j.replay(raw, rep); err != nil {
+			return nil, nil, err
+		}
+	case err == nil: // empty file: initialize below
+	default:
+		if _, statErr := fsys.Stat(path); statErr == nil {
+			return nil, nil, fmt.Errorf("journal: open %s: %w", path, err)
+		}
+		// Missing file: initialize below.
+	}
+	if len(rep.Records) == 0 && rep.QuarantinedBytes == 0 {
+		if err := j.initEmpty(); err != nil {
+			return nil, nil, err
+		}
+	}
+	f, err := fsys.OpenAppend(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	j.f = f
+	j.replayed = uint64(len(rep.Records))
+	j.quarantined = uint64(rep.QuarantinedBytes)
+	return j, rep, nil
+}
+
+// replay parses raw, fills rep, and repairs the on-disk file so it ends
+// at its last valid frame.
+func (j *Journal) replay(raw []byte, rep *Replay) error {
+	if !bytes.HasPrefix(raw, []byte(magic)) {
+		// Foreign or pre-magic file: quarantine it whole and start over.
+		if err := j.quarantineTail(raw, rep); err != nil {
+			return err
+		}
+		return j.initEmpty()
+	}
+	off := len(magic)
+	for off < len(raw) {
+		if len(raw)-off < 8 {
+			break // torn frame header
+		}
+		n := binary.LittleEndian.Uint32(raw[off:])
+		crc := binary.LittleEndian.Uint32(raw[off+4:])
+		if n == 0 || n > maxRecord || int(n) > len(raw)-off-8 {
+			break // absurd length or torn payload
+		}
+		payload := raw[off+8 : off+8+int(n)]
+		if crc32.ChecksumIEEE(payload) != crc {
+			break // bit rot or a torn rewrite
+		}
+		var r Record
+		if err := json.Unmarshal(payload, &r); err != nil {
+			break // valid frame, unintelligible payload: treat as damage
+		}
+		rep.Records = append(rep.Records, r)
+		if r.Seq > j.seq {
+			j.seq = r.Seq
+		}
+		off += 8 + int(n)
+	}
+	valid := off
+	if valid < len(raw) {
+		if err := j.quarantineTail(raw[valid:], rep); err != nil {
+			return err
+		}
+		if err := j.fs.Truncate(j.path, int64(valid)); err != nil {
+			return fmt.Errorf("journal: truncate damaged tail of %s: %w", j.path, err)
+		}
+	}
+	return nil
+}
+
+// quarantineTail preserves damaged bytes in a numbered sidecar file.
+func (j *Journal) quarantineTail(tail []byte, rep *Replay) error {
+	var dst string
+	for i := 0; ; i++ {
+		dst = fmt.Sprintf("%s.quarantine.%d", j.path, i)
+		if _, err := j.fs.Stat(dst); err != nil {
+			break
+		}
+	}
+	if err := j.fs.WriteFile(dst, tail); err != nil {
+		return fmt.Errorf("journal: quarantine tail of %s: %w", j.path, err)
+	}
+	rep.QuarantinedBytes += len(tail)
+	rep.QuarantinePath = dst
+	return nil
+}
+
+// initEmpty writes a fresh journal containing only the magic header.
+func (j *Journal) initEmpty() error {
+	f, err := j.fs.Create(j.path)
+	if err != nil {
+		return fmt.Errorf("journal: init %s: %w", j.path, err)
+	}
+	_, err = f.Write([]byte(magic))
+	if err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("journal: init %s: %w", j.path, err)
+	}
+	return f.Close()
+}
+
+// Append assigns the next sequence number to r, frames it, writes it,
+// and fsyncs. When Append returns nil the record is durable; when it
+// returns an error the record may be torn on disk and the journal
+// wedges (ErrWedged thereafter) until reopened.
+func (j *Journal) Append(r Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("journal: closed")
+	}
+	if j.wedged {
+		j.appendErrs++
+		return ErrWedged
+	}
+	j.seq++
+	r.Seq = j.seq
+	payload, err := json.Marshal(&r)
+	if err != nil {
+		return fmt.Errorf("journal: encode record: %w", err)
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+	_, err = j.f.Write(frame)
+	if err == nil {
+		err = j.f.Sync()
+	}
+	if err != nil {
+		j.wedged = true
+		j.appendErrs++
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	j.appends++
+	return nil
+}
+
+// Compact atomically rewrites the journal to exactly live (renumbered
+// from 1), dropping every other record — the boot- and drain-time
+// truncation of terminal entries. It also unwedges a journal whose
+// append handle died, since the rewrite starts from a fresh file.
+func (j *Journal) Compact(live []Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("journal: closed")
+	}
+	dir := filepath.Dir(j.path)
+	tmp, err := j.fs.CreateTemp(dir, "wal-*.tmp")
+	if err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	defer j.fs.Remove(tmp.Name()) // no-op after a successful rename
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	for i, r := range live {
+		r.Seq = uint64(i + 1)
+		payload, err := json.Marshal(&r)
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("journal: compact encode: %w", err)
+		}
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+		buf.Write(hdr[:])
+		buf.Write(payload)
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: compact write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: compact sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("journal: compact close: %w", err)
+	}
+	if err := j.fs.Rename(tmp.Name(), j.path); err != nil {
+		return fmt.Errorf("journal: compact rename: %w", err)
+	}
+	// Swap the append handle onto the fresh file.
+	if j.f != nil {
+		j.f.Close()
+	}
+	f, err := j.fs.OpenAppend(j.path)
+	if err != nil {
+		j.wedged = true
+		return fmt.Errorf("journal: compact reopen: %w", err)
+	}
+	j.f = f
+	j.seq = uint64(len(live))
+	j.wedged = false
+	j.compactions++
+	return nil
+}
+
+// Close closes the append handle; further Appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if j.f != nil {
+		return j.f.Close()
+	}
+	return nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Stats snapshots the journal's counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Stats{
+		Appends:          j.appends,
+		AppendErrors:     j.appendErrs,
+		Compactions:      j.compactions,
+		Replayed:         j.replayed,
+		QuarantinedBytes: j.quarantined,
+	}
+}

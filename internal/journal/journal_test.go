@@ -1,0 +1,359 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/vfs"
+)
+
+func openTmp(t *testing.T) (*Journal, *Replay, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wal", "jobs.wal")
+	j, rep, err := Open(vfs.OS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, rep, path
+}
+
+func mustAppend(t *testing.T, j *Journal, recs ...Record) {
+	t.Helper()
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func reopen(t *testing.T, path string) (*Journal, *Replay) {
+	t.Helper()
+	j, rep, err := Open(vfs.OS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, rep
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	j, rep, path := openTmp(t)
+	if len(rep.Records) != 0 || rep.QuarantinedBytes != 0 {
+		t.Fatalf("fresh journal replayed %+v", rep)
+	}
+	spec := json.RawMessage(`{"kind":"run"}`)
+	mustAppend(t, j,
+		Record{Type: RecAccepted, Job: "job-000001", Idem: "k1", Spec: spec},
+		Record{Type: RecRunning, Job: "job-000001"},
+		Record{Type: RecDone, Job: "job-000001"},
+	)
+	j.Close()
+
+	j2, rep2 := reopen(t, path)
+	defer j2.Close()
+	if len(rep2.Records) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(rep2.Records))
+	}
+	got := rep2.Records
+	if got[0].Type != RecAccepted || got[0].Job != "job-000001" || got[0].Idem != "k1" ||
+		string(got[0].Spec) != string(spec) {
+		t.Fatalf("accepted record mangled: %+v", got[0])
+	}
+	if got[1].Type != RecRunning || got[2].Type != RecDone {
+		t.Fatalf("transition order mangled: %+v", got)
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+	}
+	// Sequence numbering continues past the replayed tail.
+	mustAppend(t, j2, Record{Type: RecAccepted, Job: "job-000002"})
+	_, rep3 := reopen(t, path) // second open only to inspect; j2 still holds the append handle
+	if n := len(rep3.Records); n != 4 {
+		t.Fatalf("after continued append: %d records, want 4", n)
+	}
+	if rep3.Records[3].Seq != 4 {
+		t.Fatalf("continued seq = %d, want 4", rep3.Records[3].Seq)
+	}
+}
+
+func TestTerminal(t *testing.T) {
+	for typ, want := range map[string]bool{
+		RecAccepted: false, RecRunning: false,
+		RecDone: true, RecFailed: true, RecCanceled: true,
+	} {
+		if Terminal(typ) != want {
+			t.Errorf("Terminal(%q) = %v, want %v", typ, !want, want)
+		}
+	}
+}
+
+// A torn tail — any suffix of a valid journal — must replay the intact
+// prefix, quarantine the damaged bytes, and truncate the file so the
+// next append lands on a frame boundary.
+func TestJournalTornTailQuarantinedAndTruncated(t *testing.T) {
+	j, _, path := openTmp(t)
+	mustAppend(t, j,
+		Record{Type: RecAccepted, Job: "job-000001"},
+		Record{Type: RecAccepted, Job: "job-000002"},
+	)
+	j.Close()
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the file mid-way through the second record's frame.
+	for cut := len(magic) + 1; cut < len(whole)-1; cut += 7 {
+		if cut <= len(magic) {
+			continue
+		}
+		dir := t.TempDir()
+		p := filepath.Join(dir, "jobs.wal")
+		if err := os.WriteFile(p, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, rep := reopen(t, p)
+		// Every replayed record must be one of the two we wrote, in order.
+		for i, r := range rep.Records {
+			want := []string{"job-000001", "job-000002"}[i]
+			if r.Job != want {
+				t.Fatalf("cut %d: record %d = %q, want %q", cut, i, r.Job, want)
+			}
+		}
+		onDisk, _ := os.ReadFile(p)
+		wantQuarantined := cut - len(onDisk)
+		if rep.QuarantinedBytes != wantQuarantined {
+			t.Fatalf("cut %d: quarantined %d bytes, want %d", cut, rep.QuarantinedBytes, wantQuarantined)
+		}
+		if wantQuarantined > 0 {
+			q, err := os.ReadFile(rep.QuarantinePath)
+			if err != nil {
+				t.Fatalf("cut %d: quarantine sidecar: %v", cut, err)
+			}
+			if string(q) != string(whole[cut-wantQuarantined:cut]) {
+				t.Fatalf("cut %d: sidecar bytes differ from the damaged tail", cut)
+			}
+		}
+		// The repaired journal must accept appends and replay cleanly.
+		mustAppend(t, j2, Record{Type: RecAccepted, Job: "job-000003"})
+		j2.Close()
+		_, rep2 := reopen(t, p)
+		last := rep2.Records[len(rep2.Records)-1]
+		if last.Job != "job-000003" {
+			t.Fatalf("cut %d: append after repair lost: %+v", cut, rep2.Records)
+		}
+	}
+}
+
+// A flipped bit inside a frame fails its CRC; the frame and everything
+// after it is damage, never a half-trusted record.
+func TestJournalCRCCorruptionStopsReplay(t *testing.T) {
+	j, _, path := openTmp(t)
+	mustAppend(t, j,
+		Record{Type: RecAccepted, Job: "job-000001"},
+		Record{Type: RecAccepted, Job: "job-000002"},
+		Record{Type: RecAccepted, Job: "job-000003"},
+	)
+	j.Close()
+	raw, _ := os.ReadFile(path)
+	// Find the second record's payload and flip one bit in it.
+	idx := strings.Index(string(raw), "job-000002")
+	if idx < 0 {
+		t.Fatal("payload not found")
+	}
+	raw[idx] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, rep := reopen(t, path)
+	defer j2.Close()
+	if len(rep.Records) != 1 || rep.Records[0].Job != "job-000001" {
+		t.Fatalf("replay past a bad CRC: %+v", rep.Records)
+	}
+	if rep.QuarantinedBytes == 0 {
+		t.Fatal("corrupt frames not quarantined")
+	}
+}
+
+// A file that is not a journal at all is quarantined whole and replaced.
+func TestJournalForeignFileQuarantinedWhole(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.wal")
+	if err := os.WriteFile(path, []byte("this is not a journal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, rep, err := Open(vfs.OS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(rep.Records) != 0 || rep.QuarantinedBytes != len("this is not a journal") {
+		t.Fatalf("foreign file: %+v", rep)
+	}
+	if _, err := os.Stat(rep.QuarantinePath); err != nil {
+		t.Fatalf("sidecar missing: %v", err)
+	}
+	raw, _ := os.ReadFile(path)
+	if string(raw) != magic {
+		t.Fatalf("journal not re-initialized: %q", raw)
+	}
+}
+
+// A failed append wedges the journal until reopened: appending past a
+// possibly-torn tail would orphan every later record.
+func TestJournalWedgesAfterFailedAppend(t *testing.T) {
+	fp, err := chaos.ParseFailpoints("sync:jobs.wal=error@2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs := &vfs.FaultFS{Base: vfs.OS, FP: fp}
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	// sync hit 1 is the magic-header init; hit 2 is the first record.
+	j, _, err := Open(ffs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = j.Append(Record{Type: RecAccepted, Job: "job-000001"})
+	if err == nil || errors.Is(err, ErrWedged) {
+		t.Fatalf("first failed append = %v, want the injected error", err)
+	}
+	if err := j.Append(Record{Type: RecAccepted, Job: "job-000002"}); !errors.Is(err, ErrWedged) {
+		t.Fatalf("append after failure = %v, want ErrWedged", err)
+	}
+	st := j.Stats()
+	if st.Appends != 0 || st.AppendErrors != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	j.Close()
+	// Reopen repairs: the torn record (fully written, possibly unsynced)
+	// either replays or is quarantined — both are consistent states.
+	j2, _ := reopen(t, path)
+	defer j2.Close()
+	if err := j2.Append(Record{Type: RecAccepted, Job: "job-000003"}); err != nil {
+		t.Fatalf("append after reopen = %v", err)
+	}
+}
+
+// Compact unwedges too: it rebuilds the file from scratch.
+func TestJournalCompact(t *testing.T) {
+	j, _, path := openTmp(t)
+	spec := json.RawMessage(`{"kind":"sweep"}`)
+	mustAppend(t, j,
+		Record{Type: RecAccepted, Job: "job-000001", Spec: spec},
+		Record{Type: RecRunning, Job: "job-000001"},
+		Record{Type: RecDone, Job: "job-000001"},
+		Record{Type: RecAccepted, Job: "job-000002", Idem: "k", Spec: spec},
+	)
+	live := []Record{{Type: RecAccepted, Job: "job-000002", Idem: "k", Spec: spec}}
+	if err := j.Compact(live); err != nil {
+		t.Fatal(err)
+	}
+	// The compacted journal still accepts appends with continued seqs.
+	mustAppend(t, j, Record{Type: RecRunning, Job: "job-000002"})
+	j.Close()
+	_, rep := reopen(t, path)
+	if len(rep.Records) != 2 {
+		t.Fatalf("after compact: %d records, want 2: %+v", len(rep.Records), rep.Records)
+	}
+	if rep.Records[0].Job != "job-000002" || rep.Records[0].Seq != 1 || rep.Records[0].Idem != "k" {
+		t.Fatalf("compacted record: %+v", rep.Records[0])
+	}
+	if rep.Records[1].Type != RecRunning || rep.Records[1].Seq != 2 {
+		t.Fatalf("post-compact append: %+v", rep.Records[1])
+	}
+	// No temp debris left behind.
+	ents, _ := os.ReadDir(filepath.Dir(path))
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("compact left %s behind", e.Name())
+		}
+	}
+}
+
+// A crash during compaction (before the rename) leaves the old journal
+// intact; a crash after the rename leaves the new one. Either way the
+// next open sees a valid journal.
+func TestJournalCompactCrashSafety(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec string
+		want int // records the reopened journal must hold
+	}{
+		// sync hits on any path under the dir: hit 1 = magic init, hits
+		// 2-4 = the three appends, hit 5 = the compaction temp file.
+		{"crash-before-rename", "sync=crash@5", 3},
+		{"crash-at-rename", "rename:jobs.wal=crash@1", 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fp, err := chaos.ParseFailpoints(tc.spec, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ffs := &vfs.FaultFS{Base: vfs.OS, FP: fp}
+			path := filepath.Join(t.TempDir(), "jobs.wal")
+			j, _, err := Open(ffs, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustAppend(t, j,
+				Record{Type: RecAccepted, Job: "job-000001"},
+				Record{Type: RecDone, Job: "job-000001"},
+				Record{Type: RecAccepted, Job: "job-000002"},
+			)
+			live := []Record{{Type: RecAccepted, Job: "job-000002"}}
+			if err := j.Compact(live); err == nil {
+				t.Fatal("compact survived its crash failpoint")
+			}
+			j.Close()
+			// The restart opens the real filesystem — whatever the crash
+			// left on disk.
+			j2, rep := reopen(t, path)
+			defer j2.Close()
+			if len(rep.Records) != tc.want {
+				t.Fatalf("reopened journal has %d records, want %d: %+v",
+					len(rep.Records), tc.want, rep.Records)
+			}
+			if rep.QuarantinedBytes != 0 {
+				t.Fatalf("compaction crash produced a damaged journal: %+v", rep)
+			}
+		})
+	}
+}
+
+func TestJournalOversizedLengthIsDamage(t *testing.T) {
+	j, _, path := openTmp(t)
+	mustAppend(t, j, Record{Type: RecAccepted, Job: "job-000001"})
+	j.Close()
+	raw, _ := os.ReadFile(path)
+	// Append a frame header claiming a gigantic payload.
+	raw = append(raw, 0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, rep := reopen(t, path)
+	defer j2.Close()
+	if len(rep.Records) != 1 || rep.QuarantinedBytes != 8 {
+		t.Fatalf("oversized frame: %+v", rep)
+	}
+}
+
+func TestJournalStats(t *testing.T) {
+	j, _, _ := openTmp(t)
+	defer j.Close()
+	mustAppend(t, j,
+		Record{Type: RecAccepted, Job: "job-000001"},
+		Record{Type: RecDone, Job: "job-000001"},
+	)
+	if err := j.Compact(nil); err != nil {
+		t.Fatal(err)
+	}
+	st := j.Stats()
+	if st.Appends != 2 || st.Compactions != 1 || st.AppendErrors != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -3,10 +3,11 @@ package service
 import (
 	"errors"
 	"net/http/httptest"
-	"runtime"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/testutil"
 )
 
 // TestDrainUnderChaosCompletesWithinGrace is the drain acceptance case,
@@ -15,7 +16,7 @@ import (
 // the grace period by cancelling the in-flight simulation mid-run, and
 // leave no goroutines behind.
 func TestDrainUnderChaosCompletesWithinGrace(t *testing.T) {
-	baseline := runtime.NumGoroutine()
+	baseline := testutil.GoroutineBaseline()
 	const grace = 500 * time.Millisecond
 	s, err := New(Config{JobWorkers: 2, Grace: grace, Logf: t.Logf})
 	if err != nil {
@@ -77,18 +78,7 @@ func TestDrainUnderChaosCompletesWithinGrace(t *testing.T) {
 
 	// Zero leaked goroutines: the count returns to the pre-server
 	// baseline (with slack for runtime background threads).
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if n := runtime.NumGoroutine(); n <= baseline+2 {
-			break
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<20)
-			t.Fatalf("goroutines leaked after drain: %d > baseline %d\n%s",
-				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	testutil.WaitNoGoroutineLeaks(t, baseline)
 }
 
 // TestDrainIdleServerIsImmediate: draining with nothing in flight closes

@@ -72,6 +72,11 @@ func (s *Server) execute(ctx context.Context, j *Job, attempt int) error {
 		missIdx = append(missIdx, i)
 	}
 	fromStore := n - len(missIdx)
+	if j.recovered && attempt == 0 {
+		// Resumption accounting: cells a crashed sweep had already made
+		// durable and this incarnation only had to read back.
+		s.resumedCells.Add(uint64(fromStore))
+	}
 	if len(missIdx) > 0 {
 		cfgs := make([]harness.RunConfig, len(missIdx))
 		for k, i := range missIdx {

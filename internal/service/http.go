@@ -91,6 +91,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "5")
 		writeErr(w, http.StatusServiceUnavailable, err.Error())
 		return
+	case errors.Is(err, ErrJournal):
+		// The journal wedges until a restart repairs it; tell the client to
+		// come back once the supervisor has cycled the daemon.
+		w.Header().Set("Retry-After", "5")
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case errors.Is(err, ErrIdemConflict):
+		writeErr(w, http.StatusConflict, err.Error())
+		return
 	case err != nil:
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return

@@ -190,6 +190,13 @@ type JobSpec struct {
 
 	Explore *ExploreSpec `json:"explore,omitempty"`
 
+	// IdempotencyKey, when set, makes resubmission safe across daemon
+	// restarts: a submit whose key matches a live job returns that job
+	// instead of admitting a duplicate, and the key is journaled so the
+	// index survives a crash. Reusing a key with a different spec is an
+	// error.
+	IdempotencyKey string `json:"idem,omitempty"`
+
 	// TimeoutMS optionally tightens (never extends) the server's per-job
 	// wall-clock deadline.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -339,9 +346,11 @@ const (
 // Job is one admitted unit of work. All mutable state is guarded by mu;
 // Done is closed exactly once, when the job reaches a terminal state.
 type Job struct {
-	id   string
-	spec JobSpec
-	plan *jobPlan
+	id        string
+	spec      JobSpec
+	plan      *jobPlan
+	idem      string // idempotency key ("" = none)
+	recovered bool   // re-enqueued by journal replay after a restart
 
 	mu              sync.Mutex
 	state           string
@@ -358,6 +367,20 @@ type Job struct {
 	done chan struct{}
 }
 
+// newJob builds a queued job; both the submit path and journal replay
+// construct jobs through here so the two cannot drift.
+func newJob(id string, spec JobSpec, plan *jobPlan) *Job {
+	return &Job{
+		id:      id,
+		spec:    spec,
+		plan:    plan,
+		idem:    spec.IdempotencyKey,
+		state:   JobQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+}
+
 // ID returns the job's identifier.
 func (j *Job) ID() string { return j.id }
 
@@ -371,6 +394,9 @@ type JobStatus struct {
 	State     string `json:"state"`
 	Cells     int    `json:"cells"`
 	FromStore int    `json:"from_store"`
+	Computed  int    `json:"computed"` // cells actually simulated this run
+	Recovered bool   `json:"recovered,omitempty"`
+	Idem      string `json:"idem,omitempty"`
 	Retries   int    `json:"retries"`
 	Error     string `json:"error,omitempty"`
 	CreatedMS int64  `json:"created_ms,omitempty"`
@@ -389,9 +415,14 @@ func (j *Job) Status() JobStatus {
 		State:     j.state,
 		Cells:     len(j.plan.keys),
 		FromStore: j.fromStore,
+		Recovered: j.recovered,
+		Idem:      j.idem,
 		Retries:   j.attempts,
 		Error:     j.err,
 		CreatedMS: j.created.UnixMilli(),
+	}
+	if j.state == JobDone {
+		st.Computed = len(j.plan.keys) - j.fromStore
 	}
 	if !j.started.IsZero() {
 		st.WaitMS = j.started.Sub(j.created).Milliseconds()

@@ -1,0 +1,161 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/journal"
+	"repro/internal/vfs"
+)
+
+// This file is the crash-recovery half of the server: the write-ahead
+// job journal on the submit path, and the boot-time replay that turns
+// journal facts back into enqueued work.
+//
+// The contract, stated as the invariant the crash harness asserts:
+// once Submit returns a job (so the accepted record is fsync'd), that
+// job reaches a terminal state with byte-identical results even if the
+// process is SIGKILLed at any instant in between. The proof sketch:
+// the accepted record survives the crash (WAL + CRC framing + tail
+// quarantine), boot replays it and re-enqueues the job under its
+// original ID, and because every cell is a pure function of (config,
+// seed), re-execution serves already-durable cells from the store and
+// recomputes only the missing ones — the same bytes either way. All
+// journal failure modes degrade toward at-least-once execution (a
+// re-run that wastes compute), never toward lost or corrupted results.
+
+// journalState appends a state-transition record. Transition appends
+// are best-effort: losing one can only cause a finished job to re-run
+// after a crash, which is safe, so failures are logged and counted
+// rather than surfaced.
+func (s *Server) journalState(typ string, id, errMsg string) {
+	if s.jnl == nil {
+		return
+	}
+	if err := s.jnl.Append(journal.Record{Type: typ, Job: id, Error: errMsg}); err != nil {
+		s.journalErrs.Add(1)
+		s.cfg.Logf("staggerd: journal %s %s: %v", typ, id, err)
+	}
+}
+
+// jobFact is one job's folded journal history.
+type jobFact struct {
+	state string
+	idem  string
+	spec  json.RawMessage
+}
+
+// recover folds the replayed records into per-job facts, rebuilds and
+// re-enqueues every non-terminal job under its original ID, restores
+// the idempotency index and the ID counter, and compacts the journal
+// down to the accepted records of the jobs still alive. Terminal
+// entries are dropped: their results live in the store, where an
+// identical resubmission finds them. Duplicate records for one job
+// (possible when a crash interrupts compaction bookkeeping) fold into
+// one fact, so replay never double-enqueues.
+//
+// Called from New before the worker pool starts; no locks needed.
+func (s *Server) recover(rep *journal.Replay) []*Job {
+	facts := map[string]*jobFact{}
+	var seen []string
+	for _, r := range rep.Records {
+		f := facts[r.Job]
+		if f == nil {
+			f = &jobFact{}
+			facts[r.Job] = f
+			seen = append(seen, r.Job)
+		}
+		if r.Type == journal.RecAccepted {
+			f.spec = r.Spec
+			f.idem = r.Idem
+		}
+		f.state = r.Type
+		var n int
+		if _, err := fmt.Sscanf(r.Job, "job-%d", &n); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+	}
+
+	var requeued []*Job
+	var live []journal.Record
+	for _, id := range seen {
+		f := facts[id]
+		if journal.Terminal(f.state) || f.spec == nil {
+			continue
+		}
+		var spec JobSpec
+		if err := json.Unmarshal(f.spec, &spec); err != nil {
+			s.cfg.Logf("staggerd: recovery: %s has an unreadable spec, dropping: %v", id, err)
+			continue
+		}
+		plan, err := spec.plan(s.cfg.MaxCells)
+		if err != nil {
+			// The spec no longer validates under this binary (workload or
+			// limit drift across an upgrade). Nobody holds a handle to it
+			// after a restart, so dropping it with a loud log is terminal.
+			s.cfg.Logf("staggerd: recovery: %s no longer plans, dropping: %v", id, err)
+			continue
+		}
+		j := newJob(id, spec, plan)
+		j.recovered = true
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+		if j.idem != "" {
+			s.idem[j.idem] = id
+		}
+		live = append(live, journal.Record{Type: journal.RecAccepted, Job: id, Idem: f.idem, Spec: f.spec})
+		requeued = append(requeued, j)
+	}
+	if err := s.jnl.Compact(live); err != nil {
+		s.cfg.Logf("staggerd: recovery: compact: %v", err)
+	}
+	s.replayed.Store(uint64(len(rep.Records)))
+	s.requeued.Store(uint64(len(requeued)))
+	s.tailQuarantined.Store(uint64(rep.QuarantinedBytes))
+	if rep.QuarantinedBytes > 0 {
+		s.cfg.Logf("staggerd: recovery: quarantined %d damaged journal tail bytes to %s",
+			rep.QuarantinedBytes, rep.QuarantinePath)
+	}
+	return requeued
+}
+
+// liveRecords snapshots the accepted records of every non-terminal job,
+// for the drain-time compaction that truncates terminal entries.
+func (s *Server) liveRecords() []journal.Record {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	var live []journal.Record
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		alive := j.state == JobQueued || j.state == JobRunning
+		j.mu.Unlock()
+		if !alive {
+			continue
+		}
+		raw, err := json.Marshal(j.spec)
+		if err != nil {
+			continue
+		}
+		live = append(live, journal.Record{Type: journal.RecAccepted, Job: id, Idem: j.idem, Spec: raw})
+	}
+	return live
+}
+
+// RecoveryStats is the /metrics view of the journal-backed recovery
+// machinery, present whenever the server runs with a journal.
+type RecoveryStats struct {
+	ReplayedRecords      uint64 `json:"replayed_records"`
+	RequeuedJobs         uint64 `json:"requeued_jobs"`
+	QuarantinedTailBytes uint64 `json:"quarantined_tail_bytes"`
+	ResumedCells         uint64 `json:"resumed_cells"`
+	JournalErrors        uint64 `json:"journal_errors"`
+}
+
+// defaultFS resolves the configured filesystem seam.
+func (c *Config) defaultFS() vfs.FS {
+	if c.FS != nil {
+		return c.FS
+	}
+	return vfs.OS
+}

@@ -38,15 +38,21 @@
 package service
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/journal"
 	"repro/internal/store"
+	"repro/internal/vfs"
 )
 
 // ErrTransient classifies an execution failure as environmental rather
@@ -61,6 +67,16 @@ var ErrDraining = errors.New("service: draining, not accepting jobs")
 // ErrQueueFull is returned by Submit when the admission queue is at
 // capacity (HTTP 429).
 var ErrQueueFull = errors.New("service: admission queue full")
+
+// ErrJournal is returned by Submit when the accepted record cannot be
+// made durable (failed write or fsync, disk full): the server refuses
+// work it cannot promise to recover, so the client can retry against a
+// daemon whose journal has been repaired by a restart (HTTP 503).
+var ErrJournal = errors.New("service: job journal unavailable")
+
+// ErrIdemConflict is returned by Submit when an idempotency key is
+// reused with a different job spec (HTTP 409-shaped 400).
+var ErrIdemConflict = errors.New("service: idempotency key reused with a different spec")
 
 // Config tunes a Server. The zero value is usable: every field has a
 // default applied by New.
@@ -90,6 +106,19 @@ type Config struct {
 	// StoreDir roots the durable result store; "" keeps results in
 	// memory only (they die with the process).
 	StoreDir string
+	// JournalPath roots the write-ahead job journal; "" derives
+	// <StoreDir>/journal/jobs.wal when StoreDir is set, so a durable
+	// server is crash-safe by default (memory-only servers run without
+	// a journal: accepted jobs die with the process, as their results
+	// would anyway).
+	JournalPath string
+	// DisableStoreGC skips the boot-time eviction of store entries
+	// written under an old harness.CacheSchema.
+	DisableStoreGC bool
+	// FS is the filesystem under the store and journal — the seam the
+	// deterministic disk-fault harness injects through. Nil means the
+	// real filesystem.
+	FS vfs.FS
 	// Logf receives operational log lines (default: discard).
 	Logf func(format string, args ...any)
 
@@ -137,7 +166,8 @@ func (c *Config) defaults() {
 // Handler, stop with BeginDrain (or Close, which also waits).
 type Server struct {
 	cfg   Config
-	store *store.Store // nil = memory-only
+	store *store.Store     // nil = memory-only
+	jnl   *journal.Journal // nil = no crash recovery
 
 	queue   chan *Job
 	admitMu sync.Mutex // serializes Submit against BeginDrain's queue close
@@ -152,7 +182,8 @@ type Server struct {
 
 	jobsMu sync.Mutex
 	jobs   map[string]*Job
-	order  []string // submission order, for listing
+	order  []string          // submission order, for listing
+	idem   map[string]string // idempotency key -> job id
 	nextID int
 
 	running  atomic.Int64
@@ -164,29 +195,70 @@ type Server struct {
 	cancCnt  atomic.Uint64
 	retryCnt atomic.Uint64
 	panicCnt atomic.Uint64
+
+	replayed        atomic.Uint64 // journal records replayed at boot
+	requeued        atomic.Uint64 // jobs re-enqueued at boot
+	tailQuarantined atomic.Uint64 // damaged journal tail bytes quarantined
+	resumedCells    atomic.Uint64 // recovered-job cells served from the store
+	journalErrs     atomic.Uint64
 }
 
-// New builds a Server and starts its worker pool.
+// New builds a Server, recovers any journaled jobs from a previous
+// life, and starts its worker pool. Recovered jobs are re-enqueued
+// ahead of fresh admissions under their original IDs; their completed
+// cells are served from the durable store, so a crash costs only the
+// cells that had not yet been persisted.
 func New(cfg Config) (*Server, error) {
 	cfg.defaults()
+	fsys := cfg.defaultFS()
 	var st *store.Store
 	if cfg.StoreDir != "" {
 		var err error
-		st, err = store.Open(cfg.StoreDir)
+		st, err = store.OpenFS(fsys, cfg.StoreDir)
 		if err != nil {
 			return nil, err
 		}
+		if !cfg.DisableStoreGC {
+			prefix := fmt.Sprintf("v%d|", harness.CacheSchema)
+			if removed, err := st.GC(func(key string) bool { return strings.HasPrefix(key, prefix) }); err != nil {
+				cfg.Logf("staggerd: store gc: %v", err)
+			} else if removed > 0 {
+				cfg.Logf("staggerd: store gc evicted %d old-schema entries", removed)
+			}
+		}
+	}
+	jpath := cfg.JournalPath
+	if jpath == "" && cfg.StoreDir != "" {
+		jpath = filepath.Join(cfg.StoreDir, "journal", "jobs.wal")
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
 		store:      st,
-		queue:      make(chan *Job, cfg.QueueDepth),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		drained:    make(chan struct{}),
 		start:      time.Now(),
 		jobs:       map[string]*Job{},
+		idem:       map[string]string{},
+	}
+	var recovered []*Job
+	if jpath != "" {
+		jnl, rep, err := journal.Open(fsys, jpath)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.jnl = jnl
+		recovered = s.recover(rep)
+	}
+	// Recovered jobs ride ahead of fresh admissions and must not trip
+	// load shedding, so the queue is sized to hold all of them plus the
+	// configured depth.
+	s.queue = make(chan *Job, cfg.QueueDepth+len(recovered))
+	for _, j := range recovered {
+		s.queue <- j
+		s.accepted.Add(1)
 	}
 	for i := 0; i < cfg.JobWorkers; i++ {
 		s.workers.Add(1)
@@ -198,10 +270,15 @@ func New(cfg Config) (*Server, error) {
 // Store exposes the durable store (nil if the server is memory-only).
 func (s *Server) Store() *store.Store { return s.store }
 
-// Submit validates, expands, and enqueues a job. It never blocks: a full
-// queue returns ErrQueueFull and a draining server ErrDraining, so the
-// HTTP layer can map overload to 429/503 with Retry-After instead of
-// holding connections open.
+// Submit validates, expands, journals, and enqueues a job. It never
+// blocks: a full queue returns ErrQueueFull and a draining server
+// ErrDraining, so the HTTP layer can map overload to 429/503 with
+// Retry-After instead of holding connections open. An idempotency key
+// that matches an existing job returns that job instead of admitting a
+// duplicate — the safety net that lets clients blindly resubmit across
+// daemon restarts. When the server runs with a journal, Submit returns
+// only after the accepted record is fsync'd: from that moment the job
+// survives any crash.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	plan, err := spec.plan(s.cfg.MaxCells)
 	if err != nil {
@@ -214,27 +291,56 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		s.shedGone.Add(1)
 		return nil, ErrDraining
 	}
+	if spec.IdempotencyKey != "" {
+		s.jobsMu.Lock()
+		prior, ok := s.jobs[s.idem[spec.IdempotencyKey]]
+		s.jobsMu.Unlock()
+		if ok {
+			want, _ := json.Marshal(spec)
+			got, _ := json.Marshal(prior.spec)
+			if !bytes.Equal(want, got) {
+				return nil, fmt.Errorf("%w: key %q is %s", ErrIdemConflict, spec.IdempotencyKey, prior.id)
+			}
+			return prior, nil
+		}
+	}
 	s.jobsMu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("job-%06d", s.nextID)
 	s.jobsMu.Unlock()
-	j := &Job{
-		id:      id,
-		spec:    spec,
-		plan:    plan,
-		state:   JobQueued,
-		created: time.Now(),
-		done:    make(chan struct{}),
+	j := newJob(id, spec, plan)
+	// Durable admission: the accepted record must be on disk before the
+	// job becomes visible. A journal that cannot take the record means
+	// the crash-safety promise cannot be made, so the job is refused.
+	if s.jnl != nil {
+		raw, err := json.Marshal(spec)
+		if err != nil {
+			return nil, fmt.Errorf("service: encode spec: %w", err)
+		}
+		if err := s.jnl.Append(journal.Record{
+			Type: journal.RecAccepted, Job: id, Idem: spec.IdempotencyKey, Spec: raw,
+		}); err != nil {
+			s.journalErrs.Add(1)
+			s.cfg.Logf("staggerd: %s refused, journal append failed: %v", id, err)
+			return nil, fmt.Errorf("%w: %v", ErrJournal, err)
+		}
 	}
 	select {
 	case s.queue <- j:
 	default:
 		s.shedFull.Add(1)
+		// Neutralize the accepted record so a crash does not resurrect a
+		// job the client was told to retry. Best-effort: if even this
+		// append fails, replay re-runs shed work — wasteful, never wrong.
+		s.journalState(journal.RecCanceled, id, "shed: admission queue full")
 		return nil, ErrQueueFull
 	}
 	s.jobsMu.Lock()
 	s.jobs[id] = j
 	s.order = append(s.order, id)
+	if spec.IdempotencyKey != "" {
+		s.idem[spec.IdempotencyKey] = id
+	}
 	s.jobsMu.Unlock()
 	s.accepted.Add(1)
 	return j, nil
@@ -274,6 +380,7 @@ func (s *Server) CancelJob(id string) error {
 	}
 	if j.cancelQueued() {
 		s.cancCnt.Add(1)
+		s.journalState(journal.RecCanceled, id, "canceled before start")
 		return nil
 	}
 	j.mu.Lock()
@@ -318,6 +425,16 @@ func (s *Server) BeginDrain() {
 				<-idle
 			}
 			s.baseCancel() // release the context either way
+			if s.jnl != nil {
+				// The pool is idle and every admitted job is terminal, so
+				// compacting to the live set truncates the journal to (almost
+				// always) just its header — the clean-shutdown marker that
+				// makes the next boot replay nothing.
+				if err := s.jnl.Compact(s.liveRecords()); err != nil {
+					s.cfg.Logf("staggerd: drain compact: %v", err)
+				}
+				s.jnl.Close()
+			}
 			close(s.drained)
 		}()
 	})
@@ -335,19 +452,21 @@ func (s *Server) Close() {
 // Metrics is the service-level counter snapshot served by /metrics
 // alongside the store's own Stats.
 type Metrics struct {
-	Accepted     uint64       `json:"accepted"`
-	ShedFull     uint64       `json:"shed_queue_full"`
-	ShedDraining uint64       `json:"shed_draining"`
-	Done         uint64       `json:"done"`
-	Failed       uint64       `json:"failed"`
-	Canceled     uint64       `json:"canceled"`
-	Retries      uint64       `json:"retries"`
-	Panics       uint64       `json:"panics_contained"`
-	Queued       int          `json:"queued"`
-	Running      int          `json:"running"`
-	Draining     bool         `json:"draining"`
-	UptimeMS     int64        `json:"uptime_ms"`
-	Store        *store.Stats `json:"store,omitempty"`
+	Accepted     uint64         `json:"accepted"`
+	ShedFull     uint64         `json:"shed_queue_full"`
+	ShedDraining uint64         `json:"shed_draining"`
+	Done         uint64         `json:"done"`
+	Failed       uint64         `json:"failed"`
+	Canceled     uint64         `json:"canceled"`
+	Retries      uint64         `json:"retries"`
+	Panics       uint64         `json:"panics_contained"`
+	Queued       int            `json:"queued"`
+	Running      int            `json:"running"`
+	Draining     bool           `json:"draining"`
+	UptimeMS     int64          `json:"uptime_ms"`
+	Store        *store.Stats   `json:"store,omitempty"`
+	Recovery     *RecoveryStats `json:"recovery,omitempty"`
+	Journal      *journal.Stats `json:"journal,omitempty"`
 }
 
 // Metrics snapshots the service counters.
@@ -370,6 +489,17 @@ func (s *Server) Metrics() Metrics {
 		st := s.store.Stats()
 		m.Store = &st
 	}
+	if s.jnl != nil {
+		m.Recovery = &RecoveryStats{
+			ReplayedRecords:      s.replayed.Load(),
+			RequeuedJobs:         s.requeued.Load(),
+			QuarantinedTailBytes: s.tailQuarantined.Load(),
+			ResumedCells:         s.resumedCells.Load(),
+			JournalErrors:        s.journalErrs.Load(),
+		}
+		js := s.jnl.Stats()
+		m.Journal = &js
+	}
 	return m
 }
 
@@ -388,6 +518,7 @@ func (s *Server) runJob(j *Job) {
 	}
 	s.running.Add(1)
 	defer s.running.Add(-1)
+	s.journalState(journal.RecRunning, j.id, "")
 
 	timeout := s.cfg.JobTimeout
 	if t := j.spec.timeout(); t > 0 && t < timeout {
@@ -401,8 +532,12 @@ func (s *Server) runJob(j *Job) {
 	for attempt := 0; ; attempt++ {
 		err = s.execute(ctx, j, attempt)
 		if err == nil {
+			// Results are durable in the store before the terminal record is
+			// written: a crash between the two re-runs the job, which then
+			// serves every cell from the store — same bytes, wasted instant.
 			j.finish(JobDone, "")
 			s.doneCnt.Add(1)
+			s.journalState(journal.RecDone, j.id, "")
 			return
 		}
 		if ctx.Err() != nil || attempt >= s.cfg.MaxRetries || !errors.Is(err, ErrTransient) {
@@ -422,6 +557,7 @@ func (s *Server) runJob(j *Job) {
 	if j.cancelRequested.Load() {
 		j.finish(JobCanceled, err.Error())
 		s.cancCnt.Add(1)
+		s.journalState(journal.RecCanceled, j.id, err.Error())
 		return
 	}
 	if errors.Is(err, context.DeadlineExceeded) {
@@ -429,6 +565,7 @@ func (s *Server) runJob(j *Job) {
 	}
 	j.finish(JobFailed, err.Error())
 	s.failCnt.Add(1)
+	s.journalState(journal.RecFailed, j.id, err.Error())
 	s.cfg.Logf("staggerd: %s failed: %v", j.id, err)
 }
 

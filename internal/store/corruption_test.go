@@ -1,0 +1,244 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/vfs"
+)
+
+// TestCorruptionTable drives every header- and payload-level damage
+// class through one Get and asserts the uniform contract: the entry is
+// quarantined under its reason suffix, the Get is a recomputable miss,
+// and a re-Put fully heals the key. This is the disk-side mirror of the
+// journal's torn-tail discipline — nothing on disk is ever trusted past
+// its checksums.
+func TestCorruptionTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		reason string
+		edit   func(raw []byte) []byte
+	}{
+		{"bad-magic", "magic", func(raw []byte) []byte {
+			return bytes.Replace(raw, []byte(magic), []byte("notastorefile"), 1)
+		}},
+		{"bad-version", "version", func(raw []byte) []byte {
+			old := []byte(fmt.Sprintf("%s %d\n", magic, FormatVersion))
+			return bytes.Replace(raw, old, []byte(fmt.Sprintf("%s %d\n", magic, FormatVersion+7)), 1)
+		}},
+		{"nonnumeric-version", "version", func(raw []byte) []byte {
+			old := []byte(fmt.Sprintf("%s %d\n", magic, FormatVersion))
+			return bytes.Replace(raw, old, []byte(magic+" one\n"), 1)
+		}},
+		{"truncated-header", "header", func(raw []byte) []byte {
+			// Cut inside the sha256 line: the header never completes.
+			idx := bytes.Index(raw, []byte("sha256 "))
+			return raw[:idx+10]
+		}},
+		{"mangled-header-field", "header", func(raw []byte) []byte {
+			return bytes.Replace(raw, []byte("bytes "), []byte("bites "), 1)
+		}},
+		{"truncated-body", "length", func(raw []byte) []byte {
+			return raw[:len(raw)-7]
+		}},
+		{"trailing-garbage", "length", func(raw []byte) []byte {
+			return append(raw, []byte("extra bytes after the payload")...)
+		}},
+		{"sha256-mismatch", "checksum", func(raw []byte) []byte {
+			// Flip one payload bit; lengths all still line up.
+			out := append([]byte(nil), raw...)
+			out[len(out)-3] ^= 0x01
+			return out
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := openT(t)
+			key := "corruption-" + tc.name
+			payload := []byte("the one true payload for " + tc.name)
+			if err := s.Put(key, payload); err != nil {
+				t.Fatal(err)
+			}
+			corruptEntry(t, s, key, tc.edit)
+
+			_, err := s.Get(key)
+			if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("corrupt Get = %v, want wrapped ErrNotFound", err)
+			}
+			var ce *CorruptError
+			if !errors.As(err, &ce) || ce.Reason != tc.reason {
+				t.Fatalf("corrupt Get = %v, want CorruptError{%s}", err, tc.reason)
+			}
+			q, qerr := s.QuarantinedFiles()
+			if qerr != nil || len(q) != 1 || !strings.HasSuffix(q[0], "."+tc.reason) {
+				t.Fatalf("quarantine = %v (%v), want one .%s file", q, qerr, tc.reason)
+			}
+			// The damaged bytes are preserved for forensics, not destroyed.
+			if _, err := os.Stat(filepath.Join(s.Root(), quarantineDir, q[0])); err != nil {
+				t.Fatal(err)
+			}
+			// Recompute-and-heal: the caller re-Puts, the key serves again.
+			if err := s.Put(key, payload); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Get(key)
+			if err != nil || !bytes.Equal(got, payload) {
+				t.Fatalf("healed Get = (%q, %v)", got, err)
+			}
+			if st := s.Stats(); st.Quarantined != 1 || st.Entries != 1 {
+				t.Fatalf("stats %+v, want Quarantined=1 Entries=1", st)
+			}
+		})
+	}
+}
+
+// GC must evict exactly the entries the keep predicate rejects — the
+// old-CacheSchema eviction staggerd runs at boot — while live-schema
+// entries keep serving byte-identically.
+func TestGCEvictsOldSchemaEntries(t *testing.T) {
+	s := openT(t)
+	keep := []string{"v3|cell|a", "v3|cell|b"}
+	evict := []string{"v1|cell|a", "v2|cell|a", "v2|explore|x"}
+	for _, k := range append(append([]string(nil), keep...), evict...) {
+		if err := s.Put(k, []byte("payload of "+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := s.GC(func(key string) bool { return strings.HasPrefix(key, "v3|") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != len(evict) {
+		t.Fatalf("GC removed %d, want %d", removed, len(evict))
+	}
+	for _, k := range evict {
+		if _, err := s.Get(k); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("evicted key %q still present: %v", k, err)
+		}
+	}
+	for _, k := range keep {
+		if got, err := s.Get(k); err != nil || string(got) != "payload of "+k {
+			t.Fatalf("kept key %q damaged: (%q, %v)", k, got, err)
+		}
+	}
+	st := s.Stats()
+	if st.GCRemoved != uint64(len(evict)) || st.Entries != len(keep) {
+		t.Fatalf("stats %+v, want GCRemoved=%d Entries=%d", st, len(evict), len(keep))
+	}
+}
+
+// An entry whose header does not even parse is quarantined by GC rather
+// than silently skipped or trusted.
+func TestGCQuarantinesUnparseableEntries(t *testing.T) {
+	s := openT(t)
+	if err := s.Put("good", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(s.Root(), objectsDir, strings.Repeat("ab", 32)+".entry")
+	if err := os.WriteFile(bad, []byte("junk, not a header\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := s.GC(func(string) bool { return true })
+	if err != nil || removed != 0 {
+		t.Fatalf("GC = (%d, %v), want (0, nil)", removed, err)
+	}
+	if q, _ := s.QuarantinedFiles(); len(q) != 1 || !strings.HasSuffix(q[0], ".magic") {
+		t.Fatalf("quarantine = %v, want the junk entry", q)
+	}
+	if got, err := s.Get("good"); err != nil || string(got) != "x" {
+		t.Fatalf("good key damaged by GC: (%q, %v)", got, err)
+	}
+}
+
+// A crash between CreateTemp and Rename leaves put-*.tmp debris; the
+// next Open must sweep it without touching live entries.
+func TestOpenSweepsOrphanedTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("live", []byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(dir, objectsDir, "put-123456.tmp")
+	if err := os.WriteFile(orphan, []byte("torn half of an entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("orphan not swept: %v", err)
+	}
+	if got, err := s2.Get("live"); err != nil || string(got) != "kept" {
+		t.Fatalf("live entry damaged by sweep: (%q, %v)", got, err)
+	}
+}
+
+// A crash injected right after Put's temp-file write must never damage
+// the live name: the key reads back either complete or absent.
+func TestPutCrashLeavesLiveNameIntact(t *testing.T) {
+	fp, err := chaos.ParseFailpoints("write:objects=crash@2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	ffs := &vfs.FaultFS{Base: vfs.OS, FP: fp}
+	s, err := OpenFS(ffs, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("the original payload")); err != nil {
+		t.Fatal(err)
+	}
+	// Write hit 2 is the second Put's temp file: bytes land, then "death".
+	if err := s.Put("k", []byte("the original payload")); err == nil {
+		t.Fatal("crashing Put returned nil")
+	}
+	// The "restart": a plain store over the same directory.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get("k")
+	if err != nil || string(got) != "the original payload" {
+		t.Fatalf("after crash: (%q, %v), want the original payload", got, err)
+	}
+	if st := s2.Stats(); st.Entries != 1 {
+		t.Fatalf("stats %+v, want exactly the live entry (temp swept)", st)
+	}
+}
+
+// ENOSPC during Put must fail the write without corrupting anything;
+// the store keeps serving and a later Put (space freed) heals the key.
+func TestPutENOSPCFailsCleanly(t *testing.T) {
+	fp, err := chaos.ParseFailpoints("write:objects=enospc@1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs := &vfs.FaultFS{Base: vfs.OS, FP: fp}
+	s, err := OpenFS(ffs, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("v")); !errors.Is(err, vfs.ErrNoSpace) {
+		t.Fatalf("full-disk Put = %v, want ErrNoSpace", err)
+	}
+	if _, err := s.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("failed Put left something servable: %v", err)
+	}
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatalf("healing Put = %v", err)
+	}
+	if got, err := s.Get("k"); err != nil || string(got) != "v" {
+		t.Fatalf("healed Get = (%q, %v)", got, err)
+	}
+}

@@ -30,12 +30,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/vfs"
 )
 
 // FormatVersion is the on-disk entry container version. Entries written
@@ -69,7 +71,8 @@ type Stats struct {
 	Misses      uint64 `json:"misses"`
 	Puts        uint64 `json:"puts"`
 	Quarantined uint64 `json:"quarantined"`
-	Entries     int    `json:"entries"` // on disk right now
+	GCRemoved   uint64 `json:"gc_removed"` // old-schema entries evicted by GC
+	Entries     int    `json:"entries"`    // on disk right now
 }
 
 // Store is a durable key→payload map under one root directory. All
@@ -79,20 +82,38 @@ type Stats struct {
 // same bytes anyway).
 type Store struct {
 	root string
+	fs   vfs.FS
 
 	mu sync.Mutex // serializes multi-step filesystem transitions (quarantine moves)
 
-	hits, misses, puts, quarantined atomic.Uint64
+	hits, misses, puts, quarantined, gcRemoved atomic.Uint64
 }
 
-// Open creates (if needed) and opens a store rooted at dir.
-func Open(dir string) (*Store, error) {
+// Open creates (if needed) and opens a store rooted at dir on the real
+// filesystem.
+func Open(dir string) (*Store, error) { return OpenFS(vfs.OS, dir) }
+
+// OpenFS opens a store over an explicit filesystem — the seam the
+// disk-fault harness injects through. It also sweeps crash debris:
+// temp files a previous life created but never renamed into place.
+func OpenFS(fsys vfs.FS, dir string) (*Store, error) {
 	for _, sub := range []string{objectsDir, quarantineDir} {
-		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+		if err := fsys.MkdirAll(filepath.Join(dir, sub)); err != nil {
 			return nil, fmt.Errorf("store: open %s: %w", dir, err)
 		}
 	}
-	return &Store{root: dir}, nil
+	s := &Store{root: dir, fs: fsys}
+	// A crash between CreateTemp and Rename leaves an orphaned put-*.tmp
+	// holding at most a torn copy of something re-Put will rewrite; the
+	// live names were never touched, so deleting the orphans is safe.
+	if ents, err := fsys.ReadDir(filepath.Join(dir, objectsDir)); err == nil {
+		for _, e := range ents {
+			if strings.HasPrefix(e.Name(), "put-") && strings.HasSuffix(e.Name(), ".tmp") {
+				fsys.Remove(filepath.Join(dir, objectsDir, e.Name()))
+			}
+		}
+	}
+	return s, nil
 }
 
 // Root returns the store's root directory.
@@ -117,11 +138,11 @@ func (s *Store) entryPath(key string) string {
 // make this a byte-level no-op; it also self-heals a quarantined key).
 func (s *Store) Put(key string, payload []byte) error {
 	dir := filepath.Join(s.root, objectsDir)
-	tmp, err := os.CreateTemp(dir, "put-*.tmp")
+	tmp, err := s.fs.CreateTemp(dir, "put-*.tmp")
 	if err != nil {
 		return fmt.Errorf("store: put %q: %w", key, err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer s.fs.Remove(tmp.Name()) // no-op after a successful rename
 	sum := sha256.Sum256(payload)
 	w := bufio.NewWriter(tmp)
 	fmt.Fprintf(w, "%s %d\n", magic, FormatVersion)
@@ -140,7 +161,7 @@ func (s *Store) Put(key string, payload []byte) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("store: put %q: %w", key, err)
 	}
-	if err := os.Rename(tmp.Name(), s.entryPath(key)); err != nil {
+	if err := s.fs.Rename(tmp.Name(), s.entryPath(key)); err != nil {
 		return fmt.Errorf("store: put %q: %w", key, err)
 	}
 	s.puts.Add(1)
@@ -153,9 +174,9 @@ func (s *Store) Put(key string, payload []byte) error {
 // treat every non-nil error as "recompute" while still logging why.
 func (s *Store) Get(key string) ([]byte, error) {
 	path := s.entryPath(key)
-	f, err := os.Open(path)
+	f, err := s.fs.Open(path)
 	if err != nil {
-		if os.IsNotExist(err) {
+		if errors.Is(err, fs.ErrNotExist) {
 			s.misses.Add(1)
 			return nil, ErrNotFound
 		}
@@ -174,10 +195,17 @@ func (s *Store) Get(key string) ([]byte, error) {
 	return payload, nil
 }
 
-// readEntry parses and verifies one entry stream. It returns the payload
-// or a non-empty corruption reason.
-func readEntry(f io.Reader, key string) ([]byte, string) {
-	r := bufio.NewReader(f)
+// entryHeader is the parsed, not-yet-verified header of one entry.
+type entryHeader struct {
+	key  string
+	sum  string
+	size int
+}
+
+// readHeader parses and validates one entry's header lines, returning
+// the header or a non-empty corruption reason.
+func readHeader(r *bufio.Reader) (entryHeader, string) {
+	var h entryHeader
 	line := func() (string, bool) {
 		l, err := r.ReadString('\n')
 		if err != nil {
@@ -187,39 +215,53 @@ func readEntry(f io.Reader, key string) ([]byte, string) {
 	}
 	head, ok := line()
 	if !ok {
-		return nil, "header"
+		return h, "header"
 	}
 	gotMagic, gotVer, found := strings.Cut(head, " ")
 	if !found || gotMagic != magic {
-		return nil, "magic"
+		return h, "magic"
 	}
 	if v, err := strconv.Atoi(gotVer); err != nil || v != FormatVersion {
-		return nil, "version"
+		return h, "version"
 	}
 	keyLine, ok := line()
 	if !ok || !strings.HasPrefix(keyLine, "key ") {
-		return nil, "header"
+		return h, "header"
 	}
-	if decodeKey(strings.TrimPrefix(keyLine, "key ")) != key {
-		return nil, "key"
-	}
+	h.key = decodeKey(strings.TrimPrefix(keyLine, "key "))
 	sumLine, ok := line()
 	if !ok || !strings.HasPrefix(sumLine, "sha256 ") {
-		return nil, "header"
+		return h, "header"
 	}
-	wantSum := strings.TrimPrefix(sumLine, "sha256 ")
+	h.sum = strings.TrimPrefix(sumLine, "sha256 ")
 	lenLine, ok := line()
 	if !ok || !strings.HasPrefix(lenLine, "bytes ") {
-		return nil, "header"
+		return h, "header"
 	}
 	n, err := strconv.Atoi(strings.TrimPrefix(lenLine, "bytes "))
 	if err != nil || n < 0 {
-		return nil, "header"
+		return h, "header"
 	}
+	h.size = n
 	if blank, ok := line(); !ok || blank != "" {
-		return nil, "header"
+		return h, "header"
 	}
-	payload := make([]byte, n)
+	return h, ""
+}
+
+// readEntry parses and verifies one entry stream. It returns the payload
+// or a non-empty corruption reason.
+func readEntry(f io.Reader, key string) ([]byte, string) {
+	r := bufio.NewReader(f)
+	h, reason := readHeader(r)
+	if reason != "" {
+		return nil, reason
+	}
+	if h.key != key {
+		return nil, "key"
+	}
+	wantSum := h.sum
+	payload := make([]byte, h.size)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, "length" // truncated: a torn write that escaped rename atomicity
 	}
@@ -243,16 +285,55 @@ func (s *Store) quarantine(path, reason string) string {
 	base := filepath.Base(path) + "." + reason
 	dst := filepath.Join(s.root, quarantineDir, base)
 	for i := 1; ; i++ {
-		if _, err := os.Stat(dst); os.IsNotExist(err) {
+		if _, err := s.fs.Stat(dst); errors.Is(err, fs.ErrNotExist) {
 			break
 		}
 		dst = filepath.Join(s.root, quarantineDir, fmt.Sprintf("%s.%d", base, i))
 	}
-	if err := os.Rename(path, dst); err != nil {
-		os.Remove(path)
+	if err := s.fs.Rename(path, dst); err != nil {
+		s.fs.Remove(path)
 		return ""
 	}
 	return dst
+}
+
+// GC walks every entry and removes those whose header key fails keep —
+// the eviction path for entries written under an old CacheSchema, which
+// age out as misses (the schema is baked into the key) but would
+// otherwise occupy disk forever. Entries whose header cannot even be
+// parsed are quarantined. GC races safely with concurrent traffic: it
+// only ever removes a live name, which a concurrent Put simply
+// recreates whole.
+func (s *Store) GC(keep func(key string) bool) (removed int, err error) {
+	dir := filepath.Join(s.root, objectsDir)
+	ents, err := s.fs.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("store: gc: %w", err)
+	}
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".entry") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := s.fs.Open(path)
+		if err != nil {
+			continue // raced with quarantine or a concurrent GC
+		}
+		h, reason := readHeader(bufio.NewReader(f))
+		f.Close()
+		if reason != "" {
+			s.quarantine(path, reason)
+			s.quarantined.Add(1)
+			continue
+		}
+		if !keep(h.key) {
+			if s.fs.Remove(path) == nil {
+				removed++
+				s.gcRemoved.Add(1)
+			}
+		}
+	}
+	return removed, nil
 }
 
 // Stats snapshots traffic counters and the current entry count.
@@ -262,8 +343,9 @@ func (s *Store) Stats() Stats {
 		Misses:      s.misses.Load(),
 		Puts:        s.puts.Load(),
 		Quarantined: s.quarantined.Load(),
+		GCRemoved:   s.gcRemoved.Load(),
 	}
-	if ents, err := os.ReadDir(filepath.Join(s.root, objectsDir)); err == nil {
+	if ents, err := s.fs.ReadDir(filepath.Join(s.root, objectsDir)); err == nil {
 		for _, e := range ents {
 			if strings.HasSuffix(e.Name(), ".entry") {
 				st.Entries++
@@ -275,7 +357,7 @@ func (s *Store) Stats() Stats {
 
 // QuarantinedFiles lists the quarantine directory (forensics, tests).
 func (s *Store) QuarantinedFiles() ([]string, error) {
-	ents, err := os.ReadDir(filepath.Join(s.root, quarantineDir))
+	ents, err := s.fs.ReadDir(filepath.Join(s.root, quarantineDir))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,238 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sync/atomic"
+
+	"repro/internal/chaos"
+)
+
+// ErrInjected is the failure FaultFS injects for FPError: an I/O error
+// whose aftermath is unknown to the caller, like a real EIO from fsync.
+var ErrInjected = errors.New("vfs: injected I/O error")
+
+// ErrNoSpace is the failure FaultFS injects for FPENOSPC.
+var ErrNoSpace = errors.New("vfs: injected ENOSPC: no space left on device")
+
+// ErrCrashed is returned by every operation after a crash failpoint
+// fired with no OnCrash hook: the filesystem is wedged, modeling the
+// process having died. Whatever bytes reached the underlying FS before
+// the crash point stay there — exactly what a restart would find.
+var ErrCrashed = errors.New("vfs: simulated crash: filesystem wedged")
+
+// FaultFS injects deterministic disk faults into a base FS, driven by a
+// chaos.Failpoints registry. Operation classes evaluated against the
+// registry: "create", "open", "write", "sync", "rename", "remove",
+// "truncate" (ReadFile/WriteFile evaluate "open"/"write" with the full
+// path). A crash failpoint completes the operation first — the
+// post-write crash window — then calls OnCrash; if OnCrash is nil or
+// returns, the FaultFS wedges and every later operation fails with
+// ErrCrashed, so in-process tests get powercut semantics while the
+// daemon can pass an OnCrash that hard-exits the process.
+type FaultFS struct {
+	Base    FS
+	FP      *chaos.Failpoints
+	OnCrash func()
+
+	crashed atomic.Bool
+}
+
+// Crashed reports whether a crash failpoint has wedged the filesystem.
+func (f *FaultFS) Crashed() bool { return f.crashed.Load() }
+
+// crash completes the simulated death. It never returns a usable
+// filesystem: either OnCrash exits the process or the FS stays wedged.
+func (f *FaultFS) crash() error {
+	f.crashed.Store(true)
+	if f.OnCrash != nil {
+		f.OnCrash()
+	}
+	return ErrCrashed
+}
+
+// eval maps one operation through the registry to an error (nil = let it
+// proceed), for the non-mutating ops (open, create): a crash here fires
+// before the operation, which reaches the same on-disk states as a crash
+// an instant earlier. FPShort is meaningful only for writes and degrades
+// to FPError elsewhere.
+func (f *FaultFS) eval(op, path string) error {
+	if f.crashed.Load() {
+		return ErrCrashed
+	}
+	switch f.FP.Eval(op, path) {
+	case chaos.FPNone:
+		return nil
+	case chaos.FPENOSPC:
+		return fmt.Errorf("%s %s: %w", op, path, ErrNoSpace)
+	case chaos.FPCrash:
+		return f.crash()
+	default:
+		return fmt.Errorf("%s %s: %w", op, path, ErrInjected)
+	}
+}
+
+// do wraps a mutating operation: a crash failpoint completes the
+// operation first — the post-op crash window, the interesting instant
+// for rename-based atomicity and fsync durability arguments — and then
+// kills the process or wedges the filesystem.
+func (f *FaultFS) do(op, path string, fn func() error) error {
+	if f.crashed.Load() {
+		return ErrCrashed
+	}
+	switch f.FP.Eval(op, path) {
+	case chaos.FPNone:
+		return fn()
+	case chaos.FPENOSPC:
+		return fmt.Errorf("%s %s: %w", op, path, ErrNoSpace)
+	case chaos.FPCrash:
+		fn() // the operation lands, then the process dies
+		return f.crash()
+	default:
+		return fmt.Errorf("%s %s: %w", op, path, ErrInjected)
+	}
+}
+
+func (f *FaultFS) MkdirAll(path string) error {
+	if f.crashed.Load() {
+		return ErrCrashed
+	}
+	return f.Base.MkdirAll(path)
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	if err := f.eval("create", name); err != nil {
+		return nil, err
+	}
+	file, err := f.Base.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	if err := f.eval("create", dir); err != nil {
+		return nil, err
+	}
+	file, err := f.Base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FaultFS) Open(name string) (File, error) {
+	if err := f.eval("open", name); err != nil {
+		return nil, err
+	}
+	file, err := f.Base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FaultFS) OpenAppend(name string) (File, error) {
+	if err := f.eval("open", name); err != nil {
+		return nil, err
+	}
+	file, err := f.Base.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if err := f.eval("open", name); err != nil {
+		return nil, err
+	}
+	return f.Base.ReadFile(name)
+}
+
+func (f *FaultFS) WriteFile(name string, data []byte) error {
+	if f.crashed.Load() {
+		return ErrCrashed
+	}
+	switch f.FP.Eval("write", name) {
+	case chaos.FPNone:
+		return f.Base.WriteFile(name, data)
+	case chaos.FPENOSPC:
+		return fmt.Errorf("write %s: %w", name, ErrNoSpace)
+	case chaos.FPShort:
+		f.Base.WriteFile(name, data[:len(data)/2]) // the torn half lands
+		return fmt.Errorf("write %s: %w", name, ErrInjected)
+	case chaos.FPCrash:
+		f.Base.WriteFile(name, data) // the write lands, then the process dies
+		return f.crash()
+	default:
+		return fmt.Errorf("write %s: %w", name, ErrInjected)
+	}
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	return f.do("rename", newpath, func() error { return f.Base.Rename(oldpath, newpath) })
+}
+
+func (f *FaultFS) Remove(name string) error {
+	return f.do("remove", name, func() error { return f.Base.Remove(name) })
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	return f.do("truncate", name, func() error { return f.Base.Truncate(name, size) })
+}
+
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error) {
+	if f.crashed.Load() {
+		return nil, ErrCrashed
+	}
+	return f.Base.Stat(name)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	if f.crashed.Load() {
+		return nil, ErrCrashed
+	}
+	return f.Base.ReadDir(name)
+}
+
+// faultFile threads the registry through a file handle's writes and
+// syncs, keyed by the file's own name.
+type faultFile struct {
+	File
+	fs *FaultFS
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if ff.fs.crashed.Load() {
+		return 0, ErrCrashed
+	}
+	switch ff.fs.FP.Eval("write", ff.Name()) {
+	case chaos.FPNone:
+		return ff.File.Write(p)
+	case chaos.FPENOSPC:
+		return 0, fmt.Errorf("write %s: %w", ff.Name(), ErrNoSpace)
+	case chaos.FPShort:
+		n, _ := ff.File.Write(p[:len(p)/2]) // the torn half lands
+		return n, fmt.Errorf("write %s: %w", ff.Name(), ErrInjected)
+	case chaos.FPCrash:
+		ff.File.Write(p) // the write lands, then the process dies
+		return len(p), ff.fs.crash()
+	default:
+		return 0, fmt.Errorf("write %s: %w", ff.Name(), ErrInjected)
+	}
+}
+
+func (ff *faultFile) Sync() error {
+	return ff.fs.do("sync", ff.Name(), ff.File.Sync)
+}
+
+func (ff *faultFile) Close() error {
+	// Close always reaches the base handle: a wedged FS must not leak
+	// file descriptors out of the test process.
+	return ff.File.Close()
+}
+
+var _ FS = (*FaultFS)(nil)

@@ -1,0 +1,79 @@
+// Package vfs is the pluggable filesystem seam under the durable layers
+// (internal/store, internal/journal): a small interface over exactly the
+// operations crash safety depends on — create, write, fsync, atomic
+// rename, truncate — with two implementations. OS passes straight
+// through to the real filesystem; FaultFS wraps any FS and injects
+// deterministic disk faults (short writes, fsync errors, ENOSPC,
+// post-write crashes) from a chaos.Failpoints registry, so the recovery
+// paths above it can be exercised byte-for-byte reproducibly.
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the handle surface the durable layers use: sequential reads
+// and writes, durability via Sync, and the name for error reports.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Name() string
+	Sync() error
+}
+
+// FS is the filesystem surface the durable layers use. Implementations
+// must give Rename the same same-directory atomicity the OS provides:
+// after a crash, the destination holds either the old or the new
+// content, never a mix.
+type FS interface {
+	MkdirAll(path string) error
+	// Create opens name for writing, truncating it if it exists.
+	Create(name string) (File, error)
+	// CreateTemp creates a new temp file in dir; pattern as os.CreateTemp.
+	CreateTemp(dir, pattern string) (File, error)
+	// Open opens name read-only.
+	Open(name string) (File, error)
+	// OpenAppend opens name for appending, creating it if needed.
+	OpenAppend(name string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Truncate(name string, size int64) error
+	Stat(name string) (fs.FileInfo, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) WriteFile(name string, data []byte) error { return os.WriteFile(name, data, 0o644) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }

@@ -1,0 +1,164 @@
+#!/bin/sh
+# crash_smoke.sh: the crash-recovery harness, driven from the shell the
+# way a supervisor would drive the real daemon. Four scenarios, each
+# against a real staggerd process killed for real:
+#
+#   1. SIGKILL mid-sweep, restart over the same store: the journal
+#      replays the accepted job, the sweep resumes from the durable
+#      cells, and the result is byte-identical to an uninterrupted
+#      reference run — while a staggerctl -reconnect waiter rides
+#      through the restart window without failing.
+#   2. Deterministic failpoint crash (exit 137) the instant the accepted
+#      record's fsync completes: accepted means durable, so the restart
+#      runs the job the client never even heard back about.
+#   3. Short-write failpoint tears the journal frame in half: the submit
+#      is refused (503), and the restart quarantines the torn tail into
+#      a sidecar instead of trusting it.
+#   4. ENOSPC on every store write: jobs still complete from memory, and
+#      a healthy restart recomputes identical bytes.
+#
+# On failure the journal, store, and daemon logs are preserved under
+# $CRASH_ARTIFACTS (default: a fresh mktemp dir, path printed) so CI can
+# upload them.
+set -eu
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+pid=""
+
+fail() {
+    dest=${CRASH_ARTIFACTS:-$(mktemp -d /tmp/crash-artifacts-XXXXXX)}
+    mkdir -p "$dest"
+    cp -r "$tmp"/store* "$tmp"/*.log "$dest"/ 2>/dev/null || true
+    echo "crash-smoke: FAIL: $1 (artifacts: $dest)" >&2
+    exit 1
+}
+cleanup() {
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+"$GO" build -o "$tmp/staggerd" ./cmd/staggerd
+"$GO" build -o "$tmp/staggerctl" ./cmd/staggerctl
+
+# boot STORE [extra staggerd flags...]: start the daemon, wait for the
+# bound address in $addr, leave the pid in $pid.
+boot() {
+    store=$1
+    shift
+    rm -f "$tmp/addr"
+    "$tmp/staggerd" -addr "${fixed_addr:-127.0.0.1:0}" -addr-file "$tmp/addr" \
+        -store "$store" -grace 5s "$@" >>"$tmp/daemon.log" 2>&1 &
+    pid=$!
+    i=0
+    while [ ! -s "$tmp/addr" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            cat "$tmp/daemon.log" >&2
+            fail "daemon never published its address"
+        fi
+        sleep 0.1
+    done
+    addr=$(cat "$tmp/addr")
+}
+ctl() { "$tmp/staggerctl" -addr "$addr" "$@"; }
+
+sweep='{"cells":[
+  {"bench":"list-hi","threads":2,"seed":1,"ops":25000},
+  {"bench":"list-hi","threads":2,"seed":2,"ops":25000},
+  {"bench":"list-hi","threads":2,"seed":3,"ops":25000}]}'
+tiny='{"cells":[{"bench":"list-hi","threads":2,"seed":9,"ops":300}]}'
+
+# --- Reference run: the sweep, never interrupted. ---------------------
+fixed_addr=""
+boot "$tmp/store-ref"
+job=$(ctl submit "$sweep")
+ctl wait "$job" >/dev/null
+ctl result "$job" >"$tmp/ref.json"
+kill -9 "$pid" && wait "$pid" 2>/dev/null || true
+pid=""
+
+# --- 1: SIGKILL mid-sweep; the restart resumes and finishes. ----------
+boot "$tmp/store-kill"
+fixed_addr=$addr # restart on the same port so the waiter can ride through
+job=$(ctl submit "$sweep")
+# A polling client started before the crash must survive the restart.
+ctl -reconnect 30s -timeout 120s wait "$job" >"$tmp/wait.json" &
+waiter=$!
+# Kill the daemon the moment the sweep is running.
+i=0
+until ctl status "$job" | grep -q '"state": "running"'; do
+    i=$((i + 1))
+    [ "$i" -gt 200 ] && fail "scenario 1: job never started running"
+    sleep 0.05
+done
+kill -9 "$pid" && wait "$pid" 2>/dev/null || true
+pid=""
+boot "$tmp/store-kill"
+fixed_addr=""
+ctl metrics | grep -q '"requeued_jobs": 1' ||
+    fail "scenario 1: restart did not requeue the crashed job"
+wait "$waiter" || fail "scenario 1: reconnecting waiter did not ride through the restart"
+grep -q '"state": "done"' "$tmp/wait.json" ||
+    fail "scenario 1: recovered job did not finish done"
+ctl result "$job" >"$tmp/got.json"
+cmp -s "$tmp/ref.json" "$tmp/got.json" ||
+    fail "scenario 1: recovered result differs from the uninterrupted reference"
+# The resumed portion is visible in the metrics.
+ctl metrics | grep -q '"resumed_cells"' ||
+    fail "scenario 1: no resumed_cells counter in /metrics"
+kill -9 "$pid" && wait "$pid" 2>/dev/null || true
+pid=""
+
+# --- 2: failpoint crash right after the accepted record is durable. ---
+# Journal sync hit 1 is the boot magic; hit 2 is the first submit's
+# accepted record. The daemon dies with exit 137 before answering.
+boot "$tmp/store-fp" -failpoints 'sync:jobs.wal=crash@2'
+ctl submit "$tiny" >/dev/null 2>&1 || true
+wait "$pid" 2>/dev/null && rc=0 || rc=$?
+[ "$rc" -eq 137 ] || fail "scenario 2: failpoint crash exited $rc, want 137"
+pid=""
+boot "$tmp/store-fp"
+ctl metrics | grep -q '"requeued_jobs": 1' ||
+    fail "scenario 2: accepted-but-unanswered job was not requeued"
+ctl wait job-000001 >/dev/null ||
+    fail "scenario 2: recovered job job-000001 did not finish"
+kill -9 "$pid" && wait "$pid" 2>/dev/null || true
+pid=""
+
+# --- 3: short write tears the journal; boot quarantines the tail. -----
+boot "$tmp/store-torn" -failpoints 'write:jobs.wal=short@2'
+if ctl submit "$tiny" >/dev/null 2>&1; then
+    fail "scenario 3: submit onto a failing journal was accepted"
+fi
+kill -9 "$pid" && wait "$pid" 2>/dev/null || true
+pid=""
+boot "$tmp/store-torn"
+ctl metrics | grep -q '"quarantined_tail_bytes": 0' &&
+    fail "scenario 3: torn tail was not quarantined"
+ls "$tmp/store-torn/journal/"*.quarantine.* >/dev/null 2>&1 ||
+    fail "scenario 3: no quarantine sidecar on disk"
+job=$(ctl submit "$tiny") || fail "scenario 3: repaired journal refused work"
+ctl wait "$job" >/dev/null
+kill -9 "$pid" && wait "$pid" 2>/dev/null || true
+pid=""
+
+# --- 4: ENOSPC on the store degrades to memory, never corrupts. -------
+boot "$tmp/store-full" -failpoints 'write:objects=enospc%1'
+job=$(ctl submit "$tiny")
+ctl wait "$job" >/dev/null || fail "scenario 4: job failed under ENOSPC"
+ctl result "$job" >"$tmp/full1.json"
+kill -9 "$pid" && wait "$pid" 2>/dev/null || true
+pid=""
+boot "$tmp/store-full"
+job2=$(ctl submit "$tiny")
+ctl wait "$job2" | grep -q '"from_store": 0' ||
+    fail "scenario 4: restart claims store hits after a full-disk life"
+ctl result "$job2" >"$tmp/full2.json"
+cmp -s "$tmp/full1.json" "$tmp/full2.json" ||
+    fail "scenario 4: recomputed bytes differ from the memory-served run"
+kill -9 "$pid" && wait "$pid" 2>/dev/null || true
+pid=""
+
+echo "crash-smoke: OK (4 crash scenarios recovered byte-identically)"
