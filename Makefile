@@ -16,21 +16,31 @@ help:
 # the IR-level static verification of every workload, the race-mode
 # parallel-sweep equivalence suite, the daemon lifecycle smoke, the
 # crash-recovery harness, and the generated-docs drift check.
-ci: vet build test smoke explore-smoke verify-static race-equivalence daemon-smoke crash-smoke docs-verify ## full CI gate (all of the below)
+ci: vet build test smoke explore-smoke verify-static conflict-verify race-equivalence daemon-smoke crash-smoke docs-verify ## full CI gate (all of the below)
 
 # vet layers three static gates: formatting, the standard go vet, and
-# the repo's own staggervet analyzers (determinism, ntstore, siteattr).
-# Any staggervet diagnostic exits nonzero and fails the build.
-vet: ## gofmt + go vet + staggervet analyzers
+# the repo's own staggervet analyzers (determinism, ntstore, siteattr,
+# errshadow, fsyncpath, ctxdone), self-hosted over the whole tree and
+# checked against the committed findings baseline. Any unbaselined
+# diagnostic — or a stale baseline entry — exits nonzero and fails the
+# build.
+vet: ## gofmt + go vet + staggervet analyzers (baseline-checked)
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	$(GO) vet ./...
-	$(GO) run ./cmd/staggervet
+	$(GO) run ./cmd/staggervet -baseline cmd/staggervet/baseline.txt
 
 # verify-static proves the four IR invariants (anchor scope, lock
 # order, coverage, static/dynamic conformance) on all ten workloads.
 verify-static: ## IR invariants: anchor scope, lock order, coverage, conformance
 	$(GO) run ./cmd/staggersim -verify-static
+
+# conflict-verify is the static conflict-prediction gate: for every
+# workload it builds the may-conflict matrix, proves advisory-lock
+# sufficiency and precision, and cross-validates the matrix against the
+# conflicting site pairs observed dynamically across three seeds.
+conflict-verify: ## may-conflict matrix: sufficiency, precision, dynamic containment
+	$(GO) run ./cmd/staggersim -verify-conflicts
 
 build: ## go build ./...
 	$(GO) build ./...

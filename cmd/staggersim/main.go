@@ -30,6 +30,8 @@
 //
 //	staggersim -verify-static
 //	staggersim -verify-static -bench vacation,tsp -naive
+//	staggersim -verify-conflicts -json
+//	staggersim -verify-conflicts -bench list-hi -inject-underlock
 package main
 
 import (
@@ -64,7 +66,8 @@ var flagGroups = []struct {
 		"chaos-jitter", "hardened", "watchdog", "chaos-campaign", "chaos-rates"}},
 	{"Scheduling and exploration", []string{"sched", "sched-seed", "oracle", "record", "explore",
 		"explore-runs", "minimize", "explore-out", "unsafe-early-release"}},
-	{"Static verification", []string{"verify-static", "inject-drift"}},
+	{"Static verification", []string{"verify-static", "verify-conflicts", "conflict-seeds", "json",
+		"inject-drift", "inject-underlock", "inject-overlock"}},
 }
 
 // groupedUsage prints the grouped flag reference.
@@ -120,6 +123,10 @@ type opts struct {
 	minimize                                            *bool
 	exploreOut                                          *string
 	unsafeEarly, verifyStatic, injectDrift              *bool
+	verifyConflicts                                     *bool
+	conflictSeeds                                       *string
+	jsonOut                                             *bool
+	injectUnder, injectOver                             *bool
 	workers                                             *int
 }
 
@@ -157,6 +164,15 @@ func defineFlags(fs *flag.FlagSet) *opts {
 		verifyStatic: fs.Bool("verify-static", false,
 			"verify anchor-scope, lock-order, coverage, and static/dynamic conformance (all benchmarks unless -bench)"),
 		injectDrift: fs.Bool("inject-drift", false, "enable the test-only vacation IR-drift mutation (demo: -verify-static catches it)"),
+		verifyConflicts: fs.Bool("verify-conflicts", false,
+			"verify lock sufficiency, lock precision, and dynamic conflict-pair containment over the static may-conflict matrix (all benchmarks unless -bench)"),
+		conflictSeeds: fs.String("conflict-seeds", "42,43,44",
+			"comma-separated workload seeds for the dynamic containment runs of -verify-conflicts"),
+		jsonOut: fs.Bool("json", false, "print verify-mode findings as stable-sorted JSON (for -verify-static / -verify-conflicts)"),
+		injectUnder: fs.Bool("inject-underlock", false,
+			"seed an under-lock mutation: clear one effective ALP (demo: -verify-conflicts sufficiency catches it)"),
+		injectOver: fs.Bool("inject-overlock", false,
+			"seed an over-lock mutation: add one spurious ALP on a read-only class (demo: -verify-conflicts precision catches it)"),
 		workers: fs.Int("workers", runtime.NumCPU(),
 			"max concurrent simulation runs in campaigns (1 = sequential; output is identical either way)"),
 	}
@@ -183,7 +199,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "staggersim:", err)
 			os.Exit(2)
 		}
-		runVerifyStatic(*bench, m, *threads, *seed, *ops, *naive)
+		runVerifyStatic(*bench, m, *threads, *seed, *ops, *naive, *o.jsonOut)
+		return
+	}
+	if *o.verifyConflicts {
+		m, err := parseMode(*mode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "staggersim:", err)
+			os.Exit(2)
+		}
+		runVerifyConflicts(*bench, m, *threads, *ops, *o.conflictSeeds,
+			*naive, *o.injectUnder, *o.injectOver, *o.jsonOut)
 		return
 	}
 

@@ -21,12 +21,12 @@ import (
 // declared access kind and DSA coverage. Any violation prints with
 // block/site identity (and a minimal counterexample path for scope
 // violations) and the process exits nonzero.
-func runVerifyStatic(benchList string, m stagger.Mode, threads int, seed int64, ops int, naive bool) {
+func runVerifyStatic(benchList string, m stagger.Mode, threads int, seed int64, ops int, naive, asJSON bool) {
 	names := workloads.Names()
 	if benchList != "" {
 		names = strings.Split(benchList, ",")
 	}
-	bad := 0
+	var all []finding
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		w, err := workloads.Get(name)
@@ -61,18 +61,30 @@ func runVerifyStatic(benchList string, m stagger.Mode, threads int, seed int64, 
 		}
 		dynamic := rec.Check(res.Compiled)
 
-		if len(static)+len(dynamic) == 0 {
+		viols := append(static, dynamic...)
+		if asJSON {
+			all = append(all, findingsOf(name, viols)...)
+			continue
+		}
+		if len(viols) == 0 {
 			fmt.Printf("verify-static %-10s OK: anchor-scope, lock-order, coverage, conformance (%d blocks, %d dynamic site obs)\n",
 				name, len(w.Mod.Atomics), rec.Observations())
 			continue
 		}
-		for _, v := range append(static, dynamic...) {
-			bad++
+		for _, v := range viols {
+			all = append(all, findingsOf(name, []staticcheck.Violation{v})...)
 			fmt.Printf("verify-static %s: %s\n", name, v)
 		}
 	}
-	if bad > 0 {
-		fmt.Printf("verify-static: %d violation(s)\n", bad)
+	if asJSON {
+		emitFindingsJSON("verify-static", all)
+		if len(all) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+	if len(all) > 0 {
+		fmt.Printf("verify-static: %d violation(s)\n", len(all))
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ctxdone requires looping goroutines in the service and harness layers
+// to observe cancellation. A `go` statement whose body spins in an
+// unconditional `for { ... }` with no select, no channel receive, and no
+// ctx.Done()/ctx.Err() consultation can never be stopped: drain hangs on
+// workers.Wait, tests leak the goroutine, and SIGTERM turns into SIGKILL
+// at the supervisor's patience. One-shot goroutines (no unconditional
+// loop) are exempt — they end on their own — as are loops whose exit is
+// a data-driven condition (`for !done.Load()`, `for i < n`) or a range
+// (a ranged channel ends when its sender closes it; a ranged slice is
+// finite).
+var ctxdoneAnalyzer = &Analyzer{
+	Name: "ctxdone",
+	Doc:  "requires looping goroutines in service and harness code to observe cancellation",
+	Run:  runCtxDone,
+}
+
+// ctxdonePkgs spawn goroutines that must outlive a request but not the
+// process: the drain and shutdown paths have to be able to stop them.
+var ctxdonePkgs = map[string]bool{
+	"internal/service": true,
+	"internal/harness": true,
+	"cmd/staggerd":     true,
+}
+
+func runCtxDone(pass *Pass) {
+	if !ctxdonePkgs[pkgRel(pass.PkgPath)] {
+		return
+	}
+	// Bodies of same-package functions, so `go s.worker()` is checked
+	// through the declaration it invokes, not just literal closures.
+	bodies := make(map[types.Object]*ast.BlockStmt)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					bodies[obj] = fd.Body
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			switch fun := g.Call.Fun.(type) {
+			case *ast.FuncLit:
+				body = fun.Body
+			case *ast.Ident:
+				if obj := pass.Info.Uses[fun]; obj != nil {
+					body = bodies[obj]
+				}
+			case *ast.SelectorExpr:
+				if s, ok := pass.Info.Selections[fun]; ok {
+					body = bodies[s.Obj()]
+				}
+			}
+			if body == nil {
+				return true // callee outside the package: out of scope
+			}
+			for _, loop := range unconditionalLoops(body) {
+				if !observesCancellation(pass, loop) {
+					pass.Reportf(loop.Pos(),
+						"goroutine loops forever without observing cancellation; select on ctx.Done() or receive from a close-signalled channel so drain can stop it")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// unconditionalLoops returns every `for { ... }` (no condition) in the
+// body, excluding ones nested in further function literals (those are
+// checked at their own go statement, if any).
+func unconditionalLoops(body *ast.BlockStmt) []*ast.ForStmt {
+	var out []*ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				out = append(out, n)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// observesCancellation reports whether the loop consults a cancellation
+// signal: a select statement, a channel receive, or a Done/Err call on a
+// context.Context.
+func observesCancellation(pass *Pass, loop *ast.ForStmt) bool {
+	found := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && isContextSignal(pass, sel) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isContextSignal matches Done() and Err() on a context.Context value.
+func isContextSignal(pass *Pass, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "Done" && sel.Sel.Name != "Err" {
+		return false
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

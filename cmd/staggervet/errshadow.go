@@ -1,0 +1,200 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// errshadow flags an error value that is assigned again before anything
+// reads it: the first error is silently dropped. The journal once
+// swallowed fsync failures through exactly this shape —
+//
+//	_, err = f.Write(frame)
+//	err = f.Sync()          // Write's error is gone
+//	if err != nil { ... }
+//
+// — which turns a torn write into a clean return. The analyzer tracks
+// straight-line code only: an assignment reached through a branch, loop
+// back-edge, or closure may be checked on another path, so anything a
+// nested statement touches is conservatively treated as read. That keeps
+// the check free of false positives at the cost of missing interleaved
+// shapes; the linear overwrite is the one that ships real bugs.
+var errshadowAnalyzer = &Analyzer{
+	Name: "errshadow",
+	Doc:  "flags error values overwritten before they are checked",
+	Run:  runErrShadow,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && types.Identical(v.Type(), errorType)
+}
+
+func runErrShadow(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			// Each function body starts its own linear scan; nested
+			// function literals are opaque to the enclosing scan (their
+			// reads still count as checks) and get their own visit here.
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					scanErrList(pass, n.Body.List, make(map[types.Object]token.Pos))
+				}
+			case *ast.FuncLit:
+				scanErrList(pass, n.Body.List, make(map[types.Object]token.Pos))
+			}
+			return true
+		})
+	}
+}
+
+// scanErrList walks one straight-line statement list. pending maps each
+// error variable to its last unchecked assignment.
+func scanErrList(pass *Pass, list []ast.Stmt, pending map[types.Object]token.Pos) {
+	for _, st := range list {
+		scanErrStmt(pass, st, pending)
+	}
+}
+
+func scanErrStmt(pass *Pass, st ast.Stmt, pending map[types.Object]token.Pos) {
+	switch s := st.(type) {
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			clearErrReads(pass, r, pending)
+		}
+		for _, l := range s.Lhs {
+			id, ok := l.(*ast.Ident)
+			if !ok {
+				clearErrReads(pass, l, pending) // a[i] = ..., p.f = ...: index/base reads
+				continue
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id]
+			}
+			if obj == nil || !isErrorVar(obj) {
+				continue
+			}
+			if prev, ok := pending[obj]; ok {
+				pass.Reportf(id.Pos(), "error in %q is overwritten before it is checked (previous assignment at line %d)",
+					id.Name, pass.Fset.Position(prev).Line)
+			}
+			if len(s.Rhs) == 1 && isNilExpr(pass, s.Rhs[0]) {
+				delete(pending, obj) // err = nil is an explicit discard
+			} else {
+				pending[obj] = id.Pos()
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				clearErrReads(pass, v, pending)
+			}
+			if len(vs.Values) == 0 {
+				continue // var err error: a zero value carries nothing to lose
+			}
+			for _, id := range vs.Names {
+				if obj := pass.Info.Defs[id]; obj != nil && isErrorVar(obj) {
+					pending[obj] = id.Pos()
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		scanErrList(pass, s.List, pending) // bare block: still straight-line
+	default:
+		// Branching statements: each nested list is its own linear
+		// segment (fresh tracking catches overwrites wholly inside it);
+		// for the enclosing segment, anything the statement reads OR
+		// assigns on some path counts as settled.
+		scanErrNested(pass, st)
+		clearErrTouched(pass, st, pending)
+	}
+}
+
+// scanErrNested scans the statement lists nested inside a branching
+// statement, each as an independent segment.
+func scanErrNested(pass *Pass, st ast.Stmt) {
+	fresh := func(list []ast.Stmt) {
+		scanErrList(pass, list, make(map[types.Object]token.Pos))
+	}
+	switch s := st.(type) {
+	case *ast.IfStmt:
+		fresh(s.Body.List)
+		if s.Else != nil {
+			scanErrNested(pass, s.Else)
+			if eb, ok := s.Else.(*ast.BlockStmt); ok {
+				fresh(eb.List)
+			}
+		}
+	case *ast.ForStmt:
+		fresh(s.Body.List)
+	case *ast.RangeStmt:
+		fresh(s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				fresh(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				fresh(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				fresh(cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		scanErrNested(pass, s.Stmt)
+	}
+}
+
+// clearErrReads removes from pending every error variable the expression
+// reads.
+func clearErrReads(pass *Pass, e ast.Expr, pending map[types.Object]token.Pos) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil {
+				delete(pending, obj)
+			}
+		}
+		return true
+	})
+}
+
+// clearErrTouched removes every variable the statement mentions at all —
+// read or assigned — on any nested path.
+func clearErrTouched(pass *Pass, st ast.Stmt, pending map[types.Object]token.Pos) {
+	ast.Inspect(st, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil {
+				delete(pending, obj)
+			}
+			if obj := pass.Info.Defs[id]; obj != nil {
+				delete(pending, obj)
+			}
+		}
+		return true
+	})
+}
+
+func isNilExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.IsNil()
+}

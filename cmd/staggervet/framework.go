@@ -53,47 +53,78 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Msg)
 }
 
-// allowKey marks "file:line suppresses analyzer name" ("*" = all).
-type allowKey struct {
-	file string
-	line int
-	name string
+// allowDirective is one parsed //staggervet:allow comment. A directive
+// names exactly one analyzer and suppresses that analyzer's diagnostics
+// on its own line and the line directly below (so it can sit above the
+// flagged statement). A directive that suppresses nothing is itself a
+// finding — waivers must not outlive the code they excuse.
+type allowDirective struct {
+	pos  token.Position
+	name string // analyzer the waiver anchors to
+	bad  string // non-empty: malformed/unknown, with the reason
+	used bool
 }
 
-// collectAllows scans a file's comments for //staggervet:allow <name>
-// directives. A directive suppresses matching diagnostics on its own
-// line and on the line directly below it (so it can sit above the
-// flagged statement).
-func collectAllows(fset *token.FileSet, f *ast.File, into map[allowKey]bool) {
+const allowMarker = "staggervet:allow"
+
+// collectAllows parses a file's //staggervet:allow directives. The
+// marker must be followed by whitespace and a known analyzer name:
+// run-on forms like //staggervet:allowdeterminism and bare or unknown
+// names are reported instead of silently (mis)matching.
+func collectAllows(fset *token.FileSet, f *ast.File, known map[string]bool, into []*allowDirective) []*allowDirective {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimPrefix(c.Text, "//")
-			if !strings.HasPrefix(text, "staggervet:allow") {
+			if !strings.HasPrefix(text, allowMarker) {
 				continue
 			}
-			rest := strings.TrimSpace(strings.TrimPrefix(text, "staggervet:allow"))
-			name := "*"
-			if fields := strings.Fields(rest); len(fields) > 0 {
-				name = fields[0]
+			d := &allowDirective{pos: fset.Position(c.Pos())}
+			rest := text[len(allowMarker):]
+			switch fields := strings.Fields(rest); {
+			case rest != "" && rest[0] != ' ' && rest[0] != '\t':
+				d.bad = fmt.Sprintf("malformed directive %q: the analyzer name must be separated from %s by a space", "//"+text, allowMarker)
+			case len(fields) == 0:
+				d.bad = fmt.Sprintf("%s needs an analyzer name: blanket waivers are not allowed", allowMarker)
+			case !known[fields[0]]:
+				d.bad = fmt.Sprintf("%s names unknown analyzer %q", allowMarker, fields[0])
+			default:
+				d.name = fields[0]
 			}
-			pos := fset.Position(c.Pos())
-			into[allowKey{pos.Filename, pos.Line, name}] = true
-			into[allowKey{pos.Filename, pos.Line + 1, name}] = true
+			into = append(into, d)
 		}
 	}
+	return into
 }
 
-func suppressed(allows map[allowKey]bool, d Diagnostic) bool {
-	return allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
-		allows[allowKey{d.Pos.Filename, d.Pos.Line, "*"}]
+// suppressedBy marks and returns the directive covering d, if any.
+func suppressedBy(allows []*allowDirective, d Diagnostic) *allowDirective {
+	for _, a := range allows {
+		if a.bad != "" || a.name != d.Analyzer || a.pos.Filename != d.Pos.Filename {
+			continue
+		}
+		if d.Pos.Line == a.pos.Line || d.Pos.Line == a.pos.Line+1 {
+			a.used = true
+			return a
+		}
+	}
+	return nil
 }
+
+// waiverAnalyzerName tags diagnostics about the waivers themselves:
+// malformed directives and waivers that no longer suppress anything.
+const waiverAnalyzerName = "waiver"
 
 // runAnalyzers applies every analyzer to one loaded package and returns
-// the unsuppressed diagnostics.
+// the unsuppressed diagnostics, plus a diagnostic for every waiver that
+// is malformed or matched nothing.
 func runAnalyzers(analyzers []*Analyzer, p *pkgInfo) []Diagnostic {
-	allows := make(map[allowKey]bool)
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var allows []*allowDirective
 	for _, f := range p.files {
-		collectAllows(p.fset, f, allows)
+		allows = collectAllows(p.fset, f, known, allows)
 	}
 	var diags []Diagnostic
 	for _, a := range analyzers {
@@ -110,8 +141,17 @@ func runAnalyzers(analyzers []*Analyzer, p *pkgInfo) []Diagnostic {
 	}
 	kept := diags[:0]
 	for _, d := range diags {
-		if !suppressed(allows, d) {
+		if suppressedBy(allows, d) == nil {
 			kept = append(kept, d)
+		}
+	}
+	for _, a := range allows {
+		switch {
+		case a.bad != "":
+			kept = append(kept, Diagnostic{Pos: a.pos, Analyzer: waiverAnalyzerName, Msg: a.bad})
+		case !a.used:
+			kept = append(kept, Diagnostic{Pos: a.pos, Analyzer: waiverAnalyzerName,
+				Msg: fmt.Sprintf("unused %s %s waiver: no %s finding on this or the next line — remove it", allowMarker, a.name, a.name)})
 		}
 	}
 	sort.Slice(kept, func(i, j int) bool {

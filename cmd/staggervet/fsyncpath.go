@@ -1,0 +1,105 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// fsyncpath guards the durability contract of the durable layers
+// (internal/store, internal/journal) with two rules:
+//
+//   - no direct os file calls: every filesystem operation must go
+//     through the internal/vfs seam, or the disk-fault harness
+//     (vfs.FaultFS + chaos failpoints) cannot reach it and the crash
+//     tests silently stop covering the path;
+//   - temp → fsync → rename: a function that creates a file through the
+//     seam and renames one into place must Sync between the two, or a
+//     crash after the rename can surface a live name holding torn bytes
+//     — rename is atomic about names, never about content.
+//
+// A rename alone is not a publish: moving an existing file (the store's
+// quarantine path) re-homes bytes that were already durable, so only
+// functions that also create a file are held to the fsync rule.
+var fsyncpathAnalyzer = &Analyzer{
+	Name: "fsyncpath",
+	Doc:  "enforces the vfs seam and the temp→fsync→rename discipline in the durable layers",
+	Run:  runFsyncPath,
+}
+
+// durablePkgs are the layers whose writes must survive crashes.
+var durablePkgs = map[string]bool{
+	"internal/store":   true,
+	"internal/journal": true,
+}
+
+// osFileFuncs are the package-level os functions the vfs seam mirrors.
+var osFileFuncs = map[string]bool{
+	"Create": true, "CreateTemp": true, "Open": true, "OpenFile": true,
+	"ReadFile": true, "WriteFile": true, "Rename": true, "Remove": true,
+	"RemoveAll": true, "Truncate": true, "Mkdir": true, "MkdirAll": true,
+	"ReadDir": true,
+}
+
+func runFsyncPath(pass *Pass) {
+	if !durablePkgs[pkgRel(pass.PkgPath)] {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			if osFileFuncs[fn.Name()] {
+				pass.Reportf(id.Pos(),
+					"direct os.%s bypasses the vfs seam; route durable-layer I/O through vfs.FS so the disk-fault harness can inject under it", fn.Name())
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFsyncOrder(pass, fd)
+			}
+		}
+	}
+}
+
+// checkFsyncOrder scans one function in source order: once it has
+// created a file through the seam, a Rename before any Sync publishes
+// bytes that were never forced to disk.
+func checkFsyncOrder(pass *Pass, fd *ast.FuncDecl) {
+	created, synced := false, false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Create", "CreateTemp", "OpenAppend":
+			if methodOn(pass, sel, "internal/vfs", "FS") != nil {
+				created = true
+			}
+		case "Sync":
+			if methodOn(pass, sel, "internal/vfs", "File") != nil {
+				synced = true
+			}
+		case "Rename":
+			if methodOn(pass, sel, "internal/vfs", "FS") != nil && created && !synced {
+				pass.Reportf(call.Pos(),
+					"Rename publishes a file this function wrote without an fsync; write temp → Sync → Rename so a crash cannot expose torn bytes under a live name")
+			}
+		}
+		return true
+	})
+}

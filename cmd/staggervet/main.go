@@ -8,12 +8,22 @@
 //	ntstore     — nontransactional stores outside the htm simulator
 //	              and the stagger lock-word API
 //	siteattr    — simulated accesses without a static site attribution
+//	errshadow   — error values overwritten before they are checked
+//	fsyncpath   — durable-layer I/O outside the vfs seam, or renames
+//	              publishing bytes that were never fsynced
+//	ctxdone     — looping goroutines in service/harness code that never
+//	              observe cancellation
 //
 // Diagnostics print as file:line:col: [analyzer] message, and any
 // finding makes the process exit nonzero, so `make vet` and CI fail on
 // the first violation. A finding that is provably order- or
 // clock-insensitive can be waived in place with a
-// //staggervet:allow <analyzer> comment on or directly above the line.
+// //staggervet:allow <analyzer> comment on or directly above the line;
+// waivers that go stale are themselves findings. -json emits the
+// findings as a stable-sorted machine-readable report; -baseline checks
+// findings against a committed baseline file (and -update-baseline
+// rewrites it), so intentionally accepted findings are pinned instead of
+// silently ignored.
 package main
 
 import (
@@ -24,21 +34,33 @@ import (
 	"path/filepath"
 )
 
-var analyzers = []*Analyzer{determinismAnalyzer, ntstoreAnalyzer, siteattrAnalyzer}
+var analyzers = []*Analyzer{
+	determinismAnalyzer, ntstoreAnalyzer, siteattrAnalyzer,
+	errshadowAnalyzer, fsyncpathAnalyzer, ctxdoneAnalyzer,
+}
 
 func main() {
 	root := flag.String("root", "", "module root (default: nearest go.mod at or above the working directory)")
+	baseline := flag.String("baseline", "", "baseline file of accepted findings; unlisted findings and stale entries fail")
+	update := flag.Bool("update-baseline", false, "rewrite the -baseline file to the current findings and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a machine-readable JSON report")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: staggervet [-root dir] [package-dir ...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: staggervet [-root dir] [-baseline file [-update-baseline]] [-json] [package-dir ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	os.Exit(run(*root, flag.Args(), os.Stdout))
+	os.Exit(runOpts(*root, flag.Args(), os.Stdout, *baseline, *update, *asJSON))
 }
 
-// run loads the requested packages (default: all of internal/ and cmd/)
-// and applies every analyzer, returning the process exit code.
+// run is the plain-text entry point (kept for the tests' convenience).
 func run(root string, dirs []string, out io.Writer) int {
+	return runOpts(root, dirs, out, "", false, false)
+}
+
+// runOpts loads the requested packages (default: all of internal/ and
+// cmd/), applies every analyzer, filters through the baseline, and emits
+// text or JSON, returning the process exit code.
+func runOpts(root string, dirs []string, out io.Writer, baseline string, update, asJSON bool) int {
 	var err error
 	if root == "" {
 		root, err = findRoot()
@@ -69,20 +91,49 @@ func run(root string, dirs []string, out io.Writer) int {
 			paths = append(paths, l.modPath+"/"+filepath.ToSlash(rel))
 		}
 	}
-	bad := 0
+	var diags []Diagnostic
 	for _, path := range paths {
 		p, err := l.load(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "staggervet:", err)
 			return 2
 		}
-		for _, d := range runAnalyzers(analyzers, p) {
-			fmt.Fprintln(out, d)
-			bad++
+		diags = append(diags, runAnalyzers(analyzers, p)...)
+	}
+	if update {
+		if baseline == "" {
+			fmt.Fprintln(os.Stderr, "staggervet: -update-baseline needs -baseline")
+			return 2
+		}
+		if err := writeBaseline(baseline, root, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "staggervet:", err)
+			return 2
+		}
+		fmt.Fprintf(out, "staggervet: baseline %s updated (%d finding(s))\n", baseline, len(diags))
+		return 0
+	}
+	if baseline != "" {
+		diags, err = applyBaseline(baseline, root, diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "staggervet:", err)
+			return 2
 		}
 	}
-	if bad > 0 {
-		fmt.Fprintf(out, "staggervet: %d violation(s)\n", bad)
+	if asJSON {
+		if err := emitDiagsJSON(out, root, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "staggervet:", err)
+			return 2
+		}
+		if len(diags) > 0 {
+			return 1
+		}
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(out, "staggervet: %d violation(s)\n", len(diags))
 		return 1
 	}
 	return 0

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -272,5 +273,308 @@ func TestRepoIsVetClean(t *testing.T) {
 	var sb strings.Builder
 	if code := run(root, nil, &sb); code != 0 {
 		t.Fatalf("staggervet on the repo exited %d:\n%s", code, sb.String())
+	}
+}
+
+// TestErrShadowReproducesJournalFsyncBug is the regression fixture for
+// the err-shadowing bug the journal PR fixed: a Write error overwritten
+// by the Sync assignment before anything checks it, silently swallowing
+// the torn write. The fixed shape (check between the two) must stay
+// clean.
+func TestErrShadowReproducesJournalFsyncBug(t *testing.T) {
+	code, out := vet(t, map[string]string{
+		"internal/journal/append.go": `package journal
+
+type file interface {
+	Write([]byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+func initEmpty(f file) error {
+	_, err := f.Write([]byte("hdr"))
+	err = f.Sync() // overwrites the unchecked Write error
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func initEmptyFixed(f file) error {
+	_, err := f.Write([]byte("hdr"))
+	if err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+`,
+	})
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "append.go:11:") || !strings.Contains(out, "[errshadow]") ||
+		!strings.Contains(out, "overwritten before it is checked") {
+		t.Fatalf("missing errshadow diagnostic at the Sync overwrite:\n%s", out)
+	}
+	if got := strings.Count(out, "[errshadow]"); got != 1 {
+		t.Fatalf("want exactly 1 errshadow finding (the fixed shape must stay clean), got %d:\n%s", got, out)
+	}
+}
+
+// fakeVFS is a miniature internal/vfs with the seam surface fsyncpath
+// matches on.
+const fakeVFS = `package vfs
+
+type File interface {
+	Write([]byte) (int, error)
+	Sync() error
+	Close() error
+	Name() string
+}
+
+type FS interface {
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+}
+`
+
+func TestFsyncPathSeamAndOrdering(t *testing.T) {
+	code, out := vet(t, map[string]string{
+		"internal/vfs/vfs.go": fakeVFS,
+		"internal/store/put.go": `package store
+
+import (
+	"os"
+
+	"repro/internal/vfs"
+)
+
+func PutTorn(fs vfs.FS, dir, dst string) error {
+	tmp, err := fs.CreateTemp(dir, "put-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write([]byte("x")); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return fs.Rename(tmp.Name(), dst) // published without Sync: flagged
+}
+
+func PutGood(fs vfs.FS, dir, dst string) error {
+	tmp, err := fs.CreateTemp(dir, "put-*.tmp")
+	if err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	return fs.Rename(tmp.Name(), dst)
+}
+
+// quarantine-style move of already-durable bytes: no create, not flagged.
+func Sideline(fs vfs.FS, path, dst string) error {
+	return fs.Rename(path, dst)
+}
+
+func Sweep(dir string) { os.Remove(dir) } // bypasses the seam: flagged
+`,
+	})
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "put.go:20:") || !strings.Contains(out, "without an fsync") {
+		t.Fatalf("missing rename-without-sync diagnostic:\n%s", out)
+	}
+	if !strings.Contains(out, "os.Remove") || !strings.Contains(out, "vfs seam") {
+		t.Fatalf("missing os-bypass diagnostic:\n%s", out)
+	}
+	if got := strings.Count(out, "[fsyncpath]"); got != 2 {
+		t.Fatalf("want exactly 2 fsyncpath findings (PutGood and Sideline must stay clean), got %d:\n%s", got, out)
+	}
+}
+
+func TestCtxDoneFlagsUnstoppableLoops(t *testing.T) {
+	code, out := vet(t, map[string]string{
+		"internal/service/spin.go": `package service
+
+import "context"
+
+func Spin(ctx context.Context, work func()) {
+	go func() {
+		for { // never observes cancellation: flagged
+			work()
+		}
+	}()
+	go func() { // one-shot: exempt
+		work()
+	}()
+	go func() {
+		for { // consults ctx.Err: fine
+			if ctx.Err() != nil {
+				return
+			}
+			work()
+		}
+	}()
+}
+
+func Pump(ch chan int, work func(int)) {
+	go pump(ch, work)
+}
+
+func pump(ch chan int, work func(int)) {
+	for v := range ch { // ends when the sender closes ch: exempt
+		work(v)
+	}
+}
+`,
+	})
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "spin.go:7:") || !strings.Contains(out, "[ctxdone]") {
+		t.Fatalf("missing ctxdone diagnostic on the unstoppable loop:\n%s", out)
+	}
+	if got := strings.Count(out, "[ctxdone]"); got != 1 {
+		t.Fatalf("want exactly 1 ctxdone finding, got %d:\n%s", got, out)
+	}
+}
+
+// TestAllowDirectiveAnchorsOnAnalyzerName pins the waiver matcher fix:
+// a run-on directive must not suppress anything, unknown analyzer names
+// are reported, and a waiver matching no finding is itself a finding.
+func TestAllowDirectiveAnchorsOnAnalyzerName(t *testing.T) {
+	code, out := vet(t, map[string]string{
+		"internal/htm/a.go": `package htm
+
+func A(m map[int]int) (s int) {
+	//staggervet:allowdeterminism smashed against the marker
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+`,
+		"internal/htm/b.go": `package htm
+
+//staggervet:allow nosuchcheck it never existed
+func B() {}
+`,
+		"internal/htm/c.go": `package htm
+
+func C() int {
+	//staggervet:allow determinism nothing to suppress here
+	return 1
+}
+`,
+	})
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "a.go:5:") || !strings.Contains(out, "map iteration order") {
+		t.Fatalf("run-on directive suppressed the finding it should not reach:\n%s", out)
+	}
+	if !strings.Contains(out, "a.go:4:") || !strings.Contains(out, "malformed directive") {
+		t.Fatalf("run-on directive not reported as malformed:\n%s", out)
+	}
+	if !strings.Contains(out, `unknown analyzer "nosuchcheck"`) {
+		t.Fatalf("unknown analyzer name not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "c.go:4:") || !strings.Contains(out, "unused staggervet:allow determinism waiver") {
+		t.Fatalf("stale waiver not reported:\n%s", out)
+	}
+	if got := strings.Count(out, "[waiver]"); got != 3 {
+		t.Fatalf("want exactly 3 waiver findings, got %d:\n%s", got, out)
+	}
+}
+
+// TestBaselineUpdateAndCheck drives the -baseline lifecycle: update
+// captures the current findings, check suppresses exactly those, and a
+// baseline entry whose finding was fixed fails as stale.
+func TestBaselineUpdateAndCheck(t *testing.T) {
+	tree := map[string]string{
+		"internal/htm/clock.go": `package htm
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	}
+	root := writeTree(t, tree)
+	baseline := filepath.Join(root, "baseline.txt")
+
+	var sb strings.Builder
+	if code := runOpts(root, nil, &sb, baseline, true, false); code != 0 {
+		t.Fatalf("-update-baseline exited %d:\n%s", code, sb.String())
+	}
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "internal/htm/clock.go [determinism]") {
+		t.Fatalf("baseline missing the captured finding:\n%s", data)
+	}
+
+	sb.Reset()
+	if code := runOpts(root, nil, &sb, baseline, false, false); code != 0 {
+		t.Fatalf("baselined finding still fails (exit %d):\n%s", code, sb.String())
+	}
+
+	// Fix the finding; the baseline entry is now stale and must fail.
+	if err := os.WriteFile(filepath.Join(root, "internal/htm/clock.go"),
+		[]byte("package htm\n\nfunc Stamp() int64 { return 0 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if code := runOpts(root, nil, &sb, baseline, false, false); code != 1 {
+		t.Fatalf("stale baseline entry accepted (exit %d):\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "stale baseline entry") {
+		t.Fatalf("missing stale-entry diagnostic:\n%s", sb.String())
+	}
+}
+
+// TestJSONReport checks the -json contract: stable fields, repo-relative
+// paths, ok mirroring the exit code.
+func TestJSONReport(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/htm/clock.go": `package htm
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	})
+	var sb strings.Builder
+	code := runOpts(root, nil, &sb, "", false, true)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, sb.String())
+	}
+	var rep struct {
+		Tool     string `json:"tool"`
+		Mode     string `json:"mode"`
+		OK       bool   `json:"ok"`
+		Findings []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+			Msg      string `json:"msg"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if rep.Tool != "staggervet" || rep.OK || len(rep.Findings) != 1 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	f := rep.Findings[0]
+	if f.File != "internal/htm/clock.go" || f.Line != 5 || f.Analyzer != "determinism" {
+		t.Fatalf("unexpected finding: %+v", f)
 	}
 }

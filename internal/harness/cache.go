@@ -21,7 +21,10 @@ import (
 // store key (internal/service), so entries written by an older schema
 // are simply never found — they age out as misses and are recomputed,
 // never deserialized under the wrong interpretation.
-const CacheSchema = 1
+//
+// Schema history: 2 added the conflicting-pair histogram
+// (Result.ConfPairs and the report's conflicting_pairs section).
+const CacheSchema = 2
 
 type cacheKey struct {
 	schema    int

@@ -121,6 +121,12 @@ type Result struct {
 	ConfAddrs map[mem.Addr]int
 	ConfPCs   map[uint32]int
 
+	// ConfPairs is the fully attributed conflict-pair histogram: which
+	// (atomic block, site) aborted which. It is the dynamic evidence the
+	// static may-conflict matrix is checked against (`staggersim
+	// -verify-conflicts`); pairs with an unattributed side are excluded.
+	ConfPairs map[stagger.ConflictPair]int
+
 	// Trace holds recorded transaction events when TraceN > 0.
 	Trace []htm.TraceEvent
 
@@ -328,6 +334,7 @@ func RunCtx(ctx context.Context, rc RunConfig) (*Result, error) {
 	res.LA, res.LP = rt.Locality()
 	res.ConfAddrs = rt.ConflictAddrs()
 	res.ConfPCs = rt.ConflictPCs()
+	res.ConfPairs = rt.ConflictPairs()
 	res.PerAB = rt.PerAB()
 	res.Trace = mach.Trace()
 	if inj != nil {

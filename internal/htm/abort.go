@@ -80,6 +80,18 @@ type AbortInfo struct {
 	// NOT architecturally visible; it exists only so experiments can
 	// measure anchor-identification accuracy (Table 3 of the paper).
 	TrueSite uint32
+
+	// KillerSite and KillerAB are simulator ground truth about the other
+	// side of the conflict, captured at kill time (the requester may have
+	// moved on by the time the victim observes the abort): the static
+	// site of the killing access (for a lazy commit, the killer's first
+	// access to the line) and the killer core's atomic-block tag
+	// (SetABTag; 0 = outside any tagged block, e.g. runtime NT stores).
+	// Like TrueSite they are not architecturally visible; they feed the
+	// conflicting-pair histogram the static/dynamic containment check
+	// of `staggersim -verify-conflicts` consumes.
+	KillerSite uint32
+	KillerAB   int
 }
 
 // txAbort is the panic sentinel used to unwind a core out of an aborted

@@ -41,6 +41,11 @@ type Core struct {
 	attemptStart uint64
 	attemptWait  uint64
 
+	// abTag is the opaque atomic-block tag the runtime sets around each
+	// atomic instance; it is stamped into AbortInfo.KillerAB when this
+	// core aborts somebody (pure bookkeeping, no simulated events).
+	abTag int
+
 	// traceOn caches "some trace sink is installed" so the per-event
 	// record calls cost one boolean test on untraced machines.
 	traceOn bool
@@ -69,6 +74,12 @@ func newCore(m *Machine, id int) *Core {
 
 // ID returns the core's index.
 func (c *Core) ID() int { return c.id }
+
+// SetABTag tags this core with the atomic block it is executing (0 =
+// none). The tag is ground-truth bookkeeping only: it is copied into
+// AbortInfo.KillerAB when this core's accesses abort another core, and
+// touches no simulated state, so setting it never perturbs the run.
+func (c *Core) SetABTag(tag int) { c.abTag = tag }
 
 // Now returns the core's virtual clock in cycles.
 func (c *Core) Now() uint64 { return c.clock }
@@ -243,18 +254,21 @@ func (c *Core) clearTx() {
 }
 
 // abortRemote kills the transaction of core v because of a conflicting
-// access to line by core c. Requester wins: v's directory presence is
-// removed immediately; v observes the abort at its next event.
-func (c *Core) abortRemote(v *Core, line mem.Addr) {
+// access to line by core c (site is the killing access's static site, 0
+// when unattributed). Requester wins: v's directory presence is removed
+// immediately; v observes the abort at its next event.
+func (c *Core) abortRemote(v *Core, line mem.Addr, site uint32) {
 	if !v.inTx || v.hasPending {
 		// Already doomed; just make sure its presence is gone.
 		c.stripDir(v)
 		return
 	}
 	info := AbortInfo{
-		Reason:   AbortConflict,
-		ConfAddr: line,
-		ByCore:   c.id,
+		Reason:     AbortConflict,
+		ConfAddr:   line,
+		ByCore:     c.id,
+		KillerSite: site,
+		KillerAB:   c.abTag,
 	}
 	if tl, ok := v.txLines[line]; ok {
 		info.TrueSite = tl.site
@@ -279,13 +293,14 @@ func (c *Core) stripDir(v *Core) {
 	}
 }
 
-// abortMask aborts every core named in mask other than c itself.
-func (c *Core) abortMask(mask uint32, line mem.Addr) {
+// abortMask aborts every core named in mask other than c itself; site
+// is the killing access's static site (0 when unattributed).
+func (c *Core) abortMask(mask uint32, line mem.Addr, site uint32) {
 	mask &^= 1 << uint(c.id)
 	for id := 0; mask != 0; id++ {
 		if mask&(1<<uint(id)) != 0 {
 			mask &^= 1 << uint(id)
-			c.abortRemote(c.m.cores[id], line)
+			c.abortRemote(c.m.cores[id], line, site)
 		}
 	}
 }
@@ -317,7 +332,7 @@ func (c *Core) Load(pc uint64, site uint32, a mem.Addr) uint64 {
 	if !c.m.cfg.Lazy || !c.inTx {
 		// Eager requester-wins (and any non-speculative read): reading a
 		// line another core has speculatively written aborts the writer.
-		c.abortMask(e.writers, line)
+		c.abortMask(e.writers, line, site)
 	}
 	if c.inTx {
 		e.readers |= 1 << uint(c.id)
@@ -349,7 +364,7 @@ func (c *Core) Store(pc uint64, site uint32, a mem.Addr, v uint64) {
 	if !c.m.cfg.Lazy || !c.inTx {
 		// Eager mode (and any non-speculative store): a store conflicts
 		// with every other speculative reader or writer, requester wins.
-		c.abortMask(e.writers|e.readers, line)
+		c.abortMask(e.writers|e.readers, line, site)
 	}
 	if !c.inTx || !c.m.cfg.Lazy {
 		// Lazy speculative stores stay private until commit: no RFO yet.
@@ -465,7 +480,9 @@ func (c *Core) ntStoreConflicts(a mem.Addr) {
 	if !ok {
 		return
 	}
-	c.abortMask(e.writers|e.readers, line)
+	// NT stores carry no static site: the advisory-lock words they hit
+	// live outside the IR, so the conflict pair stays unattributed.
+	c.abortMask(e.writers|e.readers, line, 0)
 }
 
 // lazyResolve implements commit-time committer-wins conflict resolution:
@@ -485,7 +502,9 @@ func (c *Core) lazyResolve() {
 	sortAddrs(written)
 	for _, line := range written {
 		if e, ok := c.m.dir[line]; ok {
-			c.abortMask(e.writers|e.readers, line)
+			// The committer's first access to the line stands in for the
+			// killing site (the publish is line-, not site-granular).
+			c.abortMask(e.writers|e.readers, line, c.txLines[line].site)
 		}
 		// Publishing takes ownership: remote caches lose the line.
 		c.m.invalidateOthers(line, c.id)

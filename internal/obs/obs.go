@@ -34,6 +34,7 @@ import (
 	"repro/internal/htm"
 	"repro/internal/mem"
 	"repro/internal/prog"
+	"repro/internal/stagger"
 )
 
 // Report is the structured metrics registry for one run. Field order is
@@ -61,11 +62,13 @@ type Report struct {
 	PerCore []CoreBreakdown `json:"per_core"`
 
 	// Abort attribution by cause, by atomic block, by conflicting anchor
-	// (PC) and by conflicting cache line.
+	// (PC), by conflicting cache line, and by fully attributed
+	// victim/killer site pair.
 	Aborts    []AbortCount  `json:"aborts"`
 	Sites     []SiteMetrics `json:"sites"`
 	ConfPCs   []AnchorCount `json:"conflicting_anchors"`
 	ConfAddrs []AddrCount   `json:"conflicting_lines"`
+	ConfPairs []PairCount   `json:"conflicting_pairs"`
 
 	// Advisory-lock behaviour.
 	Locks LockMetrics `json:"locks"`
@@ -123,6 +126,21 @@ type AnchorCount struct {
 type AddrCount struct {
 	Line   string `json:"line"`
 	Aborts int    `json:"aborts"`
+}
+
+// PairCount is one fully attributed conflicting pair's tally: the
+// victim atomic block with its first access to the conflicting line,
+// and the killer block with the access that aborted it. These are the
+// pairs `staggersim -verify-conflicts` proves are contained in the
+// static may-conflict matrix.
+type PairCount struct {
+	VictimAB    int    `json:"victim_ab"`
+	VictimSite  uint32 `json:"victim_site"`
+	VictimWhere string `json:"victim_where"`
+	KillerAB    int    `json:"killer_ab"`
+	KillerSite  uint32 `json:"killer_site"`
+	KillerWhere string `json:"killer_where"`
+	Aborts      int    `json:"aborts"`
 }
 
 // LockMetrics summarizes advisory-lock behaviour over the run.
@@ -216,7 +234,43 @@ func Snapshot(r *harness.Result) *Report {
 
 	rep.ConfPCs = anchorCounts(r.ConfPCs, r)
 	rep.ConfAddrs = addrCounts(r.ConfAddrs)
+	rep.ConfPairs = pairCounts(r.ConfPairs, r)
 	return rep
+}
+
+// pairCounts sorts the conflicting-pair histogram by abort count
+// descending, then by victim and killer identity ascending on ties — a
+// total deterministic order.
+func pairCounts(hist map[stagger.ConflictPair]int, r *harness.Result) []PairCount {
+	out := make([]PairCount, 0, len(hist))
+	for p, n := range hist {
+		out = append(out, PairCount{
+			VictimAB:    p.VictimAB,
+			VictimSite:  p.VictimSite,
+			VictimWhere: siteWhere(r, p.VictimSite),
+			KillerAB:    p.KillerAB,
+			KillerSite:  p.KillerSite,
+			KillerWhere: siteWhere(r, p.KillerSite),
+			Aborts:      n,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Aborts != b.Aborts {
+			return a.Aborts > b.Aborts
+		}
+		if a.VictimAB != b.VictimAB {
+			return a.VictimAB < b.VictimAB
+		}
+		if a.VictimSite != b.VictimSite {
+			return a.VictimSite < b.VictimSite
+		}
+		if a.KillerAB != b.KillerAB {
+			return a.KillerAB < b.KillerAB
+		}
+		return a.KillerSite < b.KillerSite
+	})
+	return out
 }
 
 // breakdown maps core counters to the report's cycle categories.

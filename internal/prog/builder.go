@@ -33,6 +33,19 @@ func (m *Module) NewFunc(name string, params ...string) *Func {
 	return f
 }
 
+// MarkShape registers fn as a shape hint: a function that is never
+// called from any atomic block and whose pointer stores spell out the
+// steady-state linkage invariants of a data structure — the facts
+// whole-program DSA would learn from the constructor and re-linking
+// code that the per-block IR fragments do not model. The anchor pass
+// never sees shape hints (they are unreachable from every atomic
+// block), so declaring one cannot move an anchor or an ALP; only the
+// may-conflict matrix folds their field edges into its class closure.
+func (m *Module) MarkShape(f *Func) {
+	m.checkOpen()
+	m.Shapes = append(m.Shapes, f)
+}
+
 // Atomic declares an atomic block rooted at fn.
 func (m *Module) Atomic(name string, fn *Func) *AtomicBlock {
 	m.checkOpen()

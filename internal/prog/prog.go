@@ -180,6 +180,11 @@ type Module struct {
 	Globals []*Value
 	Atomics []*AtomicBlock
 
+	// Shapes lists shape-hint functions (see MarkShape). They are part of
+	// the module but never called from an atomic block, so the anchor
+	// pass ignores them; only the may-conflict matrix consumes them.
+	Shapes []*Func
+
 	// SiteByID maps static site IDs (1-based) to sites; filled by
 	// Finalize. Index 0 is nil.
 	SiteByID []*Site

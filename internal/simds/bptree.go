@@ -29,6 +29,7 @@ type BPTree struct {
 	sInLeafNext, sInStoreNext, sInStoreChild, sInSetRootH *prog.Site
 	sInSetRoot                                            *prog.Site
 	sInLeafPtr                                            *prog.Site
+	sInStoreIntKey, sInStoreIntN                          *prog.Site
 	// Pop sites.
 	sPpRoot, sPpN, sPpNext         *prog.Site
 	sPpKey, sPpStoreKey, sPpStoreN *prog.Site
@@ -87,7 +88,13 @@ func DeclareBPTree(m *prog.Module) *BPTree {
 		t.sInStoreN = exit.Store(lv, "n")
 		t.sInLeafNext = exit.Load(lv, "next")
 		t.sInStoreNext = exit.Store(lv, "next")
+		// Split propagation writes internal nodes through their own
+		// sites: reusing the leaf-store sites for writeInternal would
+		// attribute inner-node stores to the leaf DSNode — the
+		// conflict-containment check caught exactly that mismatch.
+		t.sInStoreIntKey = exit.Store(cur, "key")
 		t.sInStoreChild = exit.Store(cur, "child")
+		t.sInStoreIntN = exit.Store(cur, "n")
 		t.sInSetRoot = exit.StorePtr(f.Param(0), "root", cur)
 		t.sInSetRootH = exit.Store(f.Param(0), "height")
 	}
@@ -116,6 +123,36 @@ func DeclareBPTree(m *prog.Module) *BPTree {
 		t.sPpStoreN = exit.Store(lv, "n")
 	}
 	return t
+}
+
+// DeclareShape registers the tree's steady-state linkage invariants as a
+// shape hint for the may-conflict matrix. tree is the module global
+// holding the tree. The atomic-block IR above deliberately keeps inner
+// nodes and leaves as distinct DSNodes (the leaf anchor depends on it),
+// but the runtime links one leaf population into BOTH the inner nodes'
+// leafchild slots and the headleaf/next chain — facts induced by
+// NewBPTree and the split re-linking, which live outside the blocks.
+// Whole-program DSA would recover them from the constructor's stores;
+// the hint states them directly:
+//
+//	tree.root      -> inner   (steady state: the tree is seeded before
+//	                           threads run, so height >= 1 whenever a
+//	                           transaction executes)
+//	inner.child    -> inner
+//	inner.leafchild-> leaf
+//	tree.headleaf  -> leaf    (the chain head is one of those leaves)
+//	leaf.next      -> leaf
+func (t *BPTree) DeclareShape(m *prog.Module, tree *prog.Value) {
+	f := m.NewFunc("bpt_shape")
+	b := f.Entry()
+	inner := b.Alloc("inner")
+	leaf := b.Alloc("leaf")
+	b.StorePtr(tree, "root", inner)
+	b.StorePtr(inner, "child", inner)
+	b.StorePtr(inner, "leafchild", leaf)
+	b.StorePtr(tree, "headleaf", leaf)
+	b.StorePtr(leaf, "next", leaf)
+	m.MarkShape(f)
 }
 
 // NewBPTree allocates an empty tree: header plus one empty root leaf.
@@ -252,12 +289,12 @@ func (t *BPTree) propagate(tc Ctx, tree mem.Addr, path []bptFrame,
 
 func writeInternal(tc Ctx, t *BPTree, node mem.Addr, keys, kids []uint64) {
 	for i, k := range keys {
-		tc.Store(t.sInStoreKey, node+w(intKeyOff+i), k)
+		tc.Store(t.sInStoreIntKey, node+w(intKeyOff+i), k)
 	}
 	for i, c := range kids {
 		tc.Store(t.sInStoreChild, node+w(intChildOff+i), c)
 	}
-	tc.Store(t.sInStoreN, node+w(intNOff), uint64(len(keys)))
+	tc.Store(t.sInStoreIntN, node+w(intNOff), uint64(len(keys)))
 }
 
 // PopMin removes and returns the smallest key; ok is false when empty.

@@ -30,6 +30,17 @@ func (rt *Runtime) activate(tc *TxCtx, abc *ABContext, info htm.AbortInfo, attem
 			rt.confPCs[truth.Site.ID]++
 		}
 	}
+	// Fully attributed pairs only: a killer site or block of 0 means the
+	// other side was a runtime access (advisory-lock word, NT store)
+	// outside the IR, which the static matrix deliberately excludes.
+	if info.TrueSite != 0 && info.KillerSite != 0 && info.KillerAB != 0 {
+		rt.confPairs[ConflictPair{
+			VictimAB:   abc.ab.ID,
+			VictimSite: info.TrueSite,
+			KillerAB:   info.KillerAB,
+			KillerSite: info.KillerSite,
+		}]++
+	}
 	if rt.cfg.Mode == ModeHTM {
 		return
 	}

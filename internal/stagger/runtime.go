@@ -35,12 +35,32 @@ type Runtime struct {
 	confAddrs map[mem.Addr]int
 	confPCs   map[uint32]int
 
+	// confPairs histograms fully attributed conflicts: which (block,
+	// site) aborted which (block, site). Pairs with an unattributed side
+	// (runtime lock words, NT stores) are not recorded; the static
+	// containment check of -verify-conflicts consumes this histogram.
+	confPairs map[ConflictPair]int
+
 	// perAB aggregates policy behaviour per atomic block (diagnostics).
 	perAB map[int]*ABMetrics
 
 	// recorder observes every transactional site access (conformance
 	// checking); nil costs one branch per access.
 	recorder SiteRecorder
+}
+
+// ConflictPair identifies one fully attributed conflict abort: the
+// victim atomic block with its first access to the conflicting line
+// (the machine's TrueSite ground truth), and the killer atomic block
+// with the access that performed the kill. It is the dynamic half of
+// the static may-conflict matrix (staticcheck.BuildMayConflict): every
+// observed pair must fall inside the matrix, which `staggersim
+// -verify-conflicts` asserts per workload and seed.
+type ConflictPair struct {
+	VictimAB   int
+	VictimSite uint32
+	KillerAB   int
+	KillerSite uint32
 }
 
 // SiteRecorder observes dynamic site attribution: every TxCtx.Load or
@@ -144,6 +164,7 @@ func New(m *htm.Machine, comp *anchor.Compiled, cfg Config) *Runtime {
 		cfg: cfg, m: m, comp: comp,
 		confAddrs: make(map[mem.Addr]int),
 		confPCs:   make(map[uint32]int),
+		confPairs: make(map[ConflictPair]int),
 		perAB:     make(map[int]*ABMetrics),
 	}
 	rt.locksBase = m.Alloc.AllocLines(cfg.NumLocks)
@@ -199,6 +220,16 @@ func (rt *Runtime) ConflictPCs() map[uint32]int {
 	out := make(map[uint32]int, len(rt.confPCs))
 	for s, n := range rt.confPCs {
 		out[s] = n
+	}
+	return out
+}
+
+// ConflictPairs returns a copy of the conflicting-pair histogram: fully
+// attributed (victim block/site, killer block/site) conflict aborts.
+func (rt *Runtime) ConflictPairs() map[ConflictPair]int {
+	out := make(map[ConflictPair]int, len(rt.confPairs))
+	for p, n := range rt.confPairs {
+		out[p] = n
 	}
 	return out
 }
@@ -421,9 +452,14 @@ func (th *Thread) Atomic(c *htm.Core, ab *prog.AtomicBlock, body func(tc *TxCtx)
 	back0 := st.WaitCycles[htm.WaitBackoff]
 	glob0 := st.WaitCycles[htm.WaitGlobal]
 	nt0 := st.NTTxCycles
+	// Tag the core with this block for the duration of the instance, so
+	// conflicts it inflicts on others are attributed to the right block
+	// (pure bookkeeping; no simulated events).
+	c.SetABTag(ab.ID)
 	c.Atomic(opts, hooks, func(core *htm.Core) {
 		body(tc)
 	})
+	c.SetABTag(0)
 	abm := th.rt.abMetrics(ab)
 	abm.UsefulCycles += st.UsefulTxCycles - useful0
 	abm.WastedCycles += st.WastedTxCycles - wasted0

@@ -1,0 +1,74 @@
+package staticcheck
+
+import (
+	"sort"
+
+	"repro/internal/anchor"
+)
+
+// Seeded mutations behind `staggersim -inject-underlock` and
+// `-inject-overlock`: each plants exactly the defect its check exists to
+// catch, so CI can prove the checks fail loudly instead of merely never
+// firing (the same demo pattern as workloads.DriftVacationKind for the
+// conformance check and -unsafe-early-release for the oracle).
+//
+// Both search candidates in site-ID order and keep the first mutation
+// the corresponding check actually reports — a mutation that happens to
+// stay covered (another ALP dominates the site) is rolled back and the
+// search continues, so a successful return guarantees a violation.
+
+// InjectUnderLock clears the ALP flag of one advisory-lock site whose
+// conflict class is written by some atomic block, leaving at least one
+// access path with no armable locking point. Returns the mutated site ID
+// and whether an effective candidate existed.
+func InjectUnderLock(c *anchor.Compiled) (uint32, bool) {
+	mc := BuildMayConflict(c)
+	for _, site := range alpSitesByID(c) {
+		c.IsALP[site] = false
+		if len(checkSufficiency(c, mc)) > 0 {
+			return site, true
+		}
+		c.IsALP[site] = true
+	}
+	return 0, false
+}
+
+// InjectOverLock sets the ALP flag on one access site whose conflict
+// class no atomic block ever stores to — a spurious advisory lock that
+// serializes provably conflict-free accesses. Returns the mutated site
+// ID and whether an effective candidate existed.
+func InjectOverLock(c *anchor.Compiled) (uint32, bool) {
+	mc := BuildMayConflict(c)
+	var candidates []uint32
+	for _, root := range mc.Classes() {
+		if mc.WrittenByAny(root) {
+			continue
+		}
+		for _, abID := range mc.touchingABs(root) {
+			candidates = append(candidates, mc.Sites(root, abID)...)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	for _, site := range candidates {
+		if int(site) >= len(c.IsALP) || c.IsALP[site] {
+			continue
+		}
+		c.IsALP[site] = true
+		if len(checkPrecision(c, mc, nil)) > 0 {
+			return site, true
+		}
+		c.IsALP[site] = false
+	}
+	return 0, false
+}
+
+// alpSitesByID returns the module's ALP-instrumented site IDs in order.
+func alpSitesByID(c *anchor.Compiled) []uint32 {
+	var out []uint32
+	for site, isALP := range c.IsALP {
+		if isALP {
+			out = append(out, uint32(site))
+		}
+	}
+	return out
+}

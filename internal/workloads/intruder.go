@@ -33,9 +33,17 @@ func buildIntruder() *Workload {
 	q := simds.DeclareQueue(mod)
 	ht := simds.DeclareHashTable(mod)
 
+	// The three shared structures are module globals bound into the
+	// blocks' root calls: the producer's queue-push classes and the
+	// consumer's queue-pop classes unify through gResultQ exactly as the
+	// runtime aliases them through resultQ.
+	gPacketQ := mod.Global("packetQ")
+	gResultQ := mod.Global("resultQ")
+	gFragMap := mod.Global("fragMap")
+
 	// AB 1: fetch a fragment from the packet queue.
 	popRoot := mod.NewFunc("get_packet", "qPtr")
-	popRoot.Entry().Call(q.FnPop, popRoot.Param(0))
+	popRoot.Entry().Call(q.FnPop, gPacketQ)
 	abPop := mod.Atomic("get_packet", popRoot)
 
 	// AB 2: the decoder: look up the flow's fragment count, update the
@@ -45,14 +53,14 @@ func buildIntruder() *Workload {
 	// flagged the body's ht.Lookup sites as absent from this block's
 	// unified table.
 	decRoot := mod.NewFunc("decoder_process", "mapPtr", "resultQ", "frag")
-	decRoot.Entry().Call(ht.FnLookup, decRoot.Param(0))
-	decRoot.Entry().Call(ht.FnInsert, decRoot.Param(0), decRoot.Param(2))
-	decRoot.Entry().Call(q.FnPush, decRoot.Param(1), decRoot.Param(2))
+	decRoot.Entry().Call(ht.FnLookup, gFragMap)
+	decRoot.Entry().Call(ht.FnInsert, gFragMap, decRoot.Param(2))
+	decRoot.Entry().Call(q.FnPush, gResultQ, decRoot.Param(2))
 	abDec := mod.Atomic("decoder_process", decRoot)
 
 	// AB 3: the detector pops completed flows and scans them.
 	detRoot := mod.NewFunc("detector", "resultQ")
-	detRoot.Entry().Call(q.FnPop, detRoot.Param(0))
+	detRoot.Entry().Call(q.FnPop, gResultQ)
 	abDet := mod.Atomic("detector", detRoot)
 	mod.MustFinalize()
 

@@ -28,11 +28,15 @@ func init() { register("labyrinth", buildLabyrinth) }
 func buildLabyrinth() *Workload {
 	mod := prog.NewModule("labyrinth")
 	g := simds.DeclareGrid(mod, labX, labY, labZ)
+	// The grid is a module global bound into both blocks' root calls, so
+	// claim's and release's cell classes unify statically the way the
+	// runtime aliases them through the one shared grid.
+	gGrid := mod.Global("grid")
 	root := mod.NewFunc("route_path", "gridPtr")
-	root.Entry().Call(g.FnClaim, root.Param(0))
+	root.Entry().Call(g.FnClaim, gGrid)
 	ab := mod.Atomic("route_path", root)
 	relRoot := mod.NewFunc("ripup_path", "gridPtr")
-	relRoot.Entry().Call(g.FnRelease, relRoot.Param(0))
+	relRoot.Entry().Call(g.FnRelease, gGrid)
 	abRel := mod.Atomic("ripup_path", relRoot)
 	mod.MustFinalize()
 

@@ -29,10 +29,14 @@ func init() {
 func buildList(name string, lookupPct, insertPct, totalOps int) *Workload {
 	mod := prog.NewModule(name)
 	l := simds.DeclareSortedList(mod)
-	abLookup := atomicWrap(mod, "lookup", l.FnLookup)
-	abInsert := atomicWrap(mod, "insert", l.FnInsert)
-	abDelete := atomicWrap(mod, "delete", l.FnDelete)
-	abSize := atomicWrap(mod, "contains_all", l.FnLookup)
+	// The shared list is a module global bound into every atomic block's
+	// root call: the static conflict classes of the four blocks unify
+	// through it exactly as the runtime aliases them through `list`.
+	gList := mod.Global("list")
+	abLookup := atomicWrap(mod, "lookup", l.FnLookup, gList)
+	abInsert := atomicWrap(mod, "insert", l.FnInsert, gList)
+	abDelete := atomicWrap(mod, "delete", l.FnDelete, gList)
+	abSize := atomicWrap(mod, "contains_all", l.FnLookup, gList)
 	mod.MustFinalize()
 
 	var list mem.Addr
@@ -174,13 +178,19 @@ func (md *listModel) Finish() error {
 	return nil
 }
 
-// atomicWrap declares an atomic block that calls fn with the enclosing
-// root function's parameters (the usual "TM_BEGIN; call; TM_END" shape).
-func atomicWrap(mod *prog.Module, name string, fn *prog.Func) *prog.AtomicBlock {
+// atomicWrap declares an atomic block that calls fn (the usual
+// "TM_BEGIN; call; TM_END" shape). fn's first parameter — the shared
+// structure pointer — binds to the module global the runtime passes;
+// remaining parameters bind to the root's own (thread-private) params.
+func atomicWrap(mod *prog.Module, name string, fn *prog.Func, structPtr *prog.Value) *prog.AtomicBlock {
 	root := mod.NewFunc("ab_"+name, "a0", "a1")
 	args := make([]*prog.Value, len(fn.Params))
 	for i := range args {
-		args[i] = root.Param(i % 2)
+		if i == 0 {
+			args[i] = structPtr
+		} else {
+			args[i] = root.Param(i % 2)
+		}
 	}
 	root.Entry().Call(fn, args...)
 	return mod.Atomic(name, root)

@@ -44,12 +44,16 @@ func buildTsp() *Workload {
 	mod := prog.NewModule("tsp")
 	bt := simds.DeclareBPTree(mod)
 
+	// The task queue is a module global bound into both roots: pop's and
+	// push's tree classes unify statically the way the runtime aliases
+	// them through the one shared priority queue.
+	gPQ := mod.Global("taskPQ")
 	popRoot := mod.NewFunc("pop_task", "pqPtr")
-	popRoot.Entry().Call(bt.FnPop, popRoot.Param(0))
+	popRoot.Entry().Call(bt.FnPop, gPQ)
 	abPop := mod.Atomic("pop_task", popRoot)
 
 	pushRoot := mod.NewFunc("push_task", "pqPtr")
-	pushRoot.Entry().Call(bt.FnInsert, pushRoot.Param(0))
+	pushRoot.Entry().Call(bt.FnInsert, gPQ)
 	abPush := mod.Atomic("push_task", pushRoot)
 
 	bestF := mod.NewFunc("update_best", "bestPtr")
@@ -58,6 +62,9 @@ func buildTsp() *Workload {
 	bestRoot := mod.NewFunc("ab_update_best", "bestPtr")
 	bestRoot.Entry().Call(bestF, bestRoot.Param(0))
 	abBest := mod.Atomic("update_best", bestRoot)
+	// Declared last so the shape hint's sites number after every real
+	// site (anchor tables and site IDs stay exactly as without it).
+	bt.DeclareShape(mod, gPQ)
 	mod.MustFinalize()
 
 	var pq, best mem.Addr
