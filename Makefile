@@ -13,10 +13,11 @@ help:
 # ci is the gate: static checks, full build, full test suite, the chaos
 # smoke (fault injection + verification on a representative cell), a
 # bounded schedule-exploration smoke (adversarial scheduler + oracle),
-# the IR-level static verification of every workload, the race-mode
-# parallel-sweep equivalence suite, the daemon lifecycle smoke, the
-# crash-recovery harness, and the generated-docs drift check.
-ci: vet build test smoke explore-smoke verify-static conflict-verify race-equivalence daemon-smoke crash-smoke docs-verify ## full CI gate (all of the below)
+# the IR-level static verification of every workload, the engine
+# differential suite (cooperative vs reference, byte-identical, -race),
+# the race-mode parallel-sweep equivalence suite, the daemon lifecycle
+# smoke, the crash-recovery harness, and the generated-docs drift check.
+ci: vet build test smoke explore-smoke verify-static conflict-verify equivalence race-equivalence daemon-smoke crash-smoke docs-verify ## full CI gate (all of the below)
 
 # vet layers three static gates: formatting, the standard go vet, and
 # the repo's own staggervet analyzers (determinism, ntstore, siteattr,
@@ -83,6 +84,18 @@ explore-smoke: ## 25 adversarial schedules per cell through the oracle
 # sweeps) run here too, as do the journal, store, and fault-injection
 # filesystem packages: their goroutine-leak, shutdown, and concurrent
 # append/put assertions are exactly the kind -race strengthens.
+# equivalence is the engine differential gate: every workload × seed ×
+# {plain, staggered, hardened, chaos, PCT} cell runs on the cooperative
+# engine and the reference engine and must be byte-identical in traces,
+# metrics JSON, statistics, oracle verdicts, and workload verification —
+# under -race, so the coroutine handoff protocol is checked at the same
+# time. Record/replay cross-engine determinism and the fuzz seed corpus
+# run in the same package. On a mismatch the suite writes both traces
+# and the first-divergence index under EQUIVALENCE_ARTIFACTS (default
+# ./equivalence-artifacts), which CI uploads.
+equivalence: ## cooperative-vs-reference engine differential suite under -race
+	$(GO) test -race ./internal/htm/equivalence -count=1
+
 race-equivalence: ## determinism-equivalence + service lifecycle under -race
 	$(GO) test -race ./internal/harness -count=1 \
 		-run 'TestDeterminism|TestTableOutputIdentical|TestChaosSweepIdentical|TestExploreIdentical|TestCacheShared|TestRunAllOrdering|TestRunCtxCancel|TestRunAllCancel|TestRunAllContained'

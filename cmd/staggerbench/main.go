@@ -10,7 +10,9 @@
 //     strictly sequentially (-workers 1) and with the parallel sweep
 //     runner, plus the resulting speedup;
 //   - a regression gate: -baseline compares against a committed report
-//     and exits nonzero past the tolerances.
+//     and exits nonzero past the tolerances. The primary gate is the
+//     cooperative engine's speedup over the in-process reference engine
+//     (host-speed invariant); absolute wall time is a loose backstop.
 //
 // Usage:
 //
@@ -28,13 +30,21 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/htm"
 	"repro/internal/stagger"
 )
 
-// Cell is one benchmark configuration's measured cost.
+// Cell is one benchmark configuration's measured cost. Every cell is
+// measured twice — on the default cooperative engine and on the
+// retained reference engine (htm.Config.RefEngine) — because the ref
+// engine is the only host-speed-invariant yardstick this machine has:
+// wall-clock on a shared box swings by 2x with neighbor load, but both
+// engines swing together, so the speedup ratio is stable and the
+// regression gate can hold a tight tolerance on it.
 type Cell struct {
 	Name           string  `json:"name"`
 	Runs           int     `json:"runs"`
@@ -42,6 +52,11 @@ type Cell struct {
 	NsPerRun       float64 `json:"ns_per_run"`
 	EventsPerSec   float64 `json:"events_per_sec"`
 	AllocsPerEvent float64 `json:"allocs_per_event"`
+	// RefNsPerRun and RefEventsPerSec are the same cell on the reference
+	// engine; Speedup is their ratio to the cooperative engine.
+	RefNsPerRun     float64 `json:"ref_ns_per_run"`
+	RefEventsPerSec float64 `json:"ref_events_per_sec"`
+	Speedup         float64 `json:"speedup"`
 }
 
 // TableSet reports the paper table/figure sweep, sequential vs parallel.
@@ -74,13 +89,19 @@ func (s cellSpec) name() string {
 // matrix returns the fixed workload matrix. The full matrix covers the
 // paper's six representative benchmarks on both the baseline HTM and the
 // full staggered system at 1 and 16 threads; -quick keeps two benchmarks
-// at 4 threads so the CI smoke job finishes in seconds.
+// at 1 and 4 threads so the CI smoke job finishes in seconds. The
+// single-thread cells isolate the engine's sequential event throughput
+// (no token handoffs), which is what the cooperative engine's ≥10x gate
+// is measured on; the 4-thread cells additionally price the handoff path
+// under contention.
 func matrix(quick bool) []cellSpec {
 	if quick {
 		var cells []cellSpec
 		for _, b := range []string{"list-hi", "kmeans"} {
 			for _, m := range []stagger.Mode{stagger.ModeHTM, stagger.ModeStaggeredHW} {
-				cells = append(cells, cellSpec{b, m, 4, 400})
+				for _, th := range []int{1, 4} {
+					cells = append(cells, cellSpec{b, m, th, 400})
+				}
 			}
 		}
 		return cells
@@ -103,47 +124,109 @@ func events(res *harness.Result) uint64 {
 	return s.Loads + s.Stores + s.NTLoads + s.NTStores
 }
 
-// measureCell runs one cell reps times (plus an untimed warmup) and
-// reports the fastest wall time and the fewest host allocations observed;
-// minima are the standard noise filter for both.
+// timedRun runs rc once and returns its wall time and host allocations.
+func timedRun(rc harness.RunConfig) (ns, allocs float64, ev uint64, err error) {
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	//staggervet:allow determinism host-side benchmark timing, not simulation state
+	t0 := time.Now()
+	res, err := harness.Run(rc)
+	//staggervet:allow determinism host-side benchmark timing, not simulation state
+	ns = float64(time.Since(t0).Nanoseconds())
+	runtime.ReadMemStats(&ms1)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return ns, float64(ms1.Mallocs - ms0.Mallocs), events(res), nil
+}
+
+// measureCell measures one cell on the cooperative engine and on the
+// reference engine (the host-speed yardstick; see Cell). The two
+// engines' reps are interleaved — coop, ref, coop, ref, ... — so a
+// host-speed phase change mid-cell hits both engines alike and both
+// minima come from the same (fastest) phase; block measurement here
+// was observed to report a skewed speedup when the host shifted
+// between the blocks. Minima over reps are the standard noise filter.
 func measureCell(spec cellSpec, seed int64, reps int) (Cell, error) {
 	rc := harness.RunConfig{
 		Benchmark: spec.bench, Mode: spec.mode, Threads: spec.threads,
 		Seed: seed, TotalOps: spec.ops,
 	}
+	mc := htm.DefaultConfig()
+	mc.RefEngine = true
+	refRC := rc
+	refRC.Machine = &mc
 	if _, err := harness.Run(rc); err != nil { // warmup, untimed
 		return Cell{}, err
 	}
-	var ev uint64
-	bestNs := float64(0)
-	bestAllocs := float64(0)
-	var ms0, ms1 runtime.MemStats
-	for r := 0; r < reps; r++ {
-		runtime.ReadMemStats(&ms0)
-		//staggervet:allow determinism host-side benchmark timing, not simulation state
-		t0 := time.Now()
-		res, err := harness.Run(rc)
-		//staggervet:allow determinism host-side benchmark timing, not simulation state
-		ns := float64(time.Since(t0).Nanoseconds())
-		runtime.ReadMemStats(&ms1)
+	if _, err := harness.Run(refRC); err != nil {
+		return Cell{}, err
+	}
+	// Sub-millisecond cells need more pairs than long ones for the
+	// ratio median to settle, so sampling continues past `reps` until
+	// the cell has accumulated ~60ms of timed work (hard-capped so a
+	// pathological cell cannot stall the matrix).
+	const minSampleNs = 60e6
+	const maxPairs = 40
+	var bestNs, bestAllocs, refNs, sampledNs float64
+	var ev, refEv uint64
+	ratios := make([]float64, 0, maxPairs)
+	for r := 0; r < maxPairs && (r < reps || sampledNs < minSampleNs); r++ {
+		ns, allocs, e, err := timedRun(rc)
 		if err != nil {
 			return Cell{}, err
 		}
-		ev = events(res)
-		allocs := float64(ms1.Mallocs - ms0.Mallocs)
+		ev = e
 		if r == 0 || ns < bestNs {
 			bestNs = ns
 		}
 		if r == 0 || allocs < bestAllocs {
 			bestAllocs = allocs
 		}
+		rns, _, re, err := timedRun(refRC)
+		if err != nil {
+			return Cell{}, err
+		}
+		refEv = re
+		if r == 0 || rns < refNs {
+			refNs = rns
+		}
+		sampledNs += ns + rns
+		if ns > 0 {
+			ratios = append(ratios, rns/ns)
+		}
 	}
-	c := Cell{Name: spec.name(), Runs: reps, Events: ev, NsPerRun: bestNs}
+	if refEv != ev {
+		return Cell{}, fmt.Errorf("%s: engines disagree on simulated events (%d vs %d); run the equivalence suite",
+			spec.name(), ev, refEv)
+	}
+	c := Cell{Name: spec.name(), Runs: len(ratios), Events: ev, NsPerRun: bestNs, RefNsPerRun: refNs}
 	if ev > 0 {
 		c.EventsPerSec = float64(ev) / (bestNs / 1e9)
 		c.AllocsPerEvent = bestAllocs / float64(ev)
+		c.RefEventsPerSec = float64(ev) / (refNs / 1e9)
 	}
+	// The speedup is the median of the per-rep pairwise ratios, not the
+	// ratio of the two minima: each interleaved pair shares its host
+	// phase, and the median shrugs off a single outlier rep, so the
+	// recorded baseline ratio is a stable target rather than a lucky
+	// draw the gate then holds every future run to.
+	c.Speedup = median(ratios)
 	return c, nil
+}
+
+// median returns the middle value of xs (mean of the middle two for
+// even lengths), or 0 for an empty slice. xs is sorted in place.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	if n := len(xs); n%2 == 1 {
+		return xs[n/2]
+	} else {
+		return (xs[n/2-1] + xs[n/2]) / 2
+	}
 }
 
 // paperTables regenerates the table/figure set cmd/paper prints by
@@ -176,13 +259,28 @@ func paperTables(seed int64, quick bool) (float64, error) {
 	return float64(time.Since(t0).Nanoseconds()), nil
 }
 
-// compare gates the fresh report against a baseline: timed metrics may
-// regress by at most tol (fractional), allocations per event by at most
-// allocTol plus a small absolute epsilon (so a 0-alloc baseline doesn't
-// demand exactly 0 forever). Cells are matched by name; cells missing
-// from either side are skipped, so quick and full reports only gate
-// their intersection.
-func compare(fresh, base *Report, tol, allocTol float64) []string {
+// compare gates the fresh report against a baseline. Three gates per
+// cell, matched by name (cells missing from either side are skipped, so
+// quick and full reports only gate their intersection):
+//
+//   - simulated events must match exactly — any drift means the
+//     simulation itself changed and the baseline must be re-recorded
+//     deliberately;
+//   - the cooperative engine's speedup over the reference engine may
+//     regress by at most tol (fractional). Both engines are timed in the
+//     same process seconds apart, so host-speed swings cancel and this
+//     ratio holds a tight tolerance even on a shared box — it is the
+//     primary events/s regression gate;
+//   - absolute wall time may regress by at most hostTol, a deliberately
+//     loose backstop (host phases of 2x have been observed here with the
+//     machine otherwise idle) that still catches regressions on the
+//     paths both engines share — flat tables, workload bodies — which
+//     the ratio gate cannot see.
+//
+// Allocations per event are host-deterministic, so they keep the tight
+// allocTol (plus a small absolute epsilon so a 0-alloc baseline doesn't
+// demand exactly 0 forever).
+func compare(fresh, base *Report, tol, allocTol, hostTol float64) []string {
 	var fails []string
 	baseCells := make(map[string]Cell, len(base.Cells))
 	for _, c := range base.Cells {
@@ -198,9 +296,14 @@ func compare(fresh, base *Report, tol, allocTol float64) []string {
 				"%s: simulated events changed %d -> %d (the simulation itself changed, re-baseline deliberately)",
 				c.Name, b.Events, c.Events))
 		}
-		if b.NsPerRun > 0 && c.NsPerRun > b.NsPerRun*(1+tol) {
+		if b.Speedup > 0 && c.Speedup > 0 && c.Speedup < b.Speedup/(1+tol) {
+			fails = append(fails, fmt.Sprintf(
+				"%s: speedup over the reference engine %.2fx -> %.2fx (-%.0f%%, limit -%.0f%%)",
+				c.Name, b.Speedup, c.Speedup, (1-c.Speedup/b.Speedup)*100, tol/(1+tol)*100))
+		}
+		if b.NsPerRun > 0 && c.NsPerRun > b.NsPerRun*(1+hostTol) {
 			fails = append(fails, fmt.Sprintf("%s: ns/run %.0f -> %.0f (+%.0f%%, limit +%.0f%%)",
-				c.Name, b.NsPerRun, c.NsPerRun, (c.NsPerRun/b.NsPerRun-1)*100, tol*100))
+				c.Name, b.NsPerRun, c.NsPerRun, (c.NsPerRun/b.NsPerRun-1)*100, hostTol*100))
 		}
 		if c.AllocsPerEvent > b.AllocsPerEvent*(1+allocTol)+0.01 {
 			fails = append(fails, fmt.Sprintf("%s: allocs/event %.4f -> %.4f (limit +%.0f%%)",
@@ -208,9 +311,9 @@ func compare(fresh, base *Report, tol, allocTol float64) []string {
 		}
 	}
 	if fresh.Tables != nil && base.Tables != nil && base.Tables.ParallelNs > 0 {
-		if fresh.Tables.ParallelNs > base.Tables.ParallelNs*(1+tol) {
+		if fresh.Tables.ParallelNs > base.Tables.ParallelNs*(1+hostTol) {
 			fails = append(fails, fmt.Sprintf("tables: parallel wall %.2fs -> %.2fs (limit +%.0f%%)",
-				base.Tables.ParallelNs/1e9, fresh.Tables.ParallelNs/1e9, tol*100))
+				base.Tables.ParallelNs/1e9, fresh.Tables.ParallelNs/1e9, hostTol*100))
 		}
 	}
 	return fails
@@ -220,8 +323,9 @@ func main() {
 	out := flag.String("out", "BENCH_paper.json", "write the report to this file")
 	quick := flag.Bool("quick", false, "CI smoke matrix: fewer cells, one timed rep, Table 1 only")
 	baseline := flag.String("baseline", "", "compare against this report and exit 1 past the tolerances")
-	tol := flag.Float64("tolerance", 0.25, "allowed fractional slowdown in timed metrics vs -baseline")
+	tol := flag.Float64("tolerance", 0.25, "allowed fractional regression of the speedup-over-reference ratio vs -baseline")
 	allocTol := flag.Float64("alloc-tolerance", 0.10, "allowed fractional increase in allocs/event vs -baseline")
+	hostTol := flag.Float64("host-tolerance", 1.5, "allowed fractional absolute wall-time slowdown vs -baseline (loose: absorbs shared-host speed phases)")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel sweep width for the table-set measurement")
 	seed := flag.Int64("seed", 42, "experiment seed")
 	tables := flag.Bool("tables", true, "also time the paper table set sequential vs parallel")
@@ -233,9 +337,12 @@ func main() {
 	}
 
 	rep := &Report{Quick: *quick, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	// The cooperative engine runs the quick cells in single-digit
+	// milliseconds, so quick mode can afford best-of-5: minima over five
+	// reps keep the CI gate's noise floor well under its 25% tolerance.
 	reps := 3
 	if *quick {
-		reps = 1
+		reps = 5
 	}
 	for _, spec := range matrix(*quick) {
 		c, err := measureCell(spec, *seed, reps)
@@ -243,8 +350,8 @@ func main() {
 			fail(err)
 		}
 		rep.Cells = append(rep.Cells, c)
-		fmt.Printf("%-34s %10.2f ms  %12.0f events/s  %8.4f allocs/event\n",
-			c.Name, c.NsPerRun/1e6, c.EventsPerSec, c.AllocsPerEvent)
+		fmt.Printf("%-34s %10.2f ms  %12.0f events/s  %8.4f allocs/event  %6.2fx vs ref\n",
+			c.Name, c.NsPerRun/1e6, c.EventsPerSec, c.AllocsPerEvent, c.Speedup)
 	}
 
 	if *tables {
@@ -289,14 +396,14 @@ func main() {
 		if err := json.Unmarshal(raw, &base); err != nil {
 			fail(fmt.Errorf("parse %s: %w", *baseline, err))
 		}
-		if fails := compare(rep, &base, *tol, *allocTol); len(fails) > 0 {
+		if fails := compare(rep, &base, *tol, *allocTol, *hostTol); len(fails) > 0 {
 			fmt.Fprintf(os.Stderr, "staggerbench: %d regression(s) vs %s:\n", len(fails), *baseline)
 			for _, f := range fails {
 				fmt.Fprintln(os.Stderr, "  -", f)
 			}
 			os.Exit(1)
 		}
-		fmt.Printf("within tolerance of %s (+%.0f%% time, +%.0f%% allocs)\n",
-			*baseline, *tol*100, *allocTol*100)
+		fmt.Printf("within tolerance of %s (-%.0f%% speedup, +%.0f%% allocs, +%.0f%% wall backstop)\n",
+			*baseline, *tol*100, *allocTol*100, *hostTol*100)
 	}
 }

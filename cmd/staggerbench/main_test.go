@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestCompareGatesRegressions pins the gate logic itself: changed
+// simulated event counts, speedup-ratio regressions past the tolerance,
+// absolute slowdowns past the host backstop, and allocation growth must
+// each produce a failure line, while matching cells within tolerance
+// pass silently.
+func TestCompareGatesRegressions(t *testing.T) {
+	base := &Report{Cells: []Cell{
+		{Name: "a", Events: 100, NsPerRun: 1000, Speedup: 10, AllocsPerEvent: 0},
+		{Name: "b", Events: 200, NsPerRun: 1000, Speedup: 10, AllocsPerEvent: 0.5},
+	}}
+	fresh := &Report{Cells: []Cell{
+		// a: 2x wall (within the loose backstop) but the ratio collapsed.
+		{Name: "a", Events: 100, NsPerRun: 2000, Speedup: 6, AllocsPerEvent: 0},
+		// b: events drifted, wall past the backstop, allocs up 20%.
+		{Name: "b", Events: 201, NsPerRun: 2600, Speedup: 10, AllocsPerEvent: 0.6},
+	}}
+	fails := compare(fresh, base, 0.25, 0.10, 1.5)
+	if len(fails) != 4 {
+		t.Fatalf("want 4 failures (ratio collapse, events changed, wall backstop, allocs), got %d: %v",
+			len(fails), fails)
+	}
+	if fails := compare(base, base, 0.25, 0.10, 1.5); len(fails) != 0 {
+		t.Fatalf("baseline vs itself must pass, got %v", fails)
+	}
+	// A uniform 2x host-speed phase (both engines slower, ratio intact)
+	// must pass: that is the whole point of the ratio gate.
+	phase := &Report{Cells: []Cell{
+		{Name: "a", Events: 100, NsPerRun: 2300, Speedup: 10, AllocsPerEvent: 0},
+		{Name: "b", Events: 200, NsPerRun: 2300, Speedup: 10, AllocsPerEvent: 0.5},
+	}}
+	if fails := compare(phase, base, 0.25, 0.10, 1.5); len(fails) != 0 {
+		t.Fatalf("host-speed phase within backstop must pass, got %v", fails)
+	}
+}
+
+// TestEventsPerSecNoRegression is the benchmark-driven regression test
+// of ISSUE 9: it re-measures the quick matrix with the same protocol as
+// `make bench` (best-of-5 minima, both engines in-process) and fails if
+// any cell's events/s — normalized by the reference engine, so shared-
+// host speed phases cancel — regresses more than 25% below the
+// committed bench_baseline.json. The baseline was raised to the
+// cooperative engine's throughput, so a revert to channel-era
+// performance cannot land silently.
+func TestEventsPerSecNoRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive gate; run without -short (CI also runs it via make bench)")
+	}
+	raw, err := os.ReadFile("../../bench_baseline.json")
+	if err != nil {
+		t.Fatalf("committed baseline missing: %v", err)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	fresh := &Report{Quick: true}
+	for _, spec := range matrix(true) {
+		c, err := measureCell(spec, 42, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh.Cells = append(fresh.Cells, c)
+		t.Logf("%s: %.0f events/s, %.2fx vs ref", c.Name, c.EventsPerSec, c.Speedup)
+	}
+	if fails := compare(fresh, &base, 0.25, 0.10, 1.5); len(fails) > 0 {
+		for _, f := range fails {
+			t.Errorf("regression vs bench_baseline.json: %s", f)
+		}
+	}
+}

@@ -13,27 +13,46 @@ import (
 )
 
 // generateRepoMap builds the README's repository-map table from package
-// doc comments: every package under internal/ and cmd/ gets one row
-// whose purpose is the first sentence of its package comment. A package
-// without a doc comment produces an error, so the table doubles as a
-// "every package is documented" gate.
+// doc comments: every package under internal/ and cmd/ — nested
+// packages included — gets one row whose purpose is the first sentence
+// of its package comment. A package without a doc comment produces an
+// error, so the table doubles as a "every package is documented" gate.
 func generateRepoMap(root string) ([]byte, error) {
 	var rows [][2]string
 	for _, top := range []string{"internal", "cmd"} {
-		entries, err := os.ReadDir(filepath.Join(root, top))
+		var rels []string
+		err := filepath.WalkDir(filepath.Join(root, top), func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			ents, err := os.ReadDir(path)
+			if err != nil {
+				return err
+			}
+			for _, e := range ents {
+				if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+					rel, err := filepath.Rel(root, path)
+					if err != nil {
+						return err
+					}
+					rels = append(rels, filepath.ToSlash(rel))
+					break
+				}
+			}
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		names := make([]string, 0, len(entries))
-		for _, e := range entries {
-			if e.IsDir() {
-				names = append(names, e.Name())
-			}
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			rel := top + "/" + name
-			syn, err := packageSynopsis(filepath.Join(root, top, name))
+		sort.Strings(rels)
+		for _, rel := range rels {
+			syn, err := packageSynopsis(filepath.Join(root, filepath.FromSlash(rel)))
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", rel, err)
 			}

@@ -13,6 +13,8 @@
 //	              publishing bytes that were never fsynced
 //	ctxdone     — looping goroutines in service/harness code that never
 //	              observe cancellation
+//	refengine   — htm engine construction that bypasses the newEngine
+//	              factory (and its Config.RefEngine oracle switch)
 //
 // Diagnostics print as file:line:col: [analyzer] message, and any
 // finding makes the process exit nonzero, so `make vet` and CI fail on
@@ -37,6 +39,7 @@ import (
 var analyzers = []*Analyzer{
 	determinismAnalyzer, ntstoreAnalyzer, siteattrAnalyzer,
 	errshadowAnalyzer, fsyncpathAnalyzer, ctxdoneAnalyzer,
+	refengineAnalyzer,
 }
 
 func main() {

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// refengine guards the differential oracle of the htm package: the
+// cooperative engine and the retained reference engine may only be
+// constructed through the newEngine factory, and the factory may only
+// be asked for an engine with the Config.RefEngine flag itself. If any
+// code path could build a coopEngine directly, an experiment claiming
+// "verified against the reference engine" might silently run the new
+// engine on both sides; this analyzer makes that bypass a vet failure.
+//
+// Concretely, inside internal/htm (the only package that can name the
+// unexported types):
+//
+//   - a coopEngine or refEngine composite literal is legal only in its
+//     own constructor (newCoopEngine / newRefEngine);
+//   - calling a constructor is legal only inside newEngine;
+//   - calling newEngine is legal only with a RefEngine config field as
+//     the engine-selection argument, so the choice always traces back
+//     to Config.RefEngine rather than a hard-coded bool.
+var refengineAnalyzer = &Analyzer{
+	Name: "refengine",
+	Doc:  "forces all htm engine construction through the newEngine factory honoring Config.RefEngine",
+	Run:  runRefEngine,
+}
+
+// refengineCtors maps each engine type to the sole function allowed to
+// build it.
+var refengineCtors = map[string]string{
+	"coopEngine": "newCoopEngine",
+	"refEngine":  "newRefEngine",
+}
+
+func runRefEngine(pass *Pass) {
+	if pkgRel(pass.PkgPath) != "internal/htm" {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkEngineConstruction(pass, fn)
+		}
+	}
+}
+
+// checkEngineConstruction walks one function body for engine literals,
+// constructor calls, and factory calls, applying the placement rules.
+func checkEngineConstruction(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			name := htmNamedType(pass, n)
+			ctor, guarded := refengineCtors[name]
+			if guarded && fn.Name.Name != ctor {
+				pass.Reportf(n.Pos(),
+					"%s constructed outside %s; all engine construction must go through the newEngine factory", name, ctor)
+			}
+		case *ast.CallExpr:
+			callee := htmFuncCallee(pass, n)
+			switch callee {
+			case "newCoopEngine", "newRefEngine":
+				if fn.Name.Name != "newEngine" {
+					pass.Reportf(n.Pos(),
+						"%s called outside the newEngine factory; the Config.RefEngine oracle switch would be bypassed", callee)
+				}
+			case "newEngine":
+				if len(n.Args) != 3 || !isRefEngineSelector(n.Args[2]) {
+					pass.Reportf(n.Pos(),
+						"newEngine must select the engine with a RefEngine config field, not a computed or literal bool")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// htmNamedType returns the bare name of lit's type when it is a named
+// type defined in the package under analysis, else "".
+func htmNamedType(pass *Pass, lit *ast.CompositeLit) string {
+	tv, ok := pass.Info.Types[ast.Expr(lit)]
+	if !ok {
+		return ""
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Pkg() != pass.Pkg {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// htmFuncCallee resolves a call's callee to a package-level function of
+// the package under analysis and returns its name, else "".
+func htmFuncCallee(pass *Pass, call *ast.CallExpr) string {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	obj, ok := pass.Info.Uses[id]
+	if !ok || obj.Pkg() != pass.Pkg {
+		return ""
+	}
+	if _, isFunc := obj.(*types.Func); !isFunc {
+		return ""
+	}
+	return obj.Name()
+}
+
+// isRefEngineSelector reports whether e reads a field or method named
+// RefEngine (e.g. m.cfg.RefEngine), the only sanctioned way to choose
+// between the cooperative and reference engines.
+func isRefEngineSelector(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "RefEngine"
+}

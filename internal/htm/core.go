@@ -6,16 +6,6 @@ import (
 	"repro/internal/mem"
 )
 
-// txLine records, for a line in the core's speculative set, the first
-// transactional access: its full PC and static site, plus whether the
-// line has been written. This models the per-line tx bits and the 12-bit
-// PC tag the paper adds to the L1 (Section 4).
-type txLine struct {
-	pc    uint64
-	site  uint32
-	wrote bool
-}
-
 // Core is one simulated hardware thread. A Core must only be used by the
 // thread body it was handed to by Machine.Run; the engine guarantees that
 // only one core executes between synchronization points, so no locking is
@@ -26,8 +16,9 @@ type Core struct {
 	clock uint64
 	stats CoreStats
 	l1    *l1cache
-	l2    map[mem.Addr]struct{}
-	rng   *rand.Rand
+	// rng backs the randomized backoff policies; it is built lazily on
+	// first draw so contention-free runs never pay the seeding cost.
+	rng *rand.Rand
 
 	inTx      bool
 	inAttempt bool
@@ -36,8 +27,17 @@ type Core struct {
 	// abort costs no allocation on the requester's critical path.
 	hasPending   bool
 	pendingAbort AbortInfo
-	writeBuf     map[mem.Addr]uint64
-	txLines      map[mem.Addr]txLine
+	// abortBox is the reusable panic payload for transaction aborts:
+	// panicking with a pre-boxed pointer keeps the abort unwind path
+	// allocation-free. Safe to reuse because tryTx copies the info out
+	// before the core can abort again.
+	abortBox txAbort
+	// wbuf is the transactional write buffer; txs is the speculative-set
+	// index (first-access PC/site and written flag per line — the per-line
+	// tx bits and 12-bit PC tag the paper adds to the L1, Section 4). Both
+	// are flat open-addressed tables cleared per transaction.
+	wbuf         wordTable
+	txs          txTable
 	attemptStart uint64
 	attemptWait  uint64
 
@@ -61,15 +61,24 @@ type Core struct {
 }
 
 func newCore(m *Machine, id int) *Core {
-	return &Core{
-		m:        m,
-		id:       id,
-		l1:       newL1(m.cfg.L1Lines, m.cfg.L1Ways),
-		l2:       make(map[mem.Addr]struct{}),
-		rng:      rand.New(rand.NewSource(m.cfg.Seed*2654435761 + int64(id)*40503 + 7)),
-		writeBuf: make(map[mem.Addr]uint64, 16),
-		txLines:  make(map[mem.Addr]txLine, 16),
+	c := &Core{
+		m:  m,
+		id: id,
+		l1: newL1(m.cfg.L1Lines, m.cfg.L1Ways),
 	}
+	c.wbuf.init()
+	c.txs.init()
+	return c
+}
+
+// rand returns the core's backoff PRNG, seeding it deterministically from
+// the machine seed and core ID on first use. Lazy construction draws the
+// same sequence as the former eager one, so schedules are unchanged.
+func (c *Core) rand() *rand.Rand {
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(c.m.cfg.Seed*2654435761 + int64(c.id)*40503 + 7))
+	}
+	return c.rng
 }
 
 // ID returns the core's index.
@@ -93,13 +102,6 @@ func (c *Core) InTx() bool { return c.inTx }
 // Stats exposes the core's counters (read-only use expected).
 func (c *Core) Stats() *CoreStats { return &c.stats }
 
-func (c *Core) l2Has(line mem.Addr) bool {
-	_, ok := c.l2[line]
-	return ok
-}
-
-func (c *Core) l2Add(line mem.Addr) { c.l2[line] = struct{}{} }
-
 // event serializes a globally visible action at the core's current clock
 // and delivers any pending remote abort before the action executes. With
 // a fault injector installed it is also where injected stall jitter and
@@ -121,7 +123,8 @@ func (c *Core) event() {
 		c.hasPending = false
 		if c.inTx {
 			c.finishAbort(info)
-			panic(txAbort{info})
+			c.abortBox.info = info
+			panic(&c.abortBox)
 		}
 	}
 	if c.inTx && c.m.chaos != nil {
@@ -195,19 +198,19 @@ func (c *Core) TxCommit() {
 	if c.m.cfg.Lazy {
 		c.lazyResolve()
 	}
-	//staggervet:allow determinism distinct addresses; final memory is order-independent
-	for a, v := range c.writeBuf {
-		c.m.Mem.Store(a, v)
+	// Publish in insertion order; the buffered words are distinct, so the
+	// resulting memory state is order-independent.
+	for i := range c.wbuf.ents {
+		c.m.Mem.Store(c.wbuf.ents[i].addr, c.wbuf.ents[i].val)
 	}
 	c.clock += c.m.cfg.TxCommitCost
 	c.stats.Commits++
 	c.stats.UsefulTxCycles += c.clock - c.attemptStart - c.attemptWait
 	c.recordCommit()
 	if c.m.observer != nil {
-		writes := make(map[mem.Addr]uint64, len(c.writeBuf))
-		//staggervet:allow determinism map copy; insertion order cannot matter
-		for a, v := range c.writeBuf {
-			writes[a] = v
+		writes := make(map[mem.Addr]uint64, len(c.wbuf.ents))
+		for _, w := range c.wbuf.ents {
+			writes[w.addr] = w.val
 		}
 		c.obsEndSection(false, writes)
 	}
@@ -226,7 +229,8 @@ func (c *Core) TxAbortExplicit() {
 // (overflow, explicit, lock-held) and unwinds to the retry loop.
 func (c *Core) abortSelf(info AbortInfo) {
 	c.finishAbort(info)
-	panic(txAbort{info})
+	c.abortBox.info = info
+	panic(&c.abortBox)
 }
 
 // finishAbort accounts an aborted attempt and discards speculative state.
@@ -240,15 +244,15 @@ func (c *Core) finishAbort(info AbortInfo) {
 
 // clearTx discards speculative state and releases directory presence.
 func (c *Core) clearTx() {
-	//staggervet:allow determinism independent bit clears; order cannot matter
-	for line := range c.txLines {
-		if e, ok := c.m.dir[line]; ok {
-			e.readers &^= 1 << uint(c.id)
-			e.writers &^= 1 << uint(c.id)
+	mask := ^(uint32(1) << uint(c.id))
+	for i := range c.txs.ents {
+		if e := c.m.lines.lookup(c.txs.ents[i].line); e != nil {
+			e.readers &= mask
+			e.writers &= mask
 		}
 	}
-	clear(c.txLines)
-	clear(c.writeBuf)
+	c.txs.clear()
+	c.wbuf.clear()
 	c.inTx = false
 	c.inAttempt = false
 }
@@ -270,7 +274,7 @@ func (c *Core) abortRemote(v *Core, line mem.Addr, site uint32) {
 		KillerSite: site,
 		KillerAB:   c.abTag,
 	}
-	if tl, ok := v.txLines[line]; ok {
+	if tl := v.txs.lookup(line); tl != nil {
 		info.TrueSite = tl.site
 		if c.m.cfg.HardwareCPC {
 			info.ConfPC = tl.pc & c.m.cfg.pcMask()
@@ -284,19 +288,27 @@ func (c *Core) abortRemote(v *Core, line mem.Addr, site uint32) {
 
 // stripDir removes core v's speculative presence from the directory.
 func (c *Core) stripDir(v *Core) {
-	//staggervet:allow determinism independent bit clears; order cannot matter
-	for line := range v.txLines {
-		if e, ok := c.m.dir[line]; ok {
-			e.readers &^= 1 << uint(v.id)
-			e.writers &^= 1 << uint(v.id)
+	mask := ^(uint32(1) << uint(v.id))
+	for i := range v.txs.ents {
+		if e := c.m.lines.lookup(v.txs.ents[i].line); e != nil {
+			e.readers &= mask
+			e.writers &= mask
 		}
 	}
 }
 
 // abortMask aborts every core named in mask other than c itself; site
-// is the killing access's static site (0 when unattributed).
+// is the killing access's static site (0 when unattributed). It is
+// inlinable: the empty-mask case (no foreign speculative presence — the
+// overwhelmingly common one) costs a masked compare, and the slow loop
+// lives in abortMaskSlow.
 func (c *Core) abortMask(mask uint32, line mem.Addr, site uint32) {
-	mask &^= 1 << uint(c.id)
+	if mask &^= 1 << uint(c.id); mask != 0 {
+		c.abortMaskSlow(mask, line, site)
+	}
+}
+
+func (c *Core) abortMaskSlow(mask uint32, line mem.Addr, site uint32) {
 	for id := 0; mask != 0; id++ {
 		if mask&(1<<uint(id)) != 0 {
 			mask &^= 1 << uint(id)
@@ -306,17 +318,16 @@ func (c *Core) abortMask(mask uint32, line mem.Addr, site uint32) {
 }
 
 // record notes the first transactional access to a line. Entries are
-// stored by value: the common first-access path is one map insert, with
-// no per-line heap allocation.
+// stored by value in the flat table: the common first-access path is one
+// probe and one append, with no per-line heap allocation.
 func (c *Core) record(line mem.Addr, pc uint64, site uint32, wrote bool) {
-	tl, ok := c.txLines[line]
-	if !ok {
-		c.txLines[line] = txLine{pc: pc, site: site, wrote: wrote}
+	tl := c.txs.lookup(line)
+	if tl == nil {
+		c.txs.add(line, pc, site, wrote)
 		return
 	}
 	if wrote && !tl.wrote {
 		tl.wrote = true
-		c.txLines[line] = tl
 	}
 }
 
@@ -338,10 +349,10 @@ func (c *Core) Load(pc uint64, site uint32, a mem.Addr) uint64 {
 		e.readers |= 1 << uint(c.id)
 		c.record(line, pc, site, false)
 	}
-	c.clock += c.m.lookupLatency(c, line)
+	c.clock += c.m.lookupLatency(c, line, e)
 	word := mem.WordOf(a)
 	if c.inTx {
-		if v, ok := c.writeBuf[word]; ok {
+		if v, ok := c.wbuf.get(word); ok {
 			return v
 		}
 	}
@@ -368,14 +379,14 @@ func (c *Core) Store(pc uint64, site uint32, a mem.Addr, v uint64) {
 	}
 	if !c.inTx || !c.m.cfg.Lazy {
 		// Lazy speculative stores stay private until commit: no RFO yet.
-		c.m.invalidateOthers(line, c.id)
+		c.m.invalidateOthers(e, line, c.id)
 	}
-	c.clock += c.m.lookupLatency(c, line)
+	c.clock += c.m.lookupLatency(c, line, e)
 	if c.inTx {
 		e.readers |= 1 << uint(c.id)
 		e.writers |= 1 << uint(c.id)
 		c.record(line, pc, site, true)
-		c.writeBuf[mem.WordOf(a)] = v
+		c.wbuf.put(mem.WordOf(a), v)
 		return
 	}
 	c.m.Mem.Store(a, v)
@@ -407,7 +418,7 @@ func (c *Core) NTLoad(a mem.Addr) uint64 {
 	c.stats.NTLoads++
 	line := mem.LineOf(a)
 	c.event()
-	c.ntCharge(c.m.lookupLatency(c, line))
+	c.ntCharge(c.m.lookupLatency(c, line, c.m.entry(line)))
 	return c.m.Mem.Load(a)
 }
 
@@ -429,10 +440,11 @@ func (c *Core) ntCharge(lat uint64) {
 func (c *Core) NTStore(a mem.Addr, v uint64) {
 	c.countUop()
 	c.stats.NTStores++
-	c.ntStoreConflicts(a)
+	line := mem.LineOf(a)
+	e := c.ntStoreConflicts(line)
 	c.ntFaultDelay()
-	c.m.invalidateOthers(mem.LineOf(a), c.id)
-	c.ntCharge(c.m.lookupLatency(c, mem.LineOf(a)))
+	c.m.invalidateOthers(e, line, c.id)
+	c.ntCharge(c.m.lookupLatency(c, line, e))
 	c.m.Mem.Store(a, v)
 	c.obsStore(mem.WordOf(a), v)
 }
@@ -444,10 +456,11 @@ func (c *Core) NTCas(a mem.Addr, old, new uint64) bool {
 	c.countUop()
 	c.stats.NTLoads++
 	c.stats.NTStores++
-	c.ntStoreConflicts(a)
+	line := mem.LineOf(a)
+	e := c.ntStoreConflicts(line)
 	c.ntFaultDelay()
-	c.m.invalidateOthers(mem.LineOf(a), c.id)
-	c.ntCharge(c.m.lookupLatency(c, mem.LineOf(a)))
+	c.m.invalidateOthers(e, line, c.id)
+	c.ntCharge(c.m.lookupLatency(c, line, e))
 	if c.m.Mem.Load(a) != old {
 		return false
 	}
@@ -471,18 +484,16 @@ func (c *Core) ntFaultDelay() {
 	}
 }
 
-// ntStoreConflicts synchronizes and aborts every remote transaction that
-// holds the target line speculatively.
-func (c *Core) ntStoreConflicts(a mem.Addr) {
-	line := mem.LineOf(a)
+// ntStoreConflicts synchronizes, aborts every remote transaction that
+// holds the target line speculatively, and returns the line's coherence
+// entry for the caller's invalidation and latency steps.
+func (c *Core) ntStoreConflicts(line mem.Addr) *lineEntry {
 	c.event()
-	e, ok := c.m.dir[line]
-	if !ok {
-		return
-	}
+	e := c.m.entry(line)
 	// NT stores carry no static site: the advisory-lock words they hit
 	// live outside the IR, so the conflict pair stays unattributed.
 	c.abortMask(e.writers|e.readers, line, 0)
+	return e
 }
 
 // lazyResolve implements commit-time committer-wins conflict resolution:
@@ -492,22 +503,21 @@ func (c *Core) ntStoreConflicts(a mem.Addr) {
 // simulation — stays deterministic.
 func (c *Core) lazyResolve() {
 	written := c.addrScratch[:0]
-	//staggervet:allow determinism key collection; sorted before victim selection
-	for line, tl := range c.txLines {
-		if tl.wrote {
-			written = append(written, line)
+	for i := range c.txs.ents {
+		if c.txs.ents[i].wrote {
+			written = append(written, c.txs.ents[i].line)
 		}
 	}
 	c.addrScratch = written // keep the grown buffer for the next commit
 	sortAddrs(written)
 	for _, line := range written {
-		if e, ok := c.m.dir[line]; ok {
-			// The committer's first access to the line stands in for the
-			// killing site (the publish is line-, not site-granular).
-			c.abortMask(e.writers|e.readers, line, c.txLines[line].site)
-		}
+		// Every recorded line has a coherence entry (Load/Store created it).
+		e := c.m.lines.lookup(line)
+		// The committer's first access to the line stands in for the
+		// killing site (the publish is line-, not site-granular).
+		c.abortMask(e.writers|e.readers, line, c.txs.lookup(line).site)
 		// Publishing takes ownership: remote caches lose the line.
-		c.m.invalidateOthers(line, c.id)
+		c.m.invalidateOthers(e, line, c.id)
 	}
 }
 

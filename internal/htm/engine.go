@@ -1,186 +1,54 @@
 package htm
 
 // The engine serializes all globally visible events of the simulated
-// cores by virtual time. Exactly one core goroutine runs at any moment:
-// a single logical token is handed from core to core, always to the
-// runnable core with the smallest virtual clock (ties broken by core ID).
-// Compute-only work advances a core's local clock without involving the
-// engine, so the handshake cost is paid only on memory events.
+// cores by virtual time. Exactly one core runs at any moment: a single
+// logical token is handed from core to core, always to the runnable core
+// with the smallest virtual clock (ties broken by core ID), or — with a
+// Scheduler installed — to an adversarially chosen core inside the
+// scheduler's virtual-time window. Compute-only work advances a core's
+// local clock without involving the engine, so the handoff cost is paid
+// only on memory events.
 //
-// The token discipline means engine state needs no mutex: every field is
-// only touched by the token holder, and the wake channels provide the
+// Two implementations exist behind the newEngine factory:
+//
+//   - coopEngine (the default): a single-goroutine cooperative scheduler.
+//     Each core is a resumable coroutine; one engine loop on the caller's
+//     goroutine resumes the token holder and regains control when the
+//     holder yields. No channels and no goroutine wakeups anywhere on the
+//     hot path — a handoff is a direct coroutine switch.
+//   - refEngine (Config.RefEngine): the original goroutine-per-core
+//     channel lock-step engine with a full minimum scan at every sync,
+//     retained verbatim as the differential oracle. The equivalence suite
+//     (internal/htm/equivalence, FuzzEngineHandoff) proves the two agree
+//     cycle-for-cycle on traces, statistics, and final memory.
+//
+// The token discipline means engine state needs no mutex in either
+// implementation: every field is only touched by the token holder (or the
+// engine loop between holders), and the resume/park points provide the
 // happens-before edges between consecutive holders.
-//
-// Hot path. While one core holds the token, every other core's clock is
-// frozen — other cores only advance their clocks while *they* hold the
-// token. The minimum clock among the other runnable cores is therefore a
-// constant for the duration of a tenure, so it is computed once per
-// handoff (grant) and every subsequent sync by the holder is a single
-// comparison: the holder keeps the token, without any channel operation
-// or O(cores) scan, unless its new time actually loses the virtual-time
-// race. A core only parks when it genuinely must yield. The slow-path-only
-// variant (reference=true, every sync runs the full scan) is retained as
-// the oracle for the equivalence fuzz test; both must agree pick-for-pick
-// by construction, and FuzzEngineHandoff checks they do cycle-for-cycle.
 
-type engine struct {
-	time    []uint64
-	done    []bool
-	wake    []chan struct{}
-	pending int
-	allDone chan struct{}
-
-	// Fast-path state (valid while sched == nil && !reference): holder is
-	// the core that currently owns the token; othersMin/othersID are the
-	// smallest clock among the other non-done cores and the smallest core
-	// ID achieving it (othersID == -1 when no other core is runnable).
-	// Recomputed once per grant, read on every sync.
-	holder    int
-	othersMin uint64
-	othersID  int
-	// reference disables the O(1) fast path so every sync runs the full
-	// minimum scan — the pre-optimization engine, kept for differential
-	// testing (Config.RefEngine).
-	reference bool
-
-	// sched, when non-nil, replaces the smallest-virtual-time rule with an
-	// adversarial choice among the runnable cores inside the scheduler's
-	// virtual-time window (see sched.go). cand/candT are reused scratch.
-	sched Scheduler
-	cand  []int
-	candT []uint64
+// engine is the token-handoff contract shared by both implementations.
+type engine interface {
+	// run executes one body per core to completion. panics[i] receives the
+	// panic value raised by body i, if any; run itself only panics on
+	// engine bugs. On return every core has finished and its FinalClock is
+	// recorded.
+	run(m *Machine, bodies []func(*Core), panics []any)
+	// sync is called by core id (the token holder) when its clock has
+	// reached t and it is about to perform a globally visible event. It
+	// returns when the core is again the chosen runnable core, possibly
+	// after handing the token around; on return the caller may perform its
+	// event atomically.
+	sync(id int, t uint64)
 }
 
-func newEngine(n int, sched Scheduler, reference bool) *engine {
-	e := &engine{
-		time:      make([]uint64, n),
-		done:      make([]bool, n),
-		wake:      make([]chan struct{}, n),
-		pending:   n,
-		allDone:   make(chan struct{}),
-		holder:    -1,
-		othersID:  -1,
-		reference: reference,
-		sched:     sched,
+// newEngine is the single factory for token engines. All engine
+// construction MUST go through it so the Config.RefEngine differential
+// oracle can never be silently bypassed; staggervet's refengine analyzer
+// enforces this statically.
+func newEngine(n int, sched Scheduler, ref bool) engine {
+	if ref {
+		return newRefEngine(n, sched)
 	}
-	for i := range e.wake {
-		e.wake[i] = make(chan struct{}, 1)
-	}
-	return e
+	return newCoopEngine(n, sched)
 }
-
-// min returns the non-done core with the smallest virtual time, or -1.
-func (e *engine) min() int {
-	best := -1
-	for i := range e.time {
-		if e.done[i] {
-			continue
-		}
-		if best == -1 || e.time[i] < e.time[best] {
-			best = i
-		}
-	}
-	return best
-}
-
-// next returns the core to hand the token to: the minimum-time runnable
-// core by default, or the installed scheduler's choice among the cores
-// within its virtual-time window of the minimum.
-func (e *engine) next() int {
-	best := e.min()
-	if e.sched == nil || best == -1 {
-		return best
-	}
-	e.cand, e.candT = e.cand[:0], e.candT[:0]
-	window := e.sched.Window()
-	for i := range e.time {
-		if e.done[i] {
-			continue
-		}
-		if window == 0 || e.time[i] <= e.time[best]+window {
-			e.cand = append(e.cand, i)
-			e.candT = append(e.candT, e.time[i])
-		}
-	}
-	if len(e.cand) == 1 {
-		return e.cand[0]
-	}
-	k := e.sched.Pick(e.cand, e.candT)
-	if k < 0 || k >= len(e.cand) {
-		k = ((k % len(e.cand)) + len(e.cand)) % len(e.cand)
-	}
-	return e.cand[k]
-}
-
-// grant hands the token to core id: it becomes the holder, the frozen
-// minimum over the other runnable cores is recomputed for the fast path,
-// and the core is woken. Callers must have chosen id via next().
-func (e *engine) grant(id int) {
-	e.holder = id
-	e.othersID = -1
-	for i := range e.time {
-		if i == id || e.done[i] {
-			continue
-		}
-		if e.othersID == -1 || e.time[i] < e.othersMin {
-			e.othersMin, e.othersID = e.time[i], i
-		}
-	}
-	e.wake[id] <- struct{}{}
-}
-
-// keepsToken reports whether the holder, now at time t, still wins the
-// virtual-time race against the frozen minimum of the other runnable
-// cores (ties go to the smallest core ID, matching min()'s ascending
-// scan). With no other runnable core the holder trivially keeps running.
-func (e *engine) keepsToken(id int, t uint64) bool {
-	return e.othersID == -1 || t < e.othersMin || (t == e.othersMin && id < e.othersID)
-}
-
-// sync is called by core id (the token holder) when its clock has reached
-// t and it is about to perform a globally visible event. It returns when
-// the core is again the chosen runnable core, possibly after handing the
-// token around; on return the caller may perform its event atomically.
-func (e *engine) sync(id int, t uint64) {
-	e.time[id] = t
-	if e.sched == nil && !e.reference {
-		// Fast path: a single comparison against the per-tenure constant.
-		if e.keepsToken(id, t) {
-			return
-		}
-	} else {
-		next := e.next()
-		if next == id {
-			return
-		}
-		e.grant(next)
-		<-e.wake[id]
-		return
-	}
-	// Fast path lost the race: the winner is, by the tie-break, exactly
-	// the recorded other-minimum core.
-	e.grant(e.othersID)
-	<-e.wake[id]
-}
-
-// finish is called by core id when its thread body has returned. The token
-// passes to the next runnable core, or the simulation completes.
-func (e *engine) finish(id int, t uint64) {
-	e.time[id] = t
-	e.done[id] = true
-	e.pending--
-	if e.pending == 0 {
-		close(e.allDone)
-		return
-	}
-	e.grant(e.next())
-}
-
-// start launches the simulation by granting the token to the chosen
-// core. Call after every core goroutine is blocked on its wake channel.
-func (e *engine) start() {
-	e.grant(e.next())
-}
-
-// waitAll blocks until every registered core has finished.
-func (e *engine) waitAll() { <-e.allDone }

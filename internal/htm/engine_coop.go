@@ -1,0 +1,267 @@
+package htm
+
+import "iter"
+
+// coopEngine is the cooperative single-goroutine engine: every simulated
+// core is a resumable coroutine (iter.Pull), and one scheduler loop on
+// the caller's goroutine resumes whichever core holds the token. The Go
+// scheduler is never involved between events — a token handoff is a
+// direct coroutine switch, and the common case (the holder keeps the
+// token) is a single comparison with no switch at all.
+//
+// Hot path. While one core holds the token, every other core's clock is
+// frozen — other cores only advance their clocks while *they* hold the
+// token. The minimum clock among the other runnable cores is therefore a
+// constant for the duration of a tenure, so it is computed once per
+// handoff (grant) and every subsequent sync by the holder is a single
+// comparison: the holder keeps the token and its event batch continues,
+// without any coroutine switch or O(cores) scan, unless its new time
+// actually loses the virtual-time race. Events are thereby batched per
+// token tenure: a tenure's whole run of events costs one switch in and
+// one switch out, however long it is.
+//
+// Determinism. The pick rule is identical to refEngine's: smallest
+// virtual time, ties to the smallest core ID, or the installed
+// Scheduler's choice within its window. Decision points occur in the same
+// order (start, every losing sync, every finish), so recorded schedules
+// replay bit-identically across both engines.
+type coopEngine struct {
+	time    []uint64
+	done    []bool
+	pending int
+
+	// Fast-path state (valid while sched == nil): holder is the core that
+	// currently owns the token; othersMin/othersID are the smallest clock
+	// among the other non-done cores and the smallest core ID achieving it
+	// (othersID == -1 when no other core is runnable). Recomputed once per
+	// grant, read on every sync.
+	holder    int
+	othersMin uint64
+	othersID  int
+
+	// sched, when non-nil, replaces the smallest-virtual-time rule with an
+	// adversarial choice among the runnable cores inside the scheduler's
+	// virtual-time window (see sched.go). cand/candT are reused scratch.
+	sched Scheduler
+	cand  []int
+	candT []uint64
+
+	// granted is the core that must run next; grant sets it before
+	// control is transferred toward it (see dispatch).
+	granted int
+	// resume[i] switches into core i's coroutine until it yields or its
+	// body returns; stop[i] releases the coroutine. park[i] is core i's
+	// yield function, switching back to its resumer.
+	resume []func() (struct{}, bool)
+	stop   []func()
+	park   []func(struct{}) bool
+	// chained[i] marks core i as blocked inside a resume call (it handed
+	// the token to a parked core by switching into it directly). The
+	// suspended coroutines always form a single chain rooted at the run
+	// loop; dispatch uses chained to tell whether the granted core can be
+	// resumed directly (it is parked outside the chain) or control must
+	// unwind to it (it is an ancestor in the chain).
+	chained []bool
+}
+
+func newCoopEngine(n int, sched Scheduler) *coopEngine {
+	return &coopEngine{
+		time:     make([]uint64, n),
+		done:     make([]bool, n),
+		pending:  n,
+		holder:   -1,
+		othersID: -1,
+		sched:    sched,
+	}
+}
+
+// min returns the non-done core with the smallest virtual time, or -1.
+func (e *coopEngine) min() int {
+	best := -1
+	for i := range e.time {
+		if e.done[i] {
+			continue
+		}
+		if best == -1 || e.time[i] < e.time[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// next returns the core to hand the token to: the minimum-time runnable
+// core by default, or the installed scheduler's choice among the cores
+// within its virtual-time window of the minimum.
+func (e *coopEngine) next() int {
+	best := e.min()
+	if e.sched == nil || best == -1 {
+		return best
+	}
+	e.cand, e.candT = e.cand[:0], e.candT[:0]
+	window := e.sched.Window()
+	for i := range e.time {
+		if e.done[i] {
+			continue
+		}
+		if window == 0 || e.time[i] <= e.time[best]+window {
+			e.cand = append(e.cand, i)
+			e.candT = append(e.candT, e.time[i])
+		}
+	}
+	if len(e.cand) == 1 {
+		return e.cand[0]
+	}
+	k := e.sched.Pick(e.cand, e.candT)
+	if k < 0 || k >= len(e.cand) {
+		k = ((k % len(e.cand)) + len(e.cand)) % len(e.cand)
+	}
+	return e.cand[k]
+}
+
+// grant hands the token to core id: it becomes the holder, the frozen
+// minimum over the other runnable cores is recomputed for the fast path,
+// and the engine loop is told to resume it. Callers must have chosen id
+// via next() (or the fast path's recorded othersID, which is provably the
+// same choice).
+func (e *coopEngine) grant(id int) {
+	e.holder = id
+	e.othersID = -1
+	for i := range e.time {
+		if i == id || e.done[i] {
+			continue
+		}
+		if e.othersID == -1 || e.time[i] < e.othersMin {
+			e.othersMin, e.othersID = e.time[i], i
+		}
+	}
+	e.granted = id
+}
+
+// keepsToken reports whether the holder, now at time t, still wins the
+// virtual-time race against the frozen minimum of the other runnable
+// cores (ties go to the smallest core ID, matching min()'s ascending
+// scan). With no other runnable core the holder trivially keeps running.
+func (e *coopEngine) keepsToken(id int, t uint64) bool {
+	return e.othersID == -1 || t < e.othersMin || (t == e.othersMin && id < e.othersID)
+}
+
+// sync implements engine. The fast path is a single comparison against
+// the per-tenure constant; losing the race selects the winner and
+// transfers control toward it with as few coroutine switches as the
+// chain permits.
+func (e *coopEngine) sync(id int, t uint64) {
+	e.time[id] = t
+	if e.sched == nil {
+		if e.keepsToken(id, t) {
+			return
+		}
+		// Fast path lost the race: the winner is, by the tie-break,
+		// exactly the recorded other-minimum core.
+		e.grant(e.othersID)
+	} else {
+		next := e.next()
+		if next == id {
+			return
+		}
+		e.grant(next)
+	}
+	e.dispatch(id)
+}
+
+// dispatch transfers control from core id toward the granted core and
+// returns when id is granted again. A parked winner is resumed by a
+// single direct coroutine switch — the common ping-pong handoff costs
+// one switch, not a bounce through a central loop. A winner that is an
+// ancestor in the chain (blocked in the resume call that eventually led
+// here) is reached by yielding, which unwinds one chain level; each
+// unwound frame re-enters its own dispatch loop and repeats the choice.
+func (e *coopEngine) dispatch(id int) {
+	for {
+		w := e.granted
+		if w == id {
+			return
+		}
+		if e.chained[w] {
+			// The winner is an ancestor: park until the token comes back.
+			// Cores are only ever resumed when they hold the grant, so on
+			// return granted == id.
+			e.park[id](struct{}{})
+			return
+		}
+		// The winner is parked (or not yet started): switch into it
+		// directly, becoming part of the chain until it returns control.
+		e.chained[id] = true
+		_, alive := e.resume[w]()
+		e.chained[id] = false
+		if !alive {
+			e.coreDone(w)
+		}
+	}
+}
+
+// coreDone marks core w's body as returned and hands the token onward.
+// When the last body returns there is no next holder: every other
+// coroutine has already unwound, so control is in the run loop, which
+// observes pending == 0 and completes the simulation.
+func (e *coopEngine) coreDone(w int) {
+	e.done[w] = true
+	e.pending--
+	if e.pending > 0 {
+		e.grant(e.next())
+	}
+}
+
+// run implements engine: it builds one coroutine per core and drives the
+// whole simulation from this goroutine. A coroutine is resumed only when
+// its core holds the token, so all simulation state keeps the exclusive-
+// holder discipline without locks, channels, or extra goroutines.
+func (e *coopEngine) run(m *Machine, bodies []func(*Core), panics []any) {
+	n := len(bodies)
+	e.resume = make([]func() (struct{}, bool), n)
+	e.stop = make([]func(), n)
+	e.park = make([]func(struct{}) bool, n)
+	e.chained = make([]bool, n)
+	for i, body := range bodies {
+		c, body := m.cores[i], body
+		next, stop := iter.Pull(func(yield func(struct{}) bool) {
+			// The coroutine body runs lazily: the first resume — which is
+			// the engine's first grant to this core — starts it, so no
+			// initial park is needed.
+			e.park[c.id] = yield
+			// A panicking body must still hand back the token; the panic
+			// value is re-raised in the caller's goroutine by RunChecked.
+			defer func() {
+				if r := recover(); r != nil {
+					panics[c.id] = r
+					if c.inTx {
+						c.clearTx()
+					}
+				}
+				c.stats.FinalClock = c.clock
+				e.time[c.id] = c.clock
+			}()
+			body(c)
+			if c.inTx {
+				panic("htm: thread body returned inside a transaction")
+			}
+		})
+		e.resume[i] = next
+		e.stop[i] = stop
+	}
+	defer func() {
+		for _, stop := range e.stop {
+			stop()
+		}
+	}()
+	e.grant(e.next()) // start: hand the token to the first chosen core
+	for e.pending > 0 {
+		// Resume the granted core. Control comes back here only when the
+		// directly resumed core's body returns — cores hand the token
+		// among themselves via dispatch without bouncing through this
+		// loop — and a finished core necessarily still holds the grant.
+		w := e.granted
+		if _, alive := e.resume[w](); !alive {
+			e.coreDone(w)
+		}
+	}
+}

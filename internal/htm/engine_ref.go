@@ -1,0 +1,144 @@
+package htm
+
+// refEngine is the original goroutine-per-core channel lock-step engine,
+// retained as the differential oracle behind Config.RefEngine. Every core
+// runs on its own goroutine and parks on a wake channel whenever it is
+// not the token holder; every sync runs the full minimum scan (the
+// pre-optimization reference semantics). It is deliberately the simplest
+// possible implementation of the token discipline: the equivalence suite
+// trusts it precisely because it shares no handoff machinery with the
+// cooperative engine.
+type refEngine struct {
+	time    []uint64
+	done    []bool
+	wake    []chan struct{}
+	pending int
+	allDone chan struct{}
+
+	// sched, when non-nil, replaces the smallest-virtual-time rule with an
+	// adversarial choice among the runnable cores inside the scheduler's
+	// virtual-time window (see sched.go). cand/candT are reused scratch.
+	sched Scheduler
+	cand  []int
+	candT []uint64
+}
+
+func newRefEngine(n int, sched Scheduler) *refEngine {
+	e := &refEngine{
+		time:    make([]uint64, n),
+		done:    make([]bool, n),
+		wake:    make([]chan struct{}, n),
+		pending: n,
+		allDone: make(chan struct{}),
+		sched:   sched,
+	}
+	for i := range e.wake {
+		e.wake[i] = make(chan struct{}, 1)
+	}
+	return e
+}
+
+// min returns the non-done core with the smallest virtual time, or -1.
+func (e *refEngine) min() int {
+	best := -1
+	for i := range e.time {
+		if e.done[i] {
+			continue
+		}
+		if best == -1 || e.time[i] < e.time[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// next returns the core to hand the token to: the minimum-time runnable
+// core by default, or the installed scheduler's choice among the cores
+// within its virtual-time window of the minimum.
+func (e *refEngine) next() int {
+	best := e.min()
+	if e.sched == nil || best == -1 {
+		return best
+	}
+	e.cand, e.candT = e.cand[:0], e.candT[:0]
+	window := e.sched.Window()
+	for i := range e.time {
+		if e.done[i] {
+			continue
+		}
+		if window == 0 || e.time[i] <= e.time[best]+window {
+			e.cand = append(e.cand, i)
+			e.candT = append(e.candT, e.time[i])
+		}
+	}
+	if len(e.cand) == 1 {
+		return e.cand[0]
+	}
+	k := e.sched.Pick(e.cand, e.candT)
+	if k < 0 || k >= len(e.cand) {
+		k = ((k % len(e.cand)) + len(e.cand)) % len(e.cand)
+	}
+	return e.cand[k]
+}
+
+// grant hands the token to core id by waking its goroutine. Callers must
+// have chosen id via next().
+func (e *refEngine) grant(id int) {
+	e.wake[id] <- struct{}{}
+}
+
+// sync implements engine: the full scan runs at every globally visible
+// event, and losing the virtual-time race parks the caller on its wake
+// channel until the token comes back.
+func (e *refEngine) sync(id int, t uint64) {
+	e.time[id] = t
+	next := e.next()
+	if next == id {
+		return
+	}
+	e.grant(next)
+	<-e.wake[id]
+}
+
+// finish is called by core id when its thread body has returned. The token
+// passes to the next runnable core, or the simulation completes.
+func (e *refEngine) finish(id int, t uint64) {
+	e.time[id] = t
+	e.done[id] = true
+	e.pending--
+	if e.pending == 0 {
+		close(e.allDone)
+		return
+	}
+	e.grant(e.next())
+}
+
+// run implements engine: one goroutine per core, lock-step via the wake
+// channels, exactly the original execution model.
+func (e *refEngine) run(m *Machine, bodies []func(*Core), panics []any) {
+	for i, body := range bodies {
+		c := m.cores[i]
+		go func(c *Core, body func(*Core)) {
+			// A panicking body must still hand back the token, or the
+			// other cores (and Run's caller) would hang; the panic value
+			// is re-raised in the caller's goroutine by RunChecked.
+			defer func() {
+				if r := recover(); r != nil {
+					panics[c.id] = r
+					if c.inTx {
+						c.clearTx()
+					}
+				}
+				c.stats.FinalClock = c.clock
+				e.finish(c.id, c.clock)
+			}()
+			<-e.wake[c.id] // wait for the engine to grant the first turn
+			body(c)
+			if c.inTx {
+				panic("htm: thread body returned inside a transaction")
+			}
+		}(c, body)
+	}
+	e.grant(e.next()) // start: hand the token to the first chosen core
+	<-e.allDone
+}

@@ -131,7 +131,7 @@ func (c *Core) tryTx(runtimePC uint64, body func(*Core)) (info AbortInfo, ok boo
 		if r == nil {
 			return
 		}
-		ta, isAbort := r.(txAbort)
+		ta, isAbort := r.(*txAbort)
 		if !isAbort {
 			// A real workload bug: clean the machine state so the panic
 			// surfaces intelligibly, then rethrow.
@@ -159,7 +159,7 @@ func (c *Core) tryTx(runtimePC uint64, body func(*Core)) (info AbortInfo, ok boo
 // in the paper's runtime).
 func (c *Core) politeBackoff(attempt int, base uint64) {
 	mean := base * uint64(attempt+1)
-	jitter := uint64(c.rng.Int63n(int64(mean))) // in [0, mean)
+	jitter := uint64(c.rand().Int63n(int64(mean))) // in [0, mean)
 	c.SpinWait(mean/2+jitter, WaitBackoff)
 }
 
@@ -178,7 +178,7 @@ func (c *Core) expBackoff(attempt int, base, cap uint64) {
 	if mean > cap || mean == 0 {
 		mean = cap
 	}
-	jitter := uint64(c.rng.Int63n(int64(mean))) // in [0, mean)
+	jitter := uint64(c.rand().Int63n(int64(mean))) // in [0, mean)
 	c.SpinWait(mean/2+jitter, WaitBackoff)
 }
 

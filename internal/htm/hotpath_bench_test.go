@@ -153,11 +153,12 @@ func TestHotPathSteadyStateAllocs(t *testing.T) {
 		})
 	}
 	short, long := measure(500), measure(4000)
-	extraEvents := float64(4 * (4000 - 500))
-	perEvent := (long - short) / extraEvents
-	if perEvent > 0.02 {
-		t.Fatalf("steady-state allocations: %.4f per event (short=%.0f long=%.0f), want <= 0.02",
-			perEvent, short, long)
+	// The cooperative engine's target is exactly zero steady-state
+	// allocations: once the flat tables reach size, adding 14,000 more
+	// events (handoffs included) must not allocate a single object.
+	if long != short {
+		t.Fatalf("steady-state allocations: %.0f extra over %d extra events (short=%.0f long=%.0f), want 0",
+			long-short, 4*(4000-500), short, long)
 	}
 
 	measureTx := func(txPerCore int) float64 {
@@ -166,12 +167,12 @@ func TestHotPathSteadyStateAllocs(t *testing.T) {
 		})
 	}
 	shortTx, longTx := measureTx(200), measureTx(1600)
-	perTx := (longTx - shortTx) / float64(2*(1600-200))
-	// A committed transaction re-walks its write set and clears maps but
-	// must not allocate; allow 0.1/tx of slack for rare map growth.
-	if perTx > 0.1 {
-		t.Fatalf("steady-state allocations: %.4f per transaction (short=%.0f long=%.0f), want <= 0.1",
-			perTx, shortTx, longTx)
+	// A committed transaction re-walks its write set and clears its flat
+	// tables, and an aborted one unwinds via the pre-boxed panic payload;
+	// neither may allocate in steady state.
+	if longTx != shortTx {
+		t.Fatalf("steady-state allocations: %.0f extra over %d extra transactions (short=%.0f long=%.0f), want 0",
+			longTx-shortTx, 2*(1600-200), shortTx, longTx)
 	}
 }
 

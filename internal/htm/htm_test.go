@@ -54,7 +54,7 @@ func TestExplicitAbortDiscardsWrites(t *testing.T) {
 	m.Run([]func(*Core){func(c *Core) {
 		func() {
 			defer func() {
-				if _, ok := recover().(txAbort); !ok {
+				if _, ok := recover().(*txAbort); !ok {
 					t.Error("expected txAbort panic")
 				}
 			}()
@@ -83,7 +83,7 @@ func TestWriteWriteConflictRequesterWins(t *testing.T) {
 		func(c *Core) {
 			func() {
 				defer func() {
-					if ta, ok := recover().(txAbort); ok {
+					if ta, ok := recover().(*txAbort); ok {
 						victimInfo = ta.info
 						gotAbort = true
 					}
@@ -134,7 +134,7 @@ func TestReadersAbortOnRemoteStore(t *testing.T) {
 	reader := func(c *Core) {
 		func() {
 			defer func() {
-				if _, ok := recover().(txAbort); ok {
+				if _, ok := recover().(*txAbort); ok {
 					aborted[c.ID()] = true
 				}
 			}()
@@ -228,7 +228,7 @@ func TestNTStoreAbortsTransactionalReaders(t *testing.T) {
 		func(c *Core) {
 			func() {
 				defer func() {
-					if _, ok := recover().(txAbort); ok {
+					if _, ok := recover().(*txAbort); ok {
 						aborted = true
 					}
 				}()
@@ -303,7 +303,7 @@ func TestOverflowAbort(t *testing.T) {
 	m.Run([]func(*Core){func(c *Core) {
 		func() {
 			defer func() {
-				if ta, ok := recover().(txAbort); ok {
+				if ta, ok := recover().(*txAbort); ok {
 					reason = ta.info.Reason
 				}
 			}()

@@ -25,7 +25,7 @@ func TestLazyCommitterWins(t *testing.T) {
 		func(c *Core) { // writes first, commits LAST -> loses
 			func() {
 				defer func() {
-					if ta, ok := recover().(txAbort); ok {
+					if ta, ok := recover().(*txAbort); ok {
 						victim = ta.info
 						aborted = 0
 					}

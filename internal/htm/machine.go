@@ -2,19 +2,10 @@ package htm
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/mem"
 )
-
-// dirEntry tracks which cores hold a line in their speculative read/write
-// sets. It is the simulator's stand-in for the transactional bits the
-// MOESI directory would observe.
-type dirEntry struct {
-	readers uint32 // bitmask of cores with the line in their tx read set
-	writers uint32 // bitmask of cores with the line in their tx write set
-	// (eager mode keeps at most one writer by construction; lazy mode
-	// allows several until commit resolves them)
-}
 
 // Machine is a simulated multicore with best-effort HTM.
 //
@@ -26,11 +17,15 @@ type Machine struct {
 	Mem   *mem.Memory
 	Alloc *mem.Allocator
 
-	eng   *engine
+	eng   engine
 	cores []*Core
 
-	dir map[mem.Addr]*dirEntry
-	l3  map[mem.Addr]struct{}
+	// lines is the unified per-line coherence table: the transactional
+	// directory (reader/writer masks — eager mode keeps at most one
+	// writer by construction; lazy mode allows several until commit
+	// resolves them), every core's private-L2 presence bit, and the
+	// shared-L3 presence bit, one flat entry per touched line.
+	lines lineTable
 
 	// memBusy models per-channel DRAM occupancy (cycle when each channel
 	// becomes free again).
@@ -65,9 +60,8 @@ func New(cfg Config) *Machine {
 	m := &Machine{
 		cfg: cfg,
 		Mem: mem.New(),
-		dir: make(map[mem.Addr]*dirEntry),
-		l3:  make(map[mem.Addr]struct{}),
 	}
+	m.lines.init()
 	m.Alloc = mem.NewAllocator(mem.Addr(cfg.HeapBase), cfg.HeapSize)
 	if cfg.WatchdogCycles != 0 {
 		n := cfg.WatchdogTrace
@@ -94,14 +88,11 @@ func (m *Machine) Config() Config { return m.cfg }
 // receives its own core and must not touch others.
 func (m *Machine) Core(i int) *Core { return m.cores[i] }
 
-// entry returns the directory entry for a line, creating it on demand.
-func (m *Machine) entry(line mem.Addr) *dirEntry {
-	e, ok := m.dir[line]
-	if !ok {
-		e = &dirEntry{}
-		m.dir[line] = e
-	}
-	return e
+// entry returns the coherence entry for a line, creating it on demand.
+// The pointer is invalidated by the next entry call: callers fetch it
+// once per event and pass it down.
+func (m *Machine) entry(line mem.Addr) *lineEntry {
+	return m.lines.get(line)
 }
 
 // Run executes one body per simulated thread, thread i on core i, and
@@ -130,32 +121,10 @@ func (m *Machine) RunChecked(bodies []func(c *Core)) error {
 	m.eng = newEngine(len(bodies), m.sched, m.cfg.RefEngine)
 	traceOn := m.trace != nil || m.lastEvents != nil
 	panics := make([]any, len(bodies))
-	for i, body := range bodies {
-		c := m.cores[i]
-		c.traceOn = traceOn
-		go func(c *Core, body func(*Core)) {
-			// A panicking body must still hand back the token, or the
-			// other cores (and Run's caller) would hang; the panic value
-			// is re-raised in the caller's goroutine below.
-			defer func() {
-				if r := recover(); r != nil {
-					panics[c.id] = r
-					if c.inTx {
-						c.clearTx()
-					}
-				}
-				c.stats.FinalClock = c.clock
-				m.eng.finish(c.id, c.clock)
-			}()
-			<-m.eng.wake[c.id] // wait for the engine to grant the first turn
-			body(c)
-			if c.inTx {
-				panic("htm: thread body returned inside a transaction")
-			}
-		}(c, body)
+	for i := range bodies {
+		m.cores[i].traceOn = traceOn
 	}
-	m.eng.start()
-	m.eng.waitAll()
+	m.eng.run(m, bodies, panics)
 	// Workload bugs outrank watchdog trips: once one core exceeds the
 	// cycle bound, its peers usually trip too, but a genuine panic is the
 	// root cause worth surfacing. Cancellation outranks the watchdog in
@@ -198,37 +167,40 @@ func (m *Machine) Stats() Stats {
 	return s
 }
 
-// lookupLatency classifies a memory access by core c to the given line and
-// returns its latency, updating the cache models. Speculative lines already
-// in the core's read/write sets are pinned in L1; if an insertion would
-// have to evict one, the core takes a capacity (overflow) abort.
-func (m *Machine) lookupLatency(c *Core, line mem.Addr) uint64 {
+// lookupLatency classifies a memory access by core c to the given line
+// (whose coherence entry e the caller already fetched for this event) and
+// returns its latency, updating the cache models. Speculative lines
+// already in the core's read/write sets are pinned in L1; if an insertion
+// would have to evict one, the core takes a capacity (overflow) abort.
+func (m *Machine) lookupLatency(c *Core, line mem.Addr, e *lineEntry) uint64 {
 	if c.l1.hit(line) {
 		c.stats.L1Hits++
 		return m.cfg.L1Lat
 	}
+	bit := uint32(1) << uint(c.id)
 	var lat uint64
 	switch {
-	case m.transferNeeded(c, line):
-		c.stats.L3Hits++ // cache-to-cache transfer, L3-class latency
+	case e.writers&^bit != 0:
+		// Another core holds the line dirty in its speculative write set:
+		// a cache-to-cache transfer, L3-class latency.
+		c.stats.L3Hits++
 		lat = m.cfg.L3Lat
-	case c.l2Has(line):
+	case e.l2mask&bit != 0:
 		c.stats.L2Hits++
 		lat = m.cfg.L2Lat
 	default:
-		if _, ok := m.l3[line]; ok {
+		if e.inL3 {
 			c.stats.L3Hits++
 			lat = m.cfg.L3Lat
 		} else {
 			c.stats.MemAccesses++
 			lat = m.dramLatency(c, line)
-			m.l3[line] = struct{}{}
+			e.inL3 = true
 		}
 	}
-	c.l2Add(line)
+	e.l2mask |= bit
 	if !c.l1.insert(line, func(l mem.Addr) bool {
-		_, isTx := c.txLines[l]
-		return isTx
+		return c.txs.lookup(l) != nil
 	}) {
 		// Every way in the set already holds a speculative line: the new
 		// line cannot be cached without losing transactional tracking.
@@ -237,25 +209,22 @@ func (m *Machine) lookupLatency(c *Core, line mem.Addr) uint64 {
 	return lat
 }
 
-// transferNeeded reports whether another core holds the line dirty in its
-// speculative write set (modeled as requiring a cache-to-cache transfer).
-func (m *Machine) transferNeeded(c *Core, line mem.Addr) bool {
-	e, ok := m.dir[line]
-	return ok && e.writers&^(1<<uint(c.id)) != 0
-}
-
 // invalidateOthers models the coherence invalidation a store's
 // read-for-ownership broadcasts: every other core loses its cached copy
 // of the line, so its next access pays a transfer/L3-class latency. This
 // is what makes writer-bounced lines (list cells, queue heads, statistics
 // words) genuinely expensive to re-read.
-func (m *Machine) invalidateOthers(line mem.Addr, except int) {
-	for _, o := range m.cores {
-		if o.id == except {
-			continue
-		}
-		o.l1.invalidate(line)
-		delete(o.l2, line)
+// A core's L1 contents are a subset of its L2 presence bits (lines enter
+// both together in lookupLatency and leave both together here), so only
+// cores with the L2 bit set can hold the line in L1 — the invalidation
+// walks that mask instead of every core.
+func (m *Machine) invalidateOthers(e *lineEntry, line mem.Addr, except int) {
+	others := e.l2mask &^ (1 << uint(except))
+	e.l2mask &= 1 << uint(except)
+	for others != 0 {
+		id := bits.TrailingZeros32(others)
+		others &^= 1 << uint(id)
+		m.cores[id].l1.invalidate(line)
 	}
 }
 

@@ -32,6 +32,11 @@ const pageWords = 1 << (pageBits - 3)
 // concurrent use; the simulation engine serializes all accesses.
 type Memory struct {
 	pages map[Addr][]uint64
+	// lastKey/lastPage cache the most recently touched page: simulated
+	// accesses are strongly page-local, so most loads and stores skip the
+	// page-map lookup entirely. lastPage is nil until the first access.
+	lastKey  Addr
+	lastPage []uint64
 }
 
 // New returns an empty memory.
@@ -41,11 +46,15 @@ func New() *Memory {
 
 func (m *Memory) page(a Addr) []uint64 {
 	key := a >> pageBits
+	if m.lastPage != nil && key == m.lastKey {
+		return m.lastPage
+	}
 	p, ok := m.pages[key]
 	if !ok {
 		p = make([]uint64, pageWords)
 		m.pages[key] = p
 	}
+	m.lastKey, m.lastPage = key, p
 	return p
 }
 
