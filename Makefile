@@ -104,14 +104,15 @@ race-equivalence: ## determinism-equivalence + service lifecycle under -race
 	$(GO) test -race ./internal/journal ./internal/vfs ./internal/chaos ./internal/store -count=1
 
 # docs-verify regenerates the generated documentation sections — the
-# EXPERIMENTS.md abort-attribution appendix and the README.md repo map —
-# and fails if the committed text disagrees with the source tree. Run
-# `make docs` after changing the simulator or package doc comments.
+# EXPERIMENTS.md abort-attribution appendix, its cross-backend arena
+# table, and the README.md repo map — and fails if the committed text
+# disagrees with the source tree. Run `make docs` after changing the
+# simulator, a backend, or package doc comments.
 docs-verify: ## fail if generated docs sections drifted from the source
-	$(GO) run ./cmd/staggerreport -appendix -repomap -check
+	$(GO) run ./cmd/staggerreport -appendix -backends -repomap -check
 
 docs: ## regenerate the generated docs sections in place
-	$(GO) run ./cmd/staggerreport -appendix -repomap -write
+	$(GO) run ./cmd/staggerreport -appendix -backends -repomap -write
 
 # bench is the performance regression gate: the quick matrix plus the
 # paper table set, compared against the committed baseline; any timed

@@ -31,8 +31,10 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/harness"
 	"repro/internal/htm"
 	"repro/internal/stagger"
@@ -78,12 +80,17 @@ type Report struct {
 type cellSpec struct {
 	bench   string
 	mode    stagger.Mode
+	backend string
 	threads int
 	ops     int
 }
 
 func (s cellSpec) name() string {
-	return fmt.Sprintf("%s/%s/t%d/ops%d", s.bench, s.mode, s.threads, s.ops)
+	sys := s.mode.String()
+	if s.backend != "" {
+		sys = s.backend
+	}
+	return fmt.Sprintf("%s/%s/t%d/ops%d", s.bench, sys, s.threads, s.ops)
 }
 
 // matrix returns the fixed workload matrix. The full matrix covers the
@@ -94,23 +101,32 @@ func (s cellSpec) name() string {
 // (no token handoffs), which is what the cooperative engine's ≥10x gate
 // is measured on; the 4-thread cells additionally price the handoff path
 // under contention.
-func matrix(quick bool) []cellSpec {
+//
+// A non-empty backendName re-measures the same benchmark/thread grid
+// under that arena backend instead of the two legacy modes (the backend
+// itself defines the system, so the mode axis collapses); cell names
+// then carry the backend name and never collide with the legacy
+// baseline's.
+func matrix(quick bool, backendName string) []cellSpec {
+	benches := []string{"list-hi", "tsp", "memcached", "intruder", "kmeans", "vacation"}
+	threads := []int{1, 16}
+	ops := 2000
 	if quick {
-		var cells []cellSpec
-		for _, b := range []string{"list-hi", "kmeans"} {
-			for _, m := range []stagger.Mode{stagger.ModeHTM, stagger.ModeStaggeredHW} {
-				for _, th := range []int{1, 4} {
-					cells = append(cells, cellSpec{b, m, th, 400})
-				}
-			}
-		}
-		return cells
+		benches = []string{"list-hi", "kmeans"}
+		threads = []int{1, 4}
+		ops = 400
+	}
+	modes := []stagger.Mode{stagger.ModeHTM, stagger.ModeStaggeredHW}
+	if backendName != "" {
+		// The backend resolves its own effective mode from ModeStaggeredHW
+		// (software backends force HTM; "staggered" keeps it).
+		modes = []stagger.Mode{stagger.ModeStaggeredHW}
 	}
 	var cells []cellSpec
-	for _, b := range []string{"list-hi", "tsp", "memcached", "intruder", "kmeans", "vacation"} {
-		for _, m := range []stagger.Mode{stagger.ModeHTM, stagger.ModeStaggeredHW} {
-			for _, th := range []int{1, 16} {
-				cells = append(cells, cellSpec{b, m, th, 2000})
+	for _, b := range benches {
+		for _, m := range modes {
+			for _, th := range threads {
+				cells = append(cells, cellSpec{b, m, backendName, th, ops})
 			}
 		}
 	}
@@ -149,8 +165,8 @@ func timedRun(rc harness.RunConfig) (ns, allocs float64, ev uint64, err error) {
 // between the blocks. Minima over reps are the standard noise filter.
 func measureCell(spec cellSpec, seed int64, reps int) (Cell, error) {
 	rc := harness.RunConfig{
-		Benchmark: spec.bench, Mode: spec.mode, Threads: spec.threads,
-		Seed: seed, TotalOps: spec.ops,
+		Benchmark: spec.bench, Mode: spec.mode, Backend: spec.backend,
+		Threads: spec.threads, Seed: seed, TotalOps: spec.ops,
 	}
 	mc := htm.DefaultConfig()
 	mc.RefEngine = true
@@ -329,6 +345,15 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel sweep width for the table-set measurement")
 	seed := flag.Int64("seed", 42, "experiment seed")
 	tables := flag.Bool("tables", true, "also time the paper table set sequential vs parallel")
+	backendName := ""
+	flag.Func("backend", "measure an arena backend ("+strings.Join(backend.Names(), " | ")+
+		") instead of the legacy mode pair", func(s string) error {
+		if _, err := backend.Get(s); err != nil {
+			return err
+		}
+		backendName = s
+		return nil
+	})
 	flag.Parse()
 
 	fail := func(err error) {
@@ -344,7 +369,7 @@ func main() {
 	if *quick {
 		reps = 5
 	}
-	for _, spec := range matrix(*quick) {
+	for _, spec := range matrix(*quick, backendName) {
 		c, err := measureCell(spec, *seed, reps)
 		if err != nil {
 			fail(err)

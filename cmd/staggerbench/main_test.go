@@ -62,7 +62,7 @@ func TestEventsPerSecNoRegression(t *testing.T) {
 		t.Fatal(err)
 	}
 	fresh := &Report{Quick: true}
-	for _, spec := range matrix(true) {
+	for _, spec := range matrix(true, "") {
 		c, err := measureCell(spec, 42, 5)
 		if err != nil {
 			t.Fatal(err)

@@ -11,6 +11,13 @@
 //	staggerctl -addr HOST:PORT cancel JOB
 //	staggerctl -addr HOST:PORT jobs | metrics | health | drain
 //
+// The spec is staggerd's JobSpec JSON, passed through verbatim. Cells
+// pick a concurrency-control backend with the "backend" field and
+// sweeps cross a "backends" axis; both are validated at submit time:
+//
+//	staggerctl -addr :8080 submit '{"cells":[{"bench":"kmeans","backend":"occ","oracle":true}]}'
+//	staggerctl -addr :8080 submit '{"benchmarks":["intruder"],"backends":["htm","occ","limited"]}'
+//
 // The exit code is 0 on success, 1 on any HTTP or job-level failure
 // (wait exits 1 if the job ends failed or canceled), so shell scripts
 // and the daemon-smoke CI target can chain verbs with && safely.

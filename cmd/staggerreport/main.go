@@ -8,12 +8,14 @@
 //	staggerreport run.json
 //
 // Regenerate the generated documentation sections — the abort-attribution
-// appendix in EXPERIMENTS.md (simulated from the Table 1 cells) and the
-// repository map in README.md (from package doc comments):
+// appendix and the cross-backend arena table in EXPERIMENTS.md (both
+// simulated) and the repository map in README.md (from package doc
+// comments):
 //
 //	staggerreport -appendix -write     # update EXPERIMENTS.md in place
+//	staggerreport -backends -write     # update the backend-arena table
 //	staggerreport -repomap -write      # update README.md in place
-//	staggerreport -appendix -repomap -check   # CI: fail if out of date
+//	staggerreport -appendix -backends -repomap -check   # CI: fail if out of date
 //
 // Generated sections live between HTML comment markers
 // (`<!-- BEGIN GENERATED: <name> -->` / `<!-- END GENERATED: <name> -->`);
@@ -35,6 +37,7 @@ import (
 
 func main() {
 	appendix := flag.Bool("appendix", false, "regenerate the EXPERIMENTS.md abort-attribution appendix")
+	backends := flag.Bool("backends", false, "regenerate the EXPERIMENTS.md cross-backend arena table")
 	repomap := flag.Bool("repomap", false, "regenerate the README.md repository map from package docs")
 	check := flag.Bool("check", false, "verify generated sections are up to date (exit 1 on drift) instead of printing")
 	write := flag.Bool("write", false, "rewrite the target file's generated section in place")
@@ -45,9 +48,9 @@ func main() {
 	flag.Parse()
 	harness.SetWorkers(*workers)
 
-	if !*appendix && !*repomap {
+	if !*appendix && !*backends && !*repomap {
 		if flag.NArg() != 1 {
-			fmt.Fprintln(os.Stderr, "usage: staggerreport <metrics.json> | -appendix|-repomap [-check|-write]")
+			fmt.Fprintln(os.Stderr, "usage: staggerreport <metrics.json> | -appendix|-backends|-repomap [-check|-write]")
 			os.Exit(2)
 		}
 		if err := renderMetrics(flag.Arg(0)); err != nil {
@@ -64,6 +67,13 @@ func main() {
 			err = applySection(*experiments, "abort-appendix", body, *check, *write)
 		}
 		failed = reportOutcome("appendix", *experiments, err) || failed
+	}
+	if *backends {
+		body, err := generateBackendArena()
+		if err == nil {
+			err = applySection(*experiments, "backend-arena", body, *check, *write)
+		}
+		failed = reportOutcome("backends", *experiments, err) || failed
 	}
 	if *repomap {
 		body, err := generateRepoMap(".")
@@ -107,7 +117,11 @@ func applySection(path, name string, body []byte, check, write bool) error {
 		}
 		if !bytes.Equal(current, body) {
 			return fmt.Errorf("generated section %q in %s is out of date (run staggerreport -%s -write)",
-				name, path, map[string]string{"abort-appendix": "appendix", "repo-map": "repomap"}[name])
+				name, path, map[string]string{
+					"abort-appendix": "appendix",
+					"backend-arena":  "backends",
+					"repo-map":       "repomap",
+				}[name])
 		}
 		return nil
 	case write:

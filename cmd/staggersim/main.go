@@ -44,6 +44,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/backend"
 	"repro/internal/chaos"
 	"repro/internal/harness"
 	"repro/internal/htm"
@@ -60,7 +61,7 @@ var flagGroups = []struct {
 	title string
 	names []string
 }{
-	{"Run selection", []string{"bench", "mode", "threads", "seed", "ops", "naive", "lazy", "speedup", "workers"}},
+	{"Run selection", []string{"bench", "mode", "backend", "capacity", "threads", "seed", "ops", "naive", "lazy", "speedup", "workers"}},
 	{"Observability", []string{"metrics", "trace", "trace-out"}},
 	{"Fault injection and hardening", []string{"chaos", "chaos-abort", "chaos-ntdelay", "chaos-lockdrop",
 		"chaos-jitter", "hardened", "watchdog", "chaos-campaign", "chaos-rates"}},
@@ -102,6 +103,8 @@ func parseMode(s string) (stagger.Mode, error) { return stagger.ParseMode(s) }
 // fails the test instead of silently missing from -h.
 type opts struct {
 	bench, mode                                         *string
+	backendName                                         *string
+	capacity                                            *int
 	threads                                             *int
 	seed                                                *int64
 	ops                                                 *int
@@ -131,9 +134,10 @@ type opts struct {
 }
 
 func defineFlags(fs *flag.FlagSet) *opts {
-	return &opts{
+	o := &opts{
 		bench:       fs.String("bench", "", "benchmark name (empty: list them)"),
 		mode:        fs.String("mode", "staggered", "system: htm | addronly | sw | staggered"),
+		capacity:    fs.Int("capacity", 0, "speculative line capacity for -backend limited (0 = backend default)"),
 		threads:     fs.Int("threads", 16, "worker threads"),
 		seed:        fs.Int64("seed", 42, "workload seed"),
 		ops:         fs.Int("ops", 0, "total operations (0 = benchmark default)"),
@@ -176,6 +180,18 @@ func defineFlags(fs *flag.FlagSet) *opts {
 		workers: fs.Int("workers", runtime.NumCPU(),
 			"max concurrent simulation runs in campaigns (1 = sequential; output is identical either way)"),
 	}
+	// -backend validates at parse time: a typo fails with the registry's
+	// name list before any simulation starts.
+	o.backendName = new(string)
+	fs.Func("backend", "concurrency-control backend: "+strings.Join(backend.Names(), " | ")+
+		" (empty: the pre-arena runtime under -mode)", func(s string) error {
+		if _, err := backend.Get(s); err != nil {
+			return err
+		}
+		*o.backendName = s
+		return nil
+	})
+	return o
 }
 
 func main() {
@@ -236,7 +252,7 @@ func main() {
 	}
 
 	if *explore {
-		runExplore(*bench, *mode, *threads, *seed, *ops, *schedSpec,
+		runExplore(*bench, *mode, *o.backendName, *o.capacity, *threads, *seed, *ops, *schedSpec,
 			*exploreRuns, *minimize, *exploreOut, *traceOut, *unsafeEarly, *hardened, cp)
 		return
 	}
@@ -271,6 +287,10 @@ func main() {
 			w, _ := workloads.Get(n)
 			fmt.Printf("  %-10s %s\n", n, w.Description)
 		}
+		fmt.Println("\navailable backends (-backend):")
+		for _, line := range backend.Summaries() {
+			fmt.Printf("  %s\n", line)
+		}
 		return
 	}
 	m, err := parseMode(*mode)
@@ -281,6 +301,8 @@ func main() {
 	rc := harness.RunConfig{
 		Benchmark:          *bench,
 		Mode:               m,
+		Backend:            *o.backendName,
+		Capacity:           *o.capacity,
 		Threads:            *threads,
 		Seed:               *seed,
 		TotalOps:           *ops,
@@ -393,7 +415,7 @@ func main() {
 // runExplore drives a schedule-exploration campaign over one or more
 // benchmarks (comma-separated), printing a per-benchmark summary and
 // exiting nonzero if any schedule produced a violation.
-func runExplore(benchList, mode string, threads int, seed int64, ops int,
+func runExplore(benchList, mode, backendName string, capacity, threads int, seed int64, ops int,
 	spec string, runs int, minimize bool, outDir, traceOut string, unsafeEarly, hardened bool,
 	ccfg *chaos.Config) {
 	m, err := parseMode(mode)
@@ -411,6 +433,8 @@ func runExplore(benchList, mode string, threads int, seed int64, ops int,
 		ec := harness.ExploreConfig{
 			Benchmark:          bench,
 			Mode:               m,
+			Backend:            backendName,
+			Capacity:           capacity,
 			Threads:            threads,
 			Seed:               seed,
 			TotalOps:           ops,
@@ -480,6 +504,8 @@ func exportFailureTimeline(ec harness.ExploreConfig, f *harness.ExploreFailure, 
 	rc := harness.RunConfig{
 		Benchmark:          ec.Benchmark,
 		Mode:               ec.Mode,
+		Backend:            ec.Backend,
+		Capacity:           ec.Capacity,
 		Threads:            ec.Threads,
 		Seed:               ec.Seed,
 		TotalOps:           ec.TotalOps,
@@ -568,8 +594,12 @@ func runCampaign(bench, mode string, threads int, seed int64, ops int, watchdog 
 
 func printResult(r *harness.Result) {
 	s := &r.Stats
+	sys := r.Config.Mode.String()
+	if r.Config.Backend != "" {
+		sys = "backend " + r.Config.Backend + ", " + sys
+	}
 	fmt.Printf("benchmark   %s  (%s, %d threads, seed %d)\n",
-		r.Config.Benchmark, r.Config.Mode, r.Config.Threads, r.Config.Seed)
+		r.Config.Benchmark, sys, r.Config.Threads, r.Config.Seed)
 	fmt.Printf("makespan    %d cycles\n", s.Makespan)
 	fmt.Printf("commits     %d  (irrevocable %d = %.1f%%)\n",
 		s.Commits, s.IrrevocableCommits, 100*s.IrrevocableFraction())

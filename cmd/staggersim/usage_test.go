@@ -3,8 +3,11 @@ package main
 import (
 	"bytes"
 	"flag"
+	"io"
 	"strings"
 	"testing"
+
+	"repro/internal/backend"
 )
 
 // TestUsageCoversEveryFlag pins the -h text to the actual flag surface:
@@ -32,6 +35,36 @@ func TestUsageCoversEveryFlag(t *testing.T) {
 			t.Errorf("flag -%s is defined but missing from every usage group (add it to flagGroups)", f.Name)
 		}
 	})
+}
+
+// TestBackendFlagValidatesAtParseTime pins the -backend contract: a
+// typo dies at flag parsing — before any simulation — with an error
+// listing every registered backend, and each registered name parses.
+func TestBackendFlagValidatesAtParseTime(t *testing.T) {
+	parse := func(args ...string) (*opts, error) {
+		fs := flag.NewFlagSet("staggersim", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		o := defineFlags(fs)
+		return o, fs.Parse(args)
+	}
+	_, err := parse("-backend", "bogus")
+	if err == nil {
+		t.Fatal("unknown -backend accepted at parse time")
+	}
+	for _, name := range backend.Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("parse error %q does not list registered backend %q", err, name)
+		}
+	}
+	for _, name := range backend.Names() {
+		o, err := parse("-backend", name)
+		if err != nil {
+			t.Fatalf("-backend %s rejected: %v", name, err)
+		}
+		if *o.backendName != name {
+			t.Fatalf("-backend %s parsed as %q", name, *o.backendName)
+		}
+	}
 }
 
 // TestGroupedUsageOutput checks the rendered help mentions each group

@@ -7,9 +7,11 @@ import (
 
 // ntstore enforces the paper's nontransactional-store discipline:
 // NTStore/NTCas bypass conflict detection, so the only production code
-// allowed to issue them is the simulator itself (internal/htm) and the
+// allowed to issue them is the simulator itself (internal/htm), the
 // stagger runtime's advisory lock-word and software-map API
-// (internal/stagger). A workload or scheduler mutating memory
+// (internal/stagger), and the software-OCC backend's commit-lock and
+// publication protocol (internal/backend/occ). A workload or scheduler
+// mutating memory
 // nontransactionally would corrupt the serializability oracle's shadow
 // without tripping any hardware check — exactly the bug class this
 // analyzer makes impossible. NTLoad is unrestricted: reads cannot lose
@@ -21,8 +23,9 @@ var ntstoreAnalyzer = &Analyzer{
 }
 
 var ntstoreAllowedPkgs = map[string]bool{
-	"internal/htm":     true,
-	"internal/stagger": true,
+	"internal/htm":         true,
+	"internal/stagger":     true,
+	"internal/backend/occ": true,
 }
 
 func runNTStore(pass *Pass) {

@@ -59,7 +59,7 @@ func run(mode stagger.Mode) (htm.Stats, int) {
 			if tid == 0 {
 				for s := 0; s < seeds; s++ {
 					bound := uint64((s*37 + 11) % 1024)
-					th.Atomic(c, abPush, func(tc *stagger.TxCtx) {
+					th.Atomic(c, abPush, func(tc simds.Ctx) {
 						bt.Insert(tc, pq, bound<<16, al)
 					})
 				}
@@ -68,7 +68,7 @@ func run(mode stagger.Mode) (htm.Stats, int) {
 			for idle < 30 {
 				var task uint64
 				var ok bool
-				th.Atomic(c, abPop, func(tc *stagger.TxCtx) {
+				th.Atomic(c, abPop, func(tc simds.Ctx) {
 					task, ok = bt.PopMin(tc, pq)
 				})
 				if !ok {
@@ -84,7 +84,7 @@ func run(mode stagger.Mode) (htm.Stats, int) {
 				if depth < maxDepth {
 					for ch := uint64(1); ch <= 2; ch++ {
 						child := (bound+ch*13)<<16 | (depth + 1)
-						th.Atomic(c, abPush, func(tc *stagger.TxCtx) {
+						th.Atomic(c, abPush, func(tc simds.Ctx) {
 							bt.Insert(tc, pq, child, al)
 						})
 					}

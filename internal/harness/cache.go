@@ -23,13 +23,18 @@ import (
 // never deserialized under the wrong interpretation.
 //
 // Schema history: 2 added the conflicting-pair histogram
-// (Result.ConfPairs and the report's conflicting_pairs section).
-const CacheSchema = 2
+// (Result.ConfPairs and the report's conflicting_pairs section); 3
+// added concurrency-control backend selection (RunConfig.Backend and
+// Capacity join the key, and backend resolution can rewrite the
+// effective mode).
+const CacheSchema = 3
 
 type cacheKey struct {
 	schema    int
 	bench     string
 	mode      int
+	backend   string
+	capacity  int
 	threads   int
 	seed      int64
 	totalOps  int
@@ -59,7 +64,8 @@ func cacheableKey(rc RunConfig) (cacheKey, bool) {
 	if rc.Seed == 0 {
 		rc.Seed = 42 // match Run's default so keys are canonical
 	}
-	return cacheKey{CacheSchema, rc.Benchmark, int(rc.Mode), rc.Threads, rc.Seed, rc.TotalOps, rc.Naive, rc.Lazy,
+	return cacheKey{CacheSchema, rc.Benchmark, int(rc.Mode), rc.Backend, rc.Capacity,
+		rc.Threads, rc.Seed, rc.TotalOps, rc.Naive, rc.Lazy,
 		rc.Sched, rc.SchedSeed, rc.Oracle}, true
 }
 

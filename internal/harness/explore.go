@@ -13,10 +13,13 @@ import (
 // one experiment cell under an adversarial scheduler, each with a fresh
 // scheduler seed, each recorded and checked by the serializability oracle.
 type ExploreConfig struct {
-	// Benchmark / Mode / Threads / Seed / TotalOps select the cell, as in
-	// RunConfig. Seed fixes the workload; only the schedule varies.
+	// Benchmark / Mode / Backend / Capacity / Threads / Seed / TotalOps
+	// select the cell, as in RunConfig. Seed fixes the workload; only the
+	// schedule varies.
 	Benchmark string
 	Mode      stagger.Mode
+	Backend   string
+	Capacity  int
 	Threads   int
 	Seed      int64
 	TotalOps  int
@@ -144,6 +147,8 @@ func Explore(ec ExploreConfig) (*ExploreReport, error) {
 		cfgs[i] = RunConfig{
 			Benchmark:          ec.Benchmark,
 			Mode:               ec.Mode,
+			Backend:            ec.Backend,
+			Capacity:           ec.Capacity,
 			Threads:            ec.Threads,
 			Seed:               ec.Seed,
 			TotalOps:           ec.TotalOps,

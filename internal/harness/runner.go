@@ -10,6 +10,8 @@ import (
 	"fmt"
 
 	"repro/internal/anchor"
+	"repro/internal/backend"
+	_ "repro/internal/backend/occ" // register the software OCC backend
 	"repro/internal/chaos"
 	"repro/internal/htm"
 	"repro/internal/mem"
@@ -26,6 +28,16 @@ type RunConfig struct {
 	// Mode is the system under test (HTM / AddrOnly / Staggered+SW /
 	// Staggered).
 	Mode stagger.Mode
+	// Backend selects the concurrency-control backend by registry name
+	// ("htm", "staggered", "limited", "occ"; see backend.Names). Empty
+	// keeps the historical path: the stagger runtime under Mode,
+	// bit-identical to runs before the arena existed. Non-empty resolves
+	// Mode through the backend (e.g. "htm" forces the uninstrumented
+	// baseline) before the machine is configured.
+	Backend string
+	// Capacity is the speculative line-capacity knob for the "limited"
+	// backend (0 = that backend's default); other backends ignore it.
+	Capacity int
 	// Threads is the worker count (1..cores).
 	Threads int
 	// Seed drives all workload randomness.
@@ -211,6 +223,23 @@ func RunCtx(ctx context.Context, rc RunConfig) (*Result, error) {
 		rc.Seed = 42
 	}
 
+	// Resolve the arena backend first: the effective mode decides the
+	// machine's conflicting-PC hardware, and the backend may adjust the
+	// machine config (the limited variant's capacity bound).
+	var bk backend.Info
+	useArena := rc.Backend != ""
+	if useArena {
+		bk, err = backend.Get(rc.Backend)
+		if err != nil {
+			return nil, err
+		}
+		if bk.Software {
+			rc.Mode = stagger.ModeHTM
+		} else {
+			rc.Mode = stagger.ResolveMode(rc.Backend, rc.Mode)
+		}
+	}
+
 	mcfg := htm.DefaultConfig()
 	if rc.Machine != nil {
 		mcfg = *rc.Machine
@@ -226,6 +255,9 @@ func RunCtx(ctx context.Context, rc RunConfig) (*Result, error) {
 	}
 	if rc.WatchdogTrace != 0 {
 		mcfg.WatchdogTrace = rc.WatchdogTrace
+	}
+	if useArena && bk.PrepareMachine != nil {
+		bk.PrepareMachine(&mcfg, backend.Options{Capacity: rc.Capacity})
 	}
 
 	aopts := anchor.DefaultOptions()
@@ -271,9 +303,31 @@ func RunCtx(ctx context.Context, rc RunConfig) (*Result, error) {
 		mach.SetFaultInjector(inj)
 		scfg.LockFaults = inj
 	}
-	rt := stagger.New(mach, comp, scfg)
-	if rc.SiteRecorder != nil {
-		rt.SetSiteRecorder(rc.SiteRecorder)
+	// Build the runtime: through the arena registry when a backend is
+	// named, directly otherwise (the historical path). The concrete
+	// stagger runtime, when the backend has one, is recovered for the
+	// stagger-specific result fields below.
+	var brt backend.Runtime
+	var rt *stagger.Runtime
+	if useArena {
+		opts := backend.Options{
+			Capacity:      rc.Capacity,
+			StaggerConfig: scfg,
+			SiteRecorder:  rc.SiteRecorder,
+		}
+		brt, err = bk.New(mach, comp, opts)
+		if err != nil {
+			return nil, err
+		}
+		if u, ok := brt.(interface{ Unwrap() *stagger.Runtime }); ok {
+			rt = u.Unwrap()
+		}
+	} else {
+		rt = stagger.New(mach, comp, scfg)
+		if rc.SiteRecorder != nil {
+			rt.SetSiteRecorder(rc.SiteRecorder)
+		}
+		brt = rt.Backend()
 	}
 
 	if done := ctx.Done(); done != nil {
@@ -302,7 +356,7 @@ func RunCtx(ctx context.Context, rc RunConfig) (*Result, error) {
 	bodies := make([]func(*htm.Core), rc.Threads)
 	for tid := 0; tid < rc.Threads; tid++ {
 		n := splitOps(rc.TotalOps, rc.Threads, tid)
-		bodies[tid] = w.Body(rt, tid, rc.Threads, n, rc.Seed)
+		bodies[tid] = w.Body(brt, tid, rc.Threads, n, rc.Seed)
 	}
 	if err := mach.RunChecked(bodies); err != nil {
 		var ce *htm.CancelError
@@ -323,7 +377,6 @@ func RunCtx(ctx context.Context, rc RunConfig) (*Result, error) {
 	res := &Result{
 		Config:         rc,
 		Stats:          mach.Stats(),
-		Metrics:        rt.Metrics,
 		NumABs:         len(w.Mod.Atomics),
 		TotalOps:       rc.TotalOps,
 		StaticAccesses: comp.StaticAccesses,
@@ -331,11 +384,16 @@ func RunCtx(ctx context.Context, rc RunConfig) (*Result, error) {
 		VerifyErr:      w.Verify(mach, rc.Threads, rc.TotalOps),
 		Compiled:       comp,
 	}
-	res.LA, res.LP = rt.Locality()
-	res.ConfAddrs = rt.ConflictAddrs()
-	res.ConfPCs = rt.ConflictPCs()
-	res.ConfPairs = rt.ConflictPairs()
-	res.PerAB = rt.PerAB()
+	if rt != nil {
+		// Stagger-specific attribution; software backends (no concrete
+		// stagger runtime) report through htm.Stats alone.
+		res.Metrics = rt.Metrics
+		res.LA, res.LP = rt.Locality()
+		res.ConfAddrs = rt.ConflictAddrs()
+		res.ConfPCs = rt.ConflictPCs()
+		res.ConfPairs = rt.ConflictPairs()
+		res.PerAB = rt.PerAB()
+	}
 	res.Trace = mach.Trace()
 	if inj != nil {
 		res.Faults = inj.Counts()
@@ -400,6 +458,11 @@ func Speedup(rc RunConfig) (float64, *Result, error) {
 	seq := rc
 	seq.Mode = stagger.ModeHTM
 	seq.Threads = 1
+	if seq.Backend != "" {
+		// Every backend is measured against the same denominator: the
+		// unlimited plain-HTM machine run sequentially.
+		seq.Backend = "htm"
+	}
 	seqRes, err := Run(seq)
 	if err != nil {
 		return 0, nil, err

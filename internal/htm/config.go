@@ -57,6 +57,16 @@ type Config struct {
 	// exactly the accuracy effect Table 3 measures.
 	PCTagBits int
 
+	// MaxSpecLines bounds the speculative read/write set to that many
+	// distinct cache lines per transaction, independent of L1 geometry:
+	// the first access that would add a line beyond the bound aborts the
+	// attempt with AbortOverflow. This is the capacity knob of the
+	// limited read/write-set HTM variant (Kafousis-style best-effort
+	// HTM with small dedicated transactional buffers); 0 (the default)
+	// imposes no bound beyond L1 associativity, leaving the baseline
+	// machine bit-identical.
+	MaxSpecLines int
+
 	// HardwareCPC enables the conflicting-PC tag. When false, conflict
 	// aborts report only the conflicting data address, and a runtime must
 	// fall back to software anchor tracking (Section 4 of the paper).
@@ -133,6 +143,8 @@ func (c *Config) validate() {
 		panic("htm: PCTagBits must be in 1..16")
 	case c.MemChannels <= 0:
 		panic("htm: MemChannels must be positive")
+	case c.MaxSpecLines < 0:
+		panic("htm: MaxSpecLines must be nonnegative")
 	case c.HeapBase == 0 || c.HeapBase%64 != 0:
 		panic("htm: HeapBase must be nonzero and line-aligned")
 	}

@@ -324,6 +324,13 @@ func (c *Core) record(line mem.Addr, pc uint64, site uint32, wrote bool) {
 	tl := c.txs.lookup(line)
 	if tl == nil {
 		c.txs.add(line, pc, site, wrote)
+		if max := c.m.cfg.MaxSpecLines; max > 0 && len(c.txs.ents) > max {
+			// Speculative-set capacity exhausted (the limited-HTM
+			// variant's dedicated transactional buffer is full). The
+			// line joins the set first so clearTx strips its directory
+			// presence, then the attempt aborts as an overflow.
+			c.abortSelf(AbortInfo{Reason: AbortOverflow, ByCore: c.id})
+		}
 		return
 	}
 	if wrote && !tl.wrote {

@@ -40,6 +40,11 @@ func (m *Machine) SetObserver(o TxObserver) {
 	m.observer = o
 }
 
+// Observed reports whether a TxObserver is installed. Software
+// backends consult it to skip building per-commit report maps on
+// unobserved runs.
+func (c *Core) Observed() bool { return c.m.observer != nil }
+
 // SetOpTag attaches an opaque operation descriptor to the core's current
 // atomic section; it is handed to the observer's OnCommit and then
 // cleared. Workload bodies use it to tell the serializability oracle

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/chaos"
 	"repro/internal/harness"
 	"repro/internal/stagger"
@@ -36,10 +37,12 @@ const chaosWatchdog = 200_000_000
 // harness.CacheSchema is a complete durable-store key.
 type CellSpec struct {
 	Bench     string  `json:"bench"`
-	Mode      string  `json:"mode,omitempty"`    // "" = "staggered" (see stagger.ParseMode)
-	Threads   int     `json:"threads,omitempty"` // 0 = 4
-	Seed      int64   `json:"seed,omitempty"`    // 0 = 42 (the harness default)
-	Ops       int     `json:"ops,omitempty"`     // 0 = the workload's default
+	Mode      string  `json:"mode,omitempty"`     // "" = "staggered" (see stagger.ParseMode)
+	Backend   string  `json:"backend,omitempty"`  // "" = the pre-arena runtime under Mode (see backend.Names)
+	Capacity  int     `json:"capacity,omitempty"` // limited backend's line capacity; 0 = its default
+	Threads   int     `json:"threads,omitempty"`  // 0 = 4
+	Seed      int64   `json:"seed,omitempty"`     // 0 = 42 (the harness default)
+	Ops       int     `json:"ops,omitempty"`      // 0 = the workload's default
 	Naive     bool    `json:"naive,omitempty"`
 	Lazy      bool    `json:"lazy,omitempty"`
 	Sched     string  `json:"sched,omitempty"`
@@ -68,6 +71,17 @@ func (c CellSpec) normalized() (CellSpec, stagger.Mode, error) {
 		return c, 0, fmt.Errorf("cell: %w", err)
 	}
 	c.Mode = modeToken(m)
+	if c.Backend != "" {
+		if _, err := backend.Get(c.Backend); err != nil {
+			return c, 0, fmt.Errorf("cell: %w", err)
+		}
+	}
+	if c.Capacity < 0 {
+		return c, 0, fmt.Errorf("cell: capacity %d must be nonnegative", c.Capacity)
+	}
+	if c.Capacity != 0 && c.Backend != "limited" {
+		return c, 0, fmt.Errorf("cell: capacity is a knob of the limited backend, not %q", c.Backend)
+	}
 	if c.Threads == 0 {
 		c.Threads = 4
 	}
@@ -122,6 +136,8 @@ func runConfig(c CellSpec, m stagger.Mode) harness.RunConfig {
 	rc := harness.RunConfig{
 		Benchmark: c.Bench,
 		Mode:      m,
+		Backend:   c.Backend,
+		Capacity:  c.Capacity,
 		Threads:   c.Threads,
 		Seed:      c.Seed,
 		TotalOps:  c.Ops,
@@ -181,9 +197,10 @@ type JobSpec struct {
 	Cells []CellSpec `json:"cells,omitempty"`
 
 	Benchmarks []string `json:"benchmarks,omitempty"`
-	Modes      []string `json:"modes,omitempty"`   // empty = ["staggered"]
-	Threads    []int    `json:"threads,omitempty"` // empty = [4]
-	Seeds      []int64  `json:"seeds,omitempty"`   // empty = [42]
+	Modes      []string `json:"modes,omitempty"`    // empty = ["staggered"]
+	Backends   []string `json:"backends,omitempty"` // empty = [""] (the pre-arena runtime)
+	Threads    []int    `json:"threads,omitempty"`  // empty = [4]
+	Seeds      []int64  `json:"seeds,omitempty"`    // empty = [42]
 	Ops        int      `json:"ops,omitempty"`
 
 	ChaosRates []float64 `json:"chaos_rates,omitempty"` // chaos kind; empty = [0.01]
@@ -243,6 +260,8 @@ func (spec JobSpec) plan(maxCells int) (*jobPlan, error) {
 		ec := harness.ExploreConfig{
 			Benchmark: e.Cell.Bench,
 			Mode:      m,
+			Backend:   e.Cell.Backend,
+			Capacity:  e.Cell.Capacity,
 			Threads:   e.Cell.Threads,
 			Seed:      e.Cell.Seed,
 			TotalOps:  e.Cell.Ops,
@@ -313,6 +332,10 @@ func (spec JobSpec) product() []CellSpec {
 	if len(modes) == 0 {
 		modes = []string{"staggered"}
 	}
+	backends := spec.Backends
+	if len(backends) == 0 {
+		backends = []string{""}
+	}
 	threads := spec.Threads
 	if len(threads) == 0 {
 		threads = []int{4}
@@ -324,9 +347,11 @@ func (spec JobSpec) product() []CellSpec {
 	var out []CellSpec
 	for _, b := range benches {
 		for _, m := range modes {
-			for _, th := range threads {
-				for _, sd := range seeds {
-					out = append(out, CellSpec{Bench: b, Mode: m, Threads: th, Seed: sd, Ops: spec.Ops})
+			for _, bk := range backends {
+				for _, th := range threads {
+					for _, sd := range seeds {
+						out = append(out, CellSpec{Bench: b, Mode: m, Backend: bk, Threads: th, Seed: sd, Ops: spec.Ops})
+					}
 				}
 			}
 		}

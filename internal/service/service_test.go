@@ -60,16 +60,57 @@ func waitState(t *testing.T, j *Job, state string) {
 func TestSubmitValidation(t *testing.T) {
 	s := newT(t, Config{})
 	for _, bad := range []JobSpec{
-		{Cells: []CellSpec{{}}},                               // missing bench
-		{Cells: []CellSpec{{Bench: "nope"}}},                  // unknown bench
-		{Cells: []CellSpec{{Bench: "list-hi", Mode: "warp"}}}, // unknown mode
-		{Cells: []CellSpec{{Bench: "list-hi", ChaosRate: 2}}}, // rate outside [0,1]
-		{Kind: KindExplore},                                   // explore without spec
+		{Cells: []CellSpec{{}}},                                              // missing bench
+		{Cells: []CellSpec{{Bench: "nope"}}},                                 // unknown bench
+		{Cells: []CellSpec{{Bench: "list-hi", Mode: "warp"}}},                // unknown mode
+		{Cells: []CellSpec{{Bench: "list-hi", ChaosRate: 2}}},                // rate outside [0,1]
+		{Cells: []CellSpec{{Bench: "list-hi", Backend: "bogus"}}},            // unknown backend
+		{Cells: []CellSpec{{Bench: "list-hi", Capacity: -1}}},                // negative capacity
+		{Cells: []CellSpec{{Bench: "list-hi", Capacity: 8}}},                 // capacity without the limited backend
+		{Cells: []CellSpec{{Bench: "list-hi", Backend: "occ", Capacity: 8}}}, // capacity on a backend that has none
+		{Kind: KindExplore},                                                  // explore without spec
 		{Kind: KindRun, Cells: []CellSpec{{Bench: "list-hi"}, {Bench: "list-hi"}}},
 		{Kind: KindSweep, Seeds: make([]int64, 600)}, // exceeds MaxCells
 	} {
 		if _, err := s.Submit(bad); err == nil {
 			t.Errorf("Submit(%+v) accepted, want error", bad)
+		}
+	}
+}
+
+// TestBackendSweepAxis submits one sweep over the Backends axis and
+// checks the expansion: one cell per backend, each with its own durable
+// key (the backend name is part of the normalized CellSpec), and every
+// cell completes with a clean verdict.
+func TestBackendSweepAxis(t *testing.T) {
+	s := newT(t, Config{StoreDir: t.TempDir()})
+	spec := JobSpec{
+		Benchmarks: []string{"list-hi"},
+		Backends:   []string{"htm", "occ"},
+		Threads:    []int{2},
+		Ops:        200,
+	}
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(j.plan.keys); got != 2 {
+		t.Fatalf("sweep expanded to %d cells, want 2", got)
+	}
+	if j.plan.keys[0] == j.plan.keys[1] {
+		t.Fatalf("backends htm and occ share a store key: %s", j.plan.keys[0])
+	}
+	st := waitJob(t, j)
+	if st.State != JobDone {
+		t.Fatalf("job ended %s (%s), want done", st.State, st.Error)
+	}
+	for i, raw := range j.payloads() {
+		var cr CellResult
+		if err := json.Unmarshal(raw, &cr); err != nil {
+			t.Fatalf("cell %d payload: %v", i, err)
+		}
+		if cr.VerifyErr != "" || cr.OracleErr != "" {
+			t.Errorf("cell %d (%s): verify=%q oracle=%q", i, j.plan.keys[i], cr.VerifyErr, cr.OracleErr)
 		}
 	}
 }

@@ -9,17 +9,19 @@
 // the structure's static functions (once per module — they model a shared
 // library like STAMP's lib/list.c), and the returned ops value carries
 // both the IR handles and the execution methods, which take a
-// *stagger.TxCtx so instrumentation fires at the compiler-chosen anchors.
+// backend.Ctx so each concurrency-control backend can layer its own
+// instrumentation (ALPoints, OCC read-set logging) over the accesses.
 package simds
 
 import (
+	"repro/internal/backend"
 	"repro/internal/mem"
-	"repro/internal/stagger"
 )
 
-// Ctx is the access context data structure operations run against.
-// *stagger.TxCtx implements it; tests may substitute their own.
-type Ctx = *stagger.TxCtx
+// Ctx is the access context data structure operations run against: the
+// arena-wide backend.Ctx interface (stagger's *TxCtx and the OCC
+// context both implement it).
+type Ctx = backend.Ctx
 
 // nilPtr is the simulated null pointer.
 const nilPtr = 0

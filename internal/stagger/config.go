@@ -153,6 +153,15 @@ type Config struct {
 	UnsafeEarlyGlobalRelease bool
 }
 
+// RetryLoop exposes the shared retry-loop parameters (budget and
+// backoff policy). Software backends in the arena borrow exactly these
+// fields from the config the harness hands them (see
+// backend.Options.StaggerConfig), so retry tuning applies uniformly
+// across backends without this package importing them.
+func (c Config) RetryLoop() (maxRetries int, backoffBase uint64, backoffExp bool, backoffCap uint64) {
+	return c.MaxRetries, c.BackoffBase, c.BackoffExp, c.BackoffCap
+}
+
 // LockFaults is the advisory-lock fault hook: DropLockRelease reports
 // whether the release of one held lock should be lost, simulating a
 // holder that died without releasing.

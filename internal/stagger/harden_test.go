@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/anchor"
+	"repro/internal/backend"
 	"repro/internal/chaos"
 	"repro/internal/htm"
 	"repro/internal/mem"
@@ -44,7 +45,7 @@ func runDeadHolder(t *testing.T, cfg Config, incs int) (*htm.Machine, *Runtime) 
 		bodies[i] = func(c *htm.Core) {
 			th := rt.Thread(c.ID())
 			for k := 0; k < incs; k++ {
-				th.Atomic(c, ab, func(tc *TxCtx) {
+				th.Atomic(c, ab, func(tc backend.Ctx) {
 					v := tc.Load(sLoad, addr)
 					tc.Compute(200)
 					tc.Store(sStore, addr, v+1)
@@ -113,7 +114,7 @@ func TestLeaseReleaseStillWorks(t *testing.T) {
 		bodies[i] = func(c *htm.Core) {
 			th := rt.Thread(c.ID())
 			for k := 0; k < 20; k++ {
-				th.Atomic(c, ab, func(tc *TxCtx) {
+				th.Atomic(c, ab, func(tc backend.Ctx) {
 					v := tc.Load(sLoad, addr)
 					tc.Compute(100)
 					tc.Store(sStore, addr, v+1)
@@ -157,7 +158,7 @@ func TestLivelockEscape(t *testing.T) {
 		bodies[i] = func(c *htm.Core) {
 			th := rt.Thread(c.ID())
 			for k := 0; k < incs; k++ {
-				th.Atomic(c, ab, func(tc *TxCtx) {
+				th.Atomic(c, ab, func(tc backend.Ctx) {
 					v := tc.Load(sLoad, addr)
 					tc.Store(sStore, addr, v+1)
 				})
@@ -201,7 +202,7 @@ func TestHardenedConfigCorrect(t *testing.T) {
 			bodies[i] = func(c *htm.Core) {
 				th := rt.Thread(c.ID())
 				for k := 0; k < 30; k++ {
-					th.Atomic(c, ab, func(tc *TxCtx) {
+					th.Atomic(c, ab, func(tc backend.Ctx) {
 						v := tc.Load(sLoad, addr)
 						tc.Compute(300)
 						tc.Store(sStore, addr, v+1)
@@ -239,7 +240,7 @@ func TestPollJitterDiffersFromFlatSpin(t *testing.T) {
 			bodies[i] = func(c *htm.Core) {
 				th := rt.Thread(c.ID())
 				for k := 0; k < 20; k++ {
-					th.Atomic(c, ab, func(tc *TxCtx) {
+					th.Atomic(c, ab, func(tc backend.Ctx) {
 						v := tc.Load(sLoad, addr)
 						tc.Compute(400)
 						tc.Store(sStore, addr, v+1)

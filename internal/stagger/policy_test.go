@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/anchor"
+	"repro/internal/backend"
 	"repro/internal/htm"
 	"repro/internal/mem"
 	"repro/internal/prog"
@@ -170,7 +171,7 @@ func TestRateDisarmOnCommit(t *testing.T) {
 	abc.commitsW = 50
 	addr := mach.Alloc.AllocLines(1)
 	mach.Run([]func(*htm.Core){func(c *htm.Core) {
-		th.Atomic(c, ab, func(tc *TxCtx) {
+		th.Atomic(c, ab, func(tc backend.Ctx) {
 			tc.Load(sCell, addr)
 		})
 	}})
@@ -263,12 +264,12 @@ func TestMultiLockBudget(t *testing.T) {
 	addrs := []mem.Addr{mach.Alloc.AllocLines(1), mach.Alloc.AllocLines(1),
 		mach.Alloc.AllocLines(1), mach.Alloc.AllocLines(1)}
 	mach.Run([]func(*htm.Core){func(c *htm.Core) {
-		th.Atomic(c, ab, func(tc *TxCtx) {
+		th.Atomic(c, ab, func(tc backend.Ctx) {
 			for _, a := range addrs {
 				tc.Load(sA, a)
 			}
-			if len(tc.locks) != 3 {
-				t.Errorf("held %d locks inside tx, want budget 3", len(tc.locks))
+			if held := len(tc.(*TxCtx).locks); held != 3 {
+				t.Errorf("held %d locks inside tx, want budget 3", held)
 			}
 		})
 	}})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/anchor"
+	"repro/internal/backend"
 	"repro/internal/htm"
 	"repro/internal/mem"
 	"repro/internal/prog"
@@ -67,10 +68,10 @@ type ConflictPair struct {
 // TxCtx.Store reports the executing atomic block, the static site the
 // workload attributed the access to, and the dynamic access kind. The
 // static/dynamic conformance checker implements this to detect IR drift
-// (package staticcheck).
-type SiteRecorder interface {
-	RecordAccess(ab *prog.AtomicBlock, s *prog.Site, isStore bool)
-}
+// (package staticcheck). The interface now lives in package backend so
+// every backend can honor the same recorder; the alias keeps this
+// package's historical name valid.
+type SiteRecorder = backend.SiteRecorder
 
 // ABMetrics summarizes one atomic block's behaviour across all threads.
 // The cycle fields attribute the core-level breakdown (useful, wasted,
@@ -188,6 +189,19 @@ func (rt *Runtime) Compiled() *anchor.Compiled { return rt.comp }
 // SetSiteRecorder installs a dynamic site-attribution observer. Must be
 // set before the run starts; nil disables recording.
 func (rt *Runtime) SetSiteRecorder(r SiteRecorder) { rt.recorder = r }
+
+// Backend adapts the runtime to the backend.Runtime interface without
+// giving up the concrete Thread API internal callers rely on. The
+// harness recovers the concrete runtime (for stagger-specific metrics)
+// through the adapter's Unwrap.
+func (rt *Runtime) Backend() backend.Runtime { return backendRuntime{rt} }
+
+type backendRuntime struct{ rt *Runtime }
+
+func (b backendRuntime) Thread(tid int) backend.Thread { return b.rt.Thread(tid) }
+
+// Unwrap exposes the concrete runtime behind the adapter.
+func (b backendRuntime) Unwrap() *Runtime { return b.rt }
 
 // Thread returns the runtime context for core tid, creating it on first
 // use. Each thread body must use only its own Thread.
@@ -353,8 +367,9 @@ func (c *ABContext) BlockAddr() mem.Addr { return c.blockAddr }
 // Atomic executes body as one instance of atomic block ab on core c,
 // applying the runtime's mode: baseline retry loop, AddrOnly's fixed
 // head-of-block lock, or full staggered transactions with ALPs armed by
-// the locking policy.
-func (th *Thread) Atomic(c *htm.Core, ab *prog.AtomicBlock, body func(tc *TxCtx)) {
+// the locking policy. The body receives this runtime's *TxCtx through
+// the backend.Ctx interface (the arena contract all backends share).
+func (th *Thread) Atomic(c *htm.Core, ab *prog.AtomicBlock, body func(backend.Ctx)) {
 	if c.ID() != th.tid {
 		panic("stagger: thread used on wrong core")
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/anchor"
+	"repro/internal/backend"
 	"repro/internal/htm"
 	"repro/internal/mem"
 	"repro/internal/prog"
@@ -59,7 +60,7 @@ func runCounter(t *testing.T, mode Mode, threads, incs int) (*htm.Machine, *Runt
 		bodies[i] = func(c *htm.Core) {
 			th := rt.Thread(c.ID())
 			for k := 0; k < incs; k++ {
-				th.Atomic(c, ab, func(tc *TxCtx) {
+				th.Atomic(c, ab, func(tc backend.Ctx) {
 					v := tc.Load(sLoad, addr)
 					tc.Compute(300)
 					tc.Store(sStore, addr, v+1)
@@ -167,7 +168,7 @@ func TestCoarseModeOnVaryingAddresses(t *testing.T) {
 			th := rt.Thread(c.ID())
 			for k := 0; k < 60; k++ {
 				a := slots[(k+tid)%len(slots)]
-				th.Atomic(c, ab, func(tc *TxCtx) {
+				th.Atomic(c, ab, func(tc backend.Ctx) {
 					v := tc.Load(sLoad, a)
 					tc.Compute(300)
 					tc.Store(sStore, a, v+1)
@@ -213,7 +214,7 @@ func TestAdvisoryLockDoesNotAbortHolder(t *testing.T) {
 		bodies[i] = func(c *htm.Core) {
 			th := rt.Thread(c.ID())
 			for k := 0; k < 20; k++ {
-				th.Atomic(c, ab, func(tc *TxCtx) {
+				th.Atomic(c, ab, func(tc backend.Ctx) {
 					v := tc.Load(sLoad, addr)
 					tc.Compute(2000)
 					tc.Store(sStore, addr, v+1)
@@ -264,7 +265,7 @@ func TestLockTimeout(t *testing.T) {
 		bodies[i] = func(c *htm.Core) {
 			th := rt.Thread(c.ID())
 			for k := 0; k < 10; k++ {
-				th.Atomic(c, ab, func(tc *TxCtx) {
+				th.Atomic(c, ab, func(tc backend.Ctx) {
 					v := tc.Load(sLoad, addr)
 					tc.Compute(5000)
 					tc.Store(sStore, addr, v+1)

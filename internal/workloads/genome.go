@@ -3,12 +3,12 @@ package workloads
 import (
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/htm"
 	"repro/internal/mem"
 	"repro/internal/oracle"
 	"repro/internal/prog"
 	"repro/internal/simds"
-	"repro/internal/stagger"
 )
 
 // genome: STAMP's gene sequencer, phase 1 — deduplicating DNA segments
@@ -49,26 +49,32 @@ func buildGenome() *Workload {
 		Setup: func(m *htm.Machine, seed int64) {
 			table = simds.NewHashTable(m, genBuckets)
 		},
-		Body: func(rt *stagger.Runtime, tid, threads, ops int, seed int64) func(*htm.Core) {
+		Body: func(rt backend.Runtime, tid, threads, ops int, seed int64) func(*htm.Core) {
 			rng := threadRNG(seed, tid)
 			return func(c *htm.Core) {
 				th := rt.Thread(c.ID())
 				al := c.Machine().Alloc
+				// Hoisted body closure: see kmeans for why in-loop
+				// literals cost one heap allocation per op.
+				var segs []uint64
+				var nodes []mem.Addr
+				var inserted []bool
+				body := func(tc simds.Ctx) {
+					for j, s := range segs {
+						inserted[j] = ht.Insert(tc, table, s, s, nodes[j])
+						tc.Compute(30)
+					}
+					tc.Op(genOp{segs: segs, inserted: inserted})
+				}
 				for i := 0; i < ops; i++ {
-					segs := make([]uint64, genChunk)
-					nodes := make([]mem.Addr, genChunk)
+					segs = make([]uint64, genChunk)
+					nodes = make([]mem.Addr, genChunk)
 					for j := range segs {
 						segs[j] = uint64(rng.Intn(genDistinct) + 1)
 						nodes[j] = al.AllocLines(1)
 					}
-					inserted := make([]bool, genChunk)
-					th.Atomic(c, ab, func(tc *stagger.TxCtx) {
-						for j, s := range segs {
-							inserted[j] = ht.Insert(tc, table, s, s, nodes[j])
-							tc.Compute(30)
-						}
-						tc.Op(genOp{segs: segs, inserted: inserted})
-					})
+					inserted = make([]bool, genChunk)
+					th.Atomic(c, ab, body)
 					c.Compute(1200) // segment extraction outside the tx
 				}
 			}

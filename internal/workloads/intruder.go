@@ -4,12 +4,12 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/backend"
 	"repro/internal/htm"
 	"repro/internal/mem"
 	"repro/internal/oracle"
 	"repro/internal/prog"
 	"repro/internal/simds"
-	"repro/internal/stagger"
 )
 
 // intruder: STAMP's network intrusion detector. Threads pop packet
@@ -86,43 +86,49 @@ func buildIntruder() *Workload {
 			rng.Shuffle(len(frags), func(i, j int) { frags[i], frags[j] = frags[j], frags[i] })
 			simds.SeedQueue(m, packetQ, frags)
 		},
-		Body: func(rt *stagger.Runtime, tid, threads, ops int, seed int64) func(*htm.Core) {
+		Body: func(rt backend.Runtime, tid, threads, ops int, seed int64) func(*htm.Core) {
 			return func(c *htm.Core) {
 				th := rt.Thread(c.ID())
 				al := c.Machine().Alloc
+				// Hoisted body closures: see kmeans for why in-loop
+				// literals cost one heap allocation per op.
+				var frag, flow uint64
+				var ok bool
+				var mapNode, resNode mem.Addr
+				popBody := func(tc simds.Ctx) {
+					frag, ok = q.Pop(tc, packetQ)
+					tc.Op(itPop{frag: frag, ok: ok})
+				}
+				decBody := func(tc simds.Ctx) {
+					tc.Compute(450) // decode fragment payload
+					// Count this flow's fragments in the shared map.
+					cnt, _ := ht.Lookup(tc, fragMap, flow+1)
+					ht.Insert(tc, fragMap, flow+1, cnt+1, mapNode)
+					tc.Compute(450) // checksum / reassembly work
+					// Hand the decoded fragment to the detector: the
+					// enqueue near the end of the long decoder
+					// transaction is intruder's dominant conflict
+					// (Section 6.2 of the paper).
+					q.Push(tc, resultQ, frag, resNode)
+					tc.Op(itDec{flow: flow, cnt: cnt, frag: frag})
+				}
+				detBody := func(tc simds.Ctx) {
+					f2, ok2 := q.Pop(tc, resultQ)
+					if ok2 {
+						tc.Compute(200) // signature scan
+					}
+					tc.Op(itDet{frag: f2, ok: ok2})
+				}
 				for {
-					var frag uint64
-					var ok bool
-					th.Atomic(c, abPop, func(tc *stagger.TxCtx) {
-						frag, ok = q.Pop(tc, packetQ)
-						tc.Op(itPop{frag: frag, ok: ok})
-					})
+					th.Atomic(c, abPop, popBody)
 					if !ok {
 						break
 					}
-					flow := frag >> 8
-					mapNode := al.AllocLines(1)
-					resNode := al.AllocLines(1)
-					th.Atomic(c, abDec, func(tc *stagger.TxCtx) {
-						tc.Compute(450) // decode fragment payload
-						// Count this flow's fragments in the shared map.
-						cnt, _ := ht.Lookup(tc, fragMap, flow+1)
-						ht.Insert(tc, fragMap, flow+1, cnt+1, mapNode)
-						tc.Compute(450) // checksum / reassembly work
-						// Hand the decoded fragment to the detector: the
-						// enqueue near the end of the long decoder
-						// transaction is intruder's dominant conflict
-						// (Section 6.2 of the paper).
-						q.Push(tc, resultQ, frag, resNode)
-						tc.Op(itDec{flow: flow, cnt: cnt, frag: frag})
-					})
-					th.Atomic(c, abDet, func(tc *stagger.TxCtx) {
-						f2, ok2 := q.Pop(tc, resultQ)
-						if ok2 {
-							tc.Compute(200) // signature scan
-						}
-						tc.Op(itDet{frag: f2, ok: ok2})
-					})
+					flow = frag >> 8
+					mapNode = al.AllocLines(1)
+					resNode = al.AllocLines(1)
+					th.Atomic(c, abDec, decBody)
+					th.Atomic(c, abDet, detBody)
 					c.Compute(50)
 				}
 			}

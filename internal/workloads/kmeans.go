@@ -3,12 +3,12 @@ package workloads
 import (
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/htm"
 	"repro/internal/mem"
 	"repro/internal/oracle"
 	"repro/internal/prog"
 	"repro/internal/simds"
-	"repro/internal/stagger"
 )
 
 // kmeans: STAMP's clustering kernel. Threads assign points to their
@@ -45,11 +45,22 @@ func buildKmeans() *Workload {
 		Setup: func(m *htm.Machine, seed int64) {
 			base = simds.NewCenters(m, cs)
 		},
-		Body: func(rt *stagger.Runtime, tid, threads, ops int, seed int64) func(*htm.Core) {
+		Body: func(rt backend.Runtime, tid, threads, ops int, seed int64) func(*htm.Core) {
 			rng := threadRNG(seed, tid)
 			return func(c *htm.Core) {
 				th := rt.Thread(c.ID())
 				point := make([]uint64, kmDims)
+				// The body closure is hoisted out of the op loop and fed
+				// per-iteration state through captured variables: calls
+				// through the backend.Thread interface heap-allocate any
+				// closure argument, so an in-loop literal would cost one
+				// allocation per operation (same pattern in every workload).
+				var k int
+				var tagged []uint64
+				body := func(tc simds.Ctx) {
+					cs.Update(tc, base, k, point)
+					tc.Op(kmOp{k: k, point: tagged})
+				}
 				for i := 0; i < ops; i++ {
 					for d := range point {
 						point[d] = uint64(rng.Intn(100))
@@ -59,14 +70,11 @@ func buildKmeans() *Workload {
 					c.Compute(60 * kmDims)
 					// Real cluster sizes are skewed; popular clusters are
 					// where the paper's kmeans contention comes from.
-					k := skewedCluster(rng.Intn(100))
+					k = skewedCluster(rng.Intn(100))
 					// The point slice is reused across iterations; the tag
 					// must carry its own copy.
-					tagged := append([]uint64(nil), point...)
-					th.Atomic(c, ab, func(tc *stagger.TxCtx) {
-						cs.Update(tc, base, k, point)
-						tc.Op(kmOp{k: k, point: tagged})
-					})
+					tagged = append([]uint64(nil), point...)
+					th.Atomic(c, ab, body)
 				}
 			}
 		},

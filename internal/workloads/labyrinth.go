@@ -3,12 +3,12 @@ package workloads
 import (
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/htm"
 	"repro/internal/mem"
 	"repro/internal/oracle"
 	"repro/internal/prog"
 	"repro/internal/simds"
-	"repro/internal/stagger"
 )
 
 // labyrinth: STAMP's maze router (Lee's algorithm). Each transaction
@@ -54,46 +54,52 @@ func buildLabyrinth() *Workload {
 			routed = make([]int, m.Config().Cores)
 			failed = make([]int, m.Config().Cores)
 		},
-		Body: func(rt *stagger.Runtime, tid, threads, ops int, seed int64) func(*htm.Core) {
+		Body: func(rt backend.Runtime, tid, threads, ops int, seed int64) func(*htm.Core) {
 			rng := threadRNG(seed, tid)
 			return func(c *htm.Core) {
 				th := rt.Thread(c.ID())
 				buf := make([]uint64, labX*labY*labZ)
 				owner := uint64(tid + 1)
 				var held []mem.Addr
+				// Hoisted body closures: see kmeans for why in-loop
+				// literals cost one heap allocation per op.
+				var prev, path []mem.Addr
+				var sy, dy, z int
+				ok := false
+				relBody := func(tc simds.Ctx) {
+					g.ReleasePath(tc, base, prev)
+					tc.Op(labRel{path: prev, owner: owner})
+				}
+				routeBody := func(tc simds.Ctx) {
+					ok = false
+					g.Snapshot(tc, cells, buf)
+					path = bfsPath(g, cells, buf, 0, sy, labX-1, dy, z)
+					tc.Compute(800) // wavefront expansion
+					if path == nil {
+						tc.Op(labClaim{owner: owner})
+						return
+					}
+					// Validation holds the path in the read set
+					// through the traceback (the conflict window).
+					ok = g.ClaimPath(tc, base, path, owner, 2500)
+					tc.Op(labClaim{path: path, owner: owner, ok: ok})
+				}
 				for i := 0; i < ops; i++ {
 					// Rip up the previous wire first (rip-up and re-route),
 					// so free space stays available and contention comes
 					// from concurrent routing, not from a full maze.
 					if held != nil {
-						prev := held
-						th.Atomic(c, abRel, func(tc *stagger.TxCtx) {
-							g.ReleasePath(tc, base, prev)
-							tc.Op(labRel{path: prev, owner: owner})
-						})
+						prev = held
+						th.Atomic(c, abRel, relBody)
 						held = nil
 					}
 					// Wires run edge to edge, so concurrent paths cross in
 					// the middle of the maze and contend there.
-					sy, dy := rng.Intn(labY), rng.Intn(labY)
-					z := rng.Intn(labZ)
-					ok := false
-					var path []mem.Addr
+					sy, dy = rng.Intn(labY), rng.Intn(labY)
+					z = rng.Intn(labZ)
+					ok = false
 					for attempt := 0; attempt < 6 && !ok; attempt++ {
-						th.Atomic(c, ab, func(tc *stagger.TxCtx) {
-							ok = false
-							g.Snapshot(tc, cells, buf)
-							path = bfsPath(g, cells, buf, 0, sy, labX-1, dy, z)
-							tc.Compute(800) // wavefront expansion
-							if path == nil {
-								tc.Op(labClaim{owner: owner})
-								return
-							}
-							// Validation holds the path in the read set
-							// through the traceback (the conflict window).
-							ok = g.ClaimPath(tc, base, path, owner, 2500)
-							tc.Op(labClaim{path: path, owner: owner, ok: ok})
-						})
+						th.Atomic(c, ab, routeBody)
 						if !ok {
 							c.Compute(300)
 						}

@@ -3,12 +3,12 @@ package workloads
 import (
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/htm"
 	"repro/internal/mem"
 	"repro/internal/oracle"
 	"repro/internal/prog"
 	"repro/internal/simds"
-	"repro/internal/stagger"
 )
 
 // list-lo and list-hi: the RSTM IntSet microbenchmark. A set of threads
@@ -55,41 +55,49 @@ func buildList(name string, lookupPct, insertPct, totalOps int) *Workload {
 			}
 			simds.SeedList(m, list, keys)
 		},
-		Body: func(rt *stagger.Runtime, tid, threads, ops int, seed int64) func(*htm.Core) {
+		Body: func(rt backend.Runtime, tid, threads, ops int, seed int64) func(*htm.Core) {
 			rng := threadRNG(seed, tid)
 			return func(c *htm.Core) {
 				th := rt.Thread(c.ID())
 				// Per-thread node pool (Lockless-allocator stand-in):
 				// nodes pack four to a line within one thread's pool.
 				pool := mem.NewAllocator(c.Machine().Alloc.AllocLines(ops/2+2), uint64(ops/2+2)*64)
+				// Hoisted body closures: see kmeans for why in-loop
+				// literals cost one heap allocation per op.
+				var k uint64
+				var node mem.Addr
+				lookupBody := func(tc simds.Ctx) {
+					found := l.Lookup(tc, list, k)
+					tc.Op(listOp{kind: listLookup, key: k, result: found})
+				}
+				insertBody := func(tc simds.Ctx) {
+					ins := l.Insert(tc, list, k, node)
+					tc.Op(listOp{kind: listInsert, key: k, result: ins})
+				}
+				deleteBody := func(tc simds.Ctx) {
+					del := l.Delete(tc, list, k)
+					tc.Op(listOp{kind: listDelete, key: k, result: del})
+				}
+				scanBody := func(tc simds.Ctx) {
+					found := l.Lookup(tc, list, uint64(4*listNodes))
+					tc.Op(listOp{kind: listLookup, key: uint64(4 * listNodes), result: found})
+				}
 				for i := 0; i < ops; i++ {
-					k := uint64(rng.Intn(2*listNodes))*2 + 2
+					k = uint64(rng.Intn(2*listNodes))*2 + 2
 					r := rng.Intn(100)
 					switch {
 					case r < lookupPct:
-						th.Atomic(c, abLookup, func(tc *stagger.TxCtx) {
-							found := l.Lookup(tc, list, k)
-							tc.Op(listOp{kind: listLookup, key: k, result: found})
-						})
+						th.Atomic(c, abLookup, lookupBody)
 					case r < lookupPct+insertPct:
-						node := pool.AllocObject(2)
-						th.Atomic(c, abInsert, func(tc *stagger.TxCtx) {
-							ins := l.Insert(tc, list, k, node)
-							tc.Op(listOp{kind: listInsert, key: k, result: ins})
-						})
+						node = pool.AllocObject(2)
+						th.Atomic(c, abInsert, insertBody)
 					default:
-						th.Atomic(c, abDelete, func(tc *stagger.TxCtx) {
-							del := l.Delete(tc, list, k)
-							tc.Op(listOp{kind: listDelete, key: k, result: del})
-						})
+						th.Atomic(c, abDelete, deleteBody)
 					}
 					c.Compute(10) // non-transactional think time
 					if i%64 == 63 {
 						// Occasional longer read-only scan (4th atomic block).
-						th.Atomic(c, abSize, func(tc *stagger.TxCtx) {
-							found := l.Lookup(tc, list, uint64(4*listNodes))
-							tc.Op(listOp{kind: listLookup, key: uint64(4 * listNodes), result: found})
-						})
+						th.Atomic(c, abSize, scanBody)
 					}
 				}
 			}

@@ -4,12 +4,12 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/backend"
 	"repro/internal/htm"
 	"repro/internal/mem"
 	"repro/internal/oracle"
 	"repro/internal/prog"
 	"repro/internal/simds"
-	"repro/internal/stagger"
 )
 
 // memcached: an in-memory key-value store (modeled on memcached 1.4.9
@@ -74,35 +74,41 @@ func buildMemcached() *Workload {
 				seedHTInsert(m, table, k, k*3, node)
 			}
 		},
-		Body: func(rt *stagger.Runtime, tid, threads, ops int, seed int64) func(*htm.Core) {
+		Body: func(rt backend.Runtime, tid, threads, ops int, seed int64) func(*htm.Core) {
 			rng := threadRNG(seed, tid)
 			return func(c *htm.Core) {
 				th := rt.Thread(c.ID())
-				for i := 0; i < ops; i++ {
-					k := uint64(rng.Intn(mcKeySpace) + 1)
-					if rng.Intn(100) < 90 {
-						th.Atomic(c, abGet, func(tc *stagger.TxCtx) {
-							tc.Compute(60) // request parsing
-							val, hit := ht.Lookup(tc, table, k)
-							tc.Compute(40)
-							sb.Bump(tc, stats, statGets, 1)
-							if hit {
-								sb.Bump(tc, stats, statHits, 1)
-							} else {
-								sb.Bump(tc, stats, statMisses, 1)
-							}
-							tc.Compute(40) // response formatting
-							tc.Op(mcOp{key: k, val: val, hit: hit})
-						})
+				// Hoisted body closures: see kmeans for why in-loop
+				// literals cost one heap allocation per op.
+				var k uint64
+				var node mem.Addr
+				getBody := func(tc simds.Ctx) {
+					tc.Compute(60) // request parsing
+					val, hit := ht.Lookup(tc, table, k)
+					tc.Compute(40)
+					sb.Bump(tc, stats, statGets, 1)
+					if hit {
+						sb.Bump(tc, stats, statHits, 1)
 					} else {
-						node := c.Machine().Alloc.AllocLines(1)
-						th.Atomic(c, abSet, func(tc *stagger.TxCtx) {
-							tc.Compute(200)
-							isNew := ht.Insert(tc, table, k, k*7, node)
-							sb.Bump(tc, stats, statSets, 1)
-							tc.Compute(100)
-							tc.Op(mcOp{set: true, key: k, val: k * 7, hit: !isNew})
-						})
+						sb.Bump(tc, stats, statMisses, 1)
+					}
+					tc.Compute(40) // response formatting
+					tc.Op(mcOp{key: k, val: val, hit: hit})
+				}
+				setBody := func(tc simds.Ctx) {
+					tc.Compute(200)
+					isNew := ht.Insert(tc, table, k, k*7, node)
+					sb.Bump(tc, stats, statSets, 1)
+					tc.Compute(100)
+					tc.Op(mcOp{set: true, key: k, val: k * 7, hit: !isNew})
+				}
+				for i := 0; i < ops; i++ {
+					k = uint64(rng.Intn(mcKeySpace) + 1)
+					if rng.Intn(100) < 90 {
+						th.Atomic(c, abGet, getBody)
+					} else {
+						node = c.Machine().Alloc.AllocLines(1)
+						th.Atomic(c, abSet, setBody)
 					}
 					c.Compute(500)
 				}

@@ -3,11 +3,12 @@ package workloads
 import (
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/htm"
 	"repro/internal/mem"
 	"repro/internal/oracle"
 	"repro/internal/prog"
-	"repro/internal/stagger"
+	"repro/internal/simds"
 )
 
 // ssca2: the SSCA2 graph kernel — concurrent construction of adjacency
@@ -47,25 +48,31 @@ func buildSSCA2() *Workload {
 		Setup: func(m *htm.Machine, seed int64) {
 			base = m.Alloc.AllocLines(ssNodes)
 		},
-		Body: func(rt *stagger.Runtime, tid, threads, ops int, seed int64) func(*htm.Core) {
+		Body: func(rt backend.Runtime, tid, threads, ops int, seed int64) func(*htm.Core) {
 			rng := threadRNG(seed, tid)
 			return func(c *htm.Core) {
 				th := rt.Thread(c.ID())
+				// Hoisted body closure: see kmeans for why in-loop
+				// literals cost one heap allocation per op.
+				var u int
+				var v uint64
+				var na mem.Addr
+				body := func(tc simds.Ctx) {
+					cnt := tc.Load(sCnt, na)
+					if cnt < ssEdgeCap {
+						tc.Store(sEdge, na+mem.Addr(8*(1+cnt)), v)
+						tc.Store(sStore, na, cnt+1)
+					}
+					tc.Op(ssOp{node: u, val: v, cnt: cnt})
+				}
 				for i := 0; i < ops; i++ {
-					u := rng.Intn(ssNodes)
-					v := uint64(rng.Intn(ssNodes))
+					u = rng.Intn(ssNodes)
+					v = uint64(rng.Intn(ssNodes))
 					// Edge generation and permutation work happen outside
 					// the transaction (%TM stays low).
 					c.Compute(1500)
-					na := nodeAddr(u)
-					th.Atomic(c, ab, func(tc *stagger.TxCtx) {
-						cnt := tc.Load(sCnt, na)
-						if cnt < ssEdgeCap {
-							tc.Store(sEdge, na+mem.Addr(8*(1+cnt)), v)
-							tc.Store(sStore, na, cnt+1)
-						}
-						tc.Op(ssOp{node: u, val: v, cnt: cnt})
-					})
+					na = nodeAddr(u)
+					th.Atomic(c, ab, body)
 				}
 			}
 		},

@@ -3,12 +3,12 @@ package workloads
 import (
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/htm"
 	"repro/internal/mem"
 	"repro/internal/oracle"
 	"repro/internal/prog"
 	"repro/internal/simds"
-	"repro/internal/stagger"
 )
 
 // tsp: a branch-and-bound travelling-salesman solver (the paper's own
@@ -88,19 +88,33 @@ func buildTsp() *Workload {
 			}
 			popped = make([]int, m.Config().Cores)
 		},
-		Body: func(rt *stagger.Runtime, tid, threads, ops int, seed int64) func(*htm.Core) {
+		Body: func(rt backend.Runtime, tid, threads, ops int, seed int64) func(*htm.Core) {
 			rng := threadRNG(seed, tid)
 			return func(c *htm.Core) {
 				th := rt.Thread(c.ID())
 				al := func(lines int) mem.Addr { return c.Machine().Alloc.AllocLines(lines) }
 				idle := 0
+				// Hoisted body closures: see kmeans for why in-loop
+				// literals cost one heap allocation per op.
+				var task, child, bound uint64
+				var ok bool
+				popBody := func(tc simds.Ctx) {
+					task, ok = bt.PopMin(tc, pq)
+					tc.Op(tspPop{task: task, ok: ok})
+				}
+				pushBody := func(tc simds.Ctx) {
+					bt.Insert(tc, pq, child, al)
+					tc.Op(tspPush{task: child})
+				}
+				bestBody := func(tc simds.Ctx) {
+					cur := tc.Load(sBestLd, best)
+					if bound < cur {
+						tc.Store(sBestSt, best, bound)
+					}
+					tc.Op(tspBest{bound: bound, cur: cur})
+				}
 				for {
-					var task uint64
-					var ok bool
-					th.Atomic(c, abPop, func(tc *stagger.TxCtx) {
-						task, ok = bt.PopMin(tc, pq)
-						tc.Op(tspPop{task: task, ok: ok})
-					})
+					th.Atomic(c, abPop, popBody)
 					if !ok {
 						// The queue may be momentarily empty while other
 						// threads still expand; retry a few times.
@@ -114,26 +128,17 @@ func buildTsp() *Workload {
 					idle = 0
 					popped[tid]++
 					depth := task & 0xFFFF
-					bound := task >> 16
+					bound = task >> 16
 					c.Compute(250) // tour bound computation
 					if depth < tspDepth {
 						for ch := 0; ch < 2; ch++ {
 							delta := uint64(rng.Intn(64) + 1)
-							child := (bound+delta)<<16 | (depth + 1)
-							th.Atomic(c, abPush, func(tc *stagger.TxCtx) {
-								bt.Insert(tc, pq, child, al)
-								tc.Op(tspPush{task: child})
-							})
+							child = (bound+delta)<<16 | (depth + 1)
+							th.Atomic(c, abPush, pushBody)
 						}
 					} else {
 						// Leaf: maybe improve the global best tour.
-						th.Atomic(c, abBest, func(tc *stagger.TxCtx) {
-							cur := tc.Load(sBestLd, best)
-							if bound < cur {
-								tc.Store(sBestSt, best, bound)
-							}
-							tc.Op(tspBest{bound: bound, cur: cur})
-						})
+						th.Atomic(c, abBest, bestBody)
 					}
 				}
 			}

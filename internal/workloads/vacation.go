@@ -3,12 +3,12 @@ package workloads
 import (
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/htm"
 	"repro/internal/mem"
 	"repro/internal/oracle"
 	"repro/internal/prog"
 	"repro/internal/simds"
-	"repro/internal/stagger"
 )
 
 // vacation: STAMP's travel reservation system. Each transaction makes a
@@ -86,46 +86,54 @@ func buildVacation() *Workload {
 			}
 			simds.SeedRBTree(m, customers, ckeys, func(k uint64) uint64 { return 0 })
 		},
-		Body: func(rt *stagger.Runtime, tid, threads, ops int, seed int64) func(*htm.Core) {
+		Body: func(rt backend.Runtime, tid, threads, ops int, seed int64) func(*htm.Core) {
 			rng := threadRNG(seed, tid)
 			return func(c *htm.Core) {
 				th := rt.Thread(c.ID())
 				al := c.Machine().Alloc
+				// Hoisted body closures: see kmeans for why in-loop
+				// literals cost one heap allocation per op.
+				var ti int
+				var tb, node mem.Addr
+				var k1, k2, key, k uint64
+				reserveBody := func(tc simds.Ctx) {
+					v1, _ := rb.Lookup(tc, tb, k1)
+					tc.Compute(120)
+					rb.Lookup(tc, tb, k2)
+					tc.Compute(120)
+					rb.Update(tc, tb, k1, ^uint64(0)) // -1 seat/room
+					if DriftVacationKind {
+						tc.Load(driftSite, tb)
+					}
+					tc.Op(vacRes{table: ti, key: k1, before: v1})
+				}
+				customerBody := func(tc simds.Ctx) {
+					ins := rb.Insert(tc, customers, key, uint64(tid), node)
+					tc.Op(vacCust{key: key, tid: uint64(tid), inserted: ins})
+				}
+				queryBody := func(tc simds.Ctx) {
+					v, found := rb.Lookup(tc, tb, k)
+					tc.Compute(200)
+					tc.Op(vacQry{table: ti, key: k, val: v, found: found})
+				}
 				for i := 0; i < ops; i++ {
 					r := rng.Intn(100)
 					switch {
 					case r < 80: // make a reservation
-						ti := rng.Intn(vacTables)
-						tb := tables[ti]
-						k1 := uint64(rng.Intn(vacRelations))*2 + 2
-						k2 := uint64(rng.Intn(vacRelations))*2 + 2
-						th.Atomic(c, abReserve, func(tc *stagger.TxCtx) {
-							v1, _ := rb.Lookup(tc, tb, k1)
-							tc.Compute(120)
-							rb.Lookup(tc, tb, k2)
-							tc.Compute(120)
-							rb.Update(tc, tb, k1, ^uint64(0)) // -1 seat/room
-							if DriftVacationKind {
-								tc.Load(driftSite, tb)
-							}
-							tc.Op(vacRes{table: ti, key: k1, before: v1})
-						})
+						ti = rng.Intn(vacTables)
+						tb = tables[ti]
+						k1 = uint64(rng.Intn(vacRelations))*2 + 2
+						k2 = uint64(rng.Intn(vacRelations))*2 + 2
+						th.Atomic(c, abReserve, reserveBody)
 					case r < 90: // register a customer
-						node := al.AllocLines(1)
-						key := uint64(1000 + rng.Intn(100000))
-						th.Atomic(c, abCustomer, func(tc *stagger.TxCtx) {
-							ins := rb.Insert(tc, customers, key, uint64(tid), node)
-							tc.Op(vacCust{key: key, tid: uint64(tid), inserted: ins})
-						})
+						node = al.AllocLines(1)
+						key = uint64(1000 + rng.Intn(100000))
+						th.Atomic(c, abCustomer, customerBody)
 					default: // price queries
-						ti := rng.Intn(vacTables)
-						tb := tables[ti]
-						k := uint64(rng.Intn(vacRelations))*2 + 2
-						th.Atomic(c, abQuery, func(tc *stagger.TxCtx) {
-							v, found := rb.Lookup(tc, tb, k)
-							tc.Compute(200)
-							tc.Op(vacQry{table: ti, key: k, val: v, found: found})
-						})
+						ti = rng.Intn(vacTables)
+						tb = tables[ti]
+						k = uint64(rng.Intn(vacRelations))*2 + 2
+						th.Atomic(c, abQuery, queryBody)
 					}
 					c.Compute(150)
 				}

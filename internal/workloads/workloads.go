@@ -16,10 +16,10 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/backend"
 	"repro/internal/htm"
 	"repro/internal/oracle"
 	"repro/internal/prog"
-	"repro/internal/stagger"
 )
 
 // Workload is one runnable benchmark. Build-returned instances are
@@ -42,7 +42,7 @@ type Workload struct {
 	Setup func(m *htm.Machine, seed int64)
 	// Body returns the thread body for thread tid of threads, performing
 	// ops operations.
-	Body func(rt *stagger.Runtime, tid, threads, ops int, seed int64) func(*htm.Core)
+	Body func(rt backend.Runtime, tid, threads, ops int, seed int64) func(*htm.Core)
 	// Verify checks post-run invariants against the expected totals.
 	Verify func(m *htm.Machine, threads, totalOps int) error
 
